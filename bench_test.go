@@ -1,0 +1,239 @@
+// bench_test.go holds one benchmark per table and figure of the paper's
+// evaluation (the regeneration targets listed in DESIGN.md §4) plus
+// micro-benchmarks of every encoder. The figure benches run the exact
+// experiment pipeline on a reduced burst count; the unit tests in
+// internal/experiments pin the *numbers*, these pin the *cost* of
+// regenerating them.
+package dbiopt_test
+
+import (
+	"testing"
+
+	"dbiopt"
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/experiments"
+	"dbiopt/internal/hw"
+	"dbiopt/internal/memctrl"
+	"dbiopt/internal/phy"
+	"dbiopt/internal/trace"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Bursts = 500
+	cfg.Steps = 20
+	return cfg
+}
+
+// BenchmarkFig2 regenerates the worked example (per-scheme costs plus the
+// exhaustive Pareto enumeration over all 256 patterns).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2()
+		if len(r.Pareto) != 5 {
+			b.Fatal("wrong pareto front")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the energy-vs-alpha sweep for RAW/DC/AC/OPT.
+func BenchmarkFig3(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 adds the fixed-coefficient series.
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 runs the full synthesis-style estimation of the four
+// hardware designs (netlist construction, STA, activity simulation).
+func BenchmarkTable1(b *testing.B) {
+	cfg := hw.DefaultSynthesisConfig()
+	cfg.ActivityBursts = 200
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(8, cfg)
+		if len(r.Reports) != 4 {
+			b.Fatal("wrong report count")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the normalised-energy-vs-data-rate sweep.
+func BenchmarkFig7(b *testing.B) {
+	cfg := experiments.DefaultRateSweepConfig()
+	cfg.Config = benchConfig()
+	cfg.StepRate = 2 * phy.Gbps
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the encoding-energy-inclusive sweep across load
+// capacitances (the synthesis inputs are computed once, as in the paper).
+func BenchmarkFig8(b *testing.B) {
+	cfg := experiments.DefaultRateSweepConfig()
+	cfg.Config = benchConfig()
+	cfg.StepRate = 2 * phy.Gbps
+	synthCfg := hw.DefaultSynthesisConfig()
+	synthCfg.ActivityBursts = 200
+	synth := experiments.Table1(8, synthCfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg, []float64{1, 3, 8}, synth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCoeffBits regenerates the coefficient-width ablation
+// (why 3-bit coefficients suffice).
+func BenchmarkAblationCoeffBits(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Bursts = 200
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CoefficientBitsAblation(cfg, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyGap regenerates the greedy-vs-optimal gap study.
+func BenchmarkAblationGreedyGap(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Bursts = 200
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GreedyGapAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBurstLength regenerates the burst-length scaling study.
+func BenchmarkAblationBurstLength(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Bursts = 200
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BurstLengthAblation(cfg, []int{2, 4, 8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWindow regenerates the cross-burst joint-encoding study.
+func BenchmarkAblationWindow(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Bursts = 400
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WindowAblation(cfg, []int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetlistOptimize measures the logic-cleanup passes on the largest
+// design.
+func BenchmarkNetlistOptimize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := hw.BuildOpt3Bit(8).Netlist
+		if hw.Optimize(n).GateCount() == 0 {
+			b.Fatal("optimizer destroyed the design")
+		}
+	}
+}
+
+// BenchmarkEncoders measures the per-burst cost of every coding scheme on
+// the same random workload — the software-throughput view of Table I.
+func BenchmarkEncoders(b *testing.B) {
+	src := trace.NewUniform(1)
+	workload := make([]bus.Burst, 1024)
+	for i := range workload {
+		workload[i] = src.Next(bus.BurstLength)
+	}
+	schemes := []dbi.Encoder{
+		dbi.Raw{}, dbi.DC{}, dbi.AC{}, dbi.ACDC{},
+		dbi.Greedy{Weights: dbi.FixedWeights},
+		dbi.OptFixed(),
+		dbi.Quantized{Alpha: 3, Beta: 5},
+		dbi.Exhaustive{Weights: dbi.FixedWeights},
+	}
+	for _, enc := range schemes {
+		b.Run(enc.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enc.Encode(bus.InitialLineState, workload[i%len(workload)])
+			}
+		})
+	}
+}
+
+// BenchmarkStream measures streaming encoding through the public API, the
+// steady-state path of a PHY.
+func BenchmarkStream(b *testing.B) {
+	src := trace.NewUniform(2)
+	workload := make([]dbiopt.Burst, 1024)
+	for i := range workload {
+		workload[i] = dbiopt.Burst(src.Next(dbiopt.BurstLength))
+	}
+	st := dbiopt.NewStream(dbiopt.OptFixed())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Transmit(workload[i%len(workload)])
+	}
+}
+
+// BenchmarkHardwareSim measures one gate-level evaluation of the Fig. 5
+// fixed-coefficient netlist.
+func BenchmarkHardwareSim(b *testing.B) {
+	d := hw.BuildOptFixed(8)
+	sim := hw.NewSimulator(d.Netlist)
+	src := trace.NewUniform(3)
+	workload := make([]bus.Burst, 256)
+	for i := range workload {
+		workload[i] = src.Next(8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Encode(sim, bus.InitialLineState, workload[i%len(workload)])
+	}
+}
+
+// BenchmarkMemChannel measures the end-to-end memory-channel write path
+// with optimal coding.
+func BenchmarkMemChannel(b *testing.B) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	ctl, err := memctrl.NewController(memctrl.DefaultGeometry(), memctrl.GDDR5Timing(), link, dbi.OptFixed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := memctrl.DefaultGeometry().BurstBytes(memctrl.GDDR5Timing())
+	src := trace.NewUniform(4)
+	data := make([][]byte, 64)
+	for i := range data {
+		data[i] = src.Next(size)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.Submit(memctrl.Request{Addr: uint64(i%1024) * uint64(size), Write: true, Data: data[i%len(data)]}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			ctl.Drain()
+		}
+	}
+	ctl.Drain()
+}

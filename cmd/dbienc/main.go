@@ -1,0 +1,175 @@
+// Command dbienc encodes data with a chosen DBI scheme and reports the
+// wire-level activity and interface energy against the unencoded baseline.
+//
+// Usage:
+//
+//	dbienc -hex "8E 86 96 E9 7D B7 57 C4"          # one burst, verbose
+//	dbienc -in data.bin [-scheme OPT] [-rate 12]   # whole file, summary
+//	dbienc -gen text -bursts 10000                 # synthetic workload
+//
+// Flags select the scheme (-scheme, with -alpha/-beta for the weighted
+// ones), the link operating point (-rate in Gbps, -cload in pF, -vddq) and
+// the workload (-hex, -in, or -gen with one of the generator names).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/phy"
+	"dbiopt/internal/stats"
+	"dbiopt/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbienc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scheme := flag.String("scheme", "", "scheme to report in detail (default: compare all)")
+	alpha := flag.Float64("alpha", 1, "transition cost for weighted schemes")
+	beta := flag.Float64("beta", 1, "zero cost for weighted schemes")
+	hexBurst := flag.String("hex", "", "encode a single burst given as hex bytes")
+	in := flag.String("in", "", "encode the contents of this file")
+	gen := flag.String("gen", "", "generate a synthetic workload: uniform, text, pointers, image, sparse, markov")
+	bursts := flag.Int("bursts", 10000, "bursts to generate with -gen")
+	beats := flag.Int("beats", bus.BurstLength, "burst length in beats")
+	seed := flag.Int64("seed", 1, "generator seed")
+	rateGbps := flag.Float64("rate", 12, "per-pin data rate in Gbps")
+	cloadPF := flag.Float64("cload", 3, "load capacitance in pF")
+	vddq := flag.Float64("vddq", 1.35, "supply voltage (1.35=GDDR5X, 1.2=DDR4)")
+	flag.Parse()
+
+	link := phy.Link{VDDQ: *vddq, Rpullup: phy.DefaultRpullup, Rpulldown: phy.DefaultRpulldown,
+		Cload: *cloadPF * phy.PicoFarad, DataRate: *rateGbps * phy.Gbps}
+	if err := link.Validate(); err != nil {
+		return err
+	}
+
+	var workload []bus.Burst
+	switch {
+	case *hexBurst != "":
+		b, err := trace.ParseHexBurst(*hexBurst)
+		if err != nil {
+			return err
+		}
+		return encodeVerbose(b, link, *alpha, *beta)
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		workload = trace.FromBytes(data, *beats)
+	case *gen != "":
+		src, err := makeSource(*gen, *seed)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *bursts; i++ {
+			workload = append(workload, src.Next(*beats))
+		}
+	default:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			return fmt.Errorf("no input: use -hex, -in, -gen, or pipe data to stdin")
+		}
+		workload = trace.FromBytes(data, *beats)
+	}
+	if len(workload) == 0 {
+		return fmt.Errorf("empty workload")
+	}
+
+	names := dbi.Names()
+	if *scheme != "" {
+		names = []string{"RAW", *scheme}
+	}
+	w := dbi.Weights{Alpha: *alpha, Beta: *beta}
+	fmt.Printf("link: %s\nworkload: %d bursts x %d beats\n\n", link, len(workload), *beats)
+
+	tbl := &stats.Table{Columns: []string{"Scheme", "Zeros", "Transitions", "Energy (nJ)", "vs RAW"}}
+	var rawEnergy float64
+	for _, name := range names {
+		if name == "EXHAUSTIVE" && *beats > dbi.MaxExhaustiveBeats {
+			continue
+		}
+		enc, err := dbi.New(name, w)
+		if err != nil {
+			return err
+		}
+		st := dbi.NewStream(enc)
+		for _, b := range workload {
+			st.Transmit(b)
+		}
+		c := st.TotalCost()
+		e := link.BurstEnergy(c)
+		if name == "RAW" {
+			rawEnergy = e
+		}
+		rel := "-"
+		if rawEnergy > 0 && name != "RAW" {
+			rel = fmt.Sprintf("%+.2f%%", (e/rawEnergy-1)*100)
+		}
+		if err := tbl.AddRow(enc.Name(), fmt.Sprint(c.Zeros), fmt.Sprint(c.Transitions),
+			fmt.Sprintf("%.3f", e*1e9), rel); err != nil {
+			return err
+		}
+	}
+	return tbl.WriteText(os.Stdout)
+}
+
+func encodeVerbose(b bus.Burst, link phy.Link, alpha, beta float64) error {
+	fmt.Printf("burst: %s\nlink:  %s\n\n", trace.FormatHexBurst(b), link)
+	w := dbi.Weights{Alpha: alpha, Beta: beta}
+	for _, name := range dbi.Names() {
+		if name == "EXHAUSTIVE" && len(b) > dbi.MaxExhaustiveBeats {
+			continue
+		}
+		enc, err := dbi.New(name, w)
+		if err != nil {
+			return err
+		}
+		wire := dbi.EncodeWire(enc, bus.InitialLineState, b)
+		c := wire.Cost(bus.InitialLineState)
+		fmt.Printf("%-18s %s\n%-18s zeros=%d transitions=%d energy=%.3f pJ\n\n",
+			enc.Name(), wire, "", c.Zeros, c.Transitions, link.BurstEnergy(c)*1e12)
+	}
+	if len(b) <= dbi.MaxExhaustiveBeats {
+		fmt.Print("pareto front:")
+		for _, p := range dbi.ParetoFront(bus.InitialLineState, b) {
+			fmt.Printf(" (%d zeros, %d transitions)", p.Zeros, p.Transitions)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func makeSource(name string, seed int64) (trace.Source, error) {
+	switch strings.ToLower(name) {
+	case "uniform":
+		return trace.NewUniform(seed), nil
+	case "text":
+		return trace.NewText(seed), nil
+	case "pointers":
+		return trace.NewPointers(seed), nil
+	case "image":
+		return trace.NewImage(seed), nil
+	case "sparse":
+		return trace.NewSparse(seed, 0.2), nil
+	case "markov":
+		return trace.NewMarkov(seed, 0.1), nil
+	case "walking":
+		return &trace.Walking{}, nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", name)
+}

@@ -1,0 +1,106 @@
+// Command dbisynth runs the synthesis-style estimation flow over the four
+// encoder hardware designs of the paper's Fig. 5 / Table I: structural
+// netlist construction, static timing analysis with the 8-stage retiming
+// model, activity simulation, and area/power summation over the generic
+// 32 nm-style library.
+//
+// Usage:
+//
+//	dbisynth [-beats 8] [-stages 8] [-target 1.5] [-verilog dir]
+//
+// With -verilog, the flat structural netlists are additionally dumped as
+// Verilog for inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dbiopt/internal/experiments"
+	"dbiopt/internal/hw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbisynth:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	beats := flag.Int("beats", 8, "burst length the designs process per cycle")
+	stages := flag.Int("stages", 8, "pipeline stages (paper: 8)")
+	target := flag.Float64("target", 1.5, "target burst rate in GHz (paper: 1.5 = 12 Gbps)")
+	activity := flag.Int("activity", 2000, "random bursts for switching-activity estimation")
+	seed := flag.Int64("seed", 1, "activity stimulus seed")
+	verilog := flag.String("verilog", "", "directory to dump structural Verilog netlists into")
+	noOpt := flag.Bool("no-opt", false, "skip the logic-cleanup passes before estimation")
+	corner := flag.String("corner", "tt", "process corner: ss, tt or ff")
+	flag.Parse()
+
+	var lib *hw.Library
+	for _, c := range hw.Corners() {
+		if c.Name == *corner {
+			var err error
+			lib, err = hw.Generic32().At(c)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if lib == nil {
+		return fmt.Errorf("unknown corner %q (want ss, tt or ff)", *corner)
+	}
+
+	cfg := hw.SynthesisConfig{
+		Library:        lib,
+		PipelineStages: *stages,
+		TargetRateGHz:  *target,
+		ActivityBursts: *activity,
+		Seed:           *seed,
+		Optimize:       !*noOpt,
+	}
+	t1 := experiments.Table1(*beats, cfg)
+	if err := t1.Table().WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	designs := map[string]*hw.Design{
+		"dbi_dc.v":        hw.BuildDC(*beats),
+		"dbi_ac.v":        hw.BuildAC(*beats),
+		"dbi_opt_fixed.v": hw.BuildOptFixed(*beats),
+		"dbi_opt_3bit.v":  hw.BuildOpt3Bit(*beats),
+	}
+	for _, rep := range t1.Reports {
+		fmt.Printf("%-24s gates=%5d depth-critical-path=%6.0f ps fmax=%.2f GHz\n",
+			rep.Scheme, rep.Gates, rep.CriticalPathPs, rep.FmaxGHz)
+	}
+	if rate := t1.Reports[3].BurstRateGHz; rate < *target {
+		units := int(*target/rate) + 1
+		fmt.Printf("\nthe 3-bit design needs %d parallel units to sustain %.1f GHz\n", units, *target)
+	}
+
+	if *verilog != "" {
+		if err := os.MkdirAll(*verilog, 0o755); err != nil {
+			return err
+		}
+		for name, d := range designs {
+			f, err := os.Create(filepath.Join(*verilog, name))
+			if err != nil {
+				return err
+			}
+			if err := hw.WriteVerilog(f, d.Netlist); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%s)\n", filepath.Join(*verilog, name), d.Netlist.Stats())
+		}
+	}
+	return nil
+}

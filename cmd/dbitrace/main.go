@@ -1,0 +1,219 @@
+// Command dbitrace generates, inspects and converts workloads in the
+// library's binary trace format, so experiments can be replayed bit-exactly
+// across machines and fed to external tools.
+//
+// Usage:
+//
+//	dbitrace gen -src text -bursts 10000 -out text.dbit    # synthesise
+//	dbitrace info -in text.dbit                            # header + stats
+//	dbitrace dump -in text.dbit -n 4                       # hex dump bursts
+//	dbitrace fromfile -in data.bin -out data.dbit          # wrap raw bytes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/stats"
+	"dbiopt/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbitrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dbitrace {gen|info|dump|fromfile} [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return genCmd(args[1:])
+	case "info":
+		return infoCmd(args[1:])
+	case "dump":
+		return dumpCmd(args[1:])
+	case "fromfile":
+		return fromFileCmd(args[1:])
+	}
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	srcName := fs.String("src", "uniform", "workload class (see trace.Catalog)")
+	bursts := fs.Int("bursts", 10000, "bursts to generate")
+	beats := fs.Int("beats", bus.BurstLength, "beats per burst")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var src trace.Source
+	for _, s := range trace.Catalog(*seed) {
+		if s.Name() == *srcName {
+			src = s
+			break
+		}
+	}
+	if src == nil {
+		var names []string
+		for _, s := range trace.Catalog(*seed) {
+			names = append(names, s.Name())
+		}
+		return fmt.Errorf("gen: unknown workload %q; available: %v", *srcName, names)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, *beats)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *bursts; i++ {
+		if err := w.Write(src.Next(*beats)); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bursts x %d beats of %s to %s\n", *bursts, *beats, src.Name(), *out)
+	return f.Close()
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func infoCmd(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("info: -in is required")
+	}
+	r, f, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var zeros, ones, transitions stats.Summary
+	count := 0
+	prev := bus.InitialLineState
+	for {
+		b, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		count++
+		var z, o, tr int
+		s := prev
+		for _, v := range b {
+			z += bus.Zeros(v)
+			o += bus.Ones(v)
+			tr += bus.Transitions(s.Data, v)
+			s = bus.LineState{Data: v, DBI: true}
+		}
+		prev = s
+		zeros.Add(float64(z))
+		ones.Add(float64(o))
+		transitions.Add(float64(tr))
+	}
+	fmt.Printf("%s: %d bursts x %d beats\n", *in, count, r.Beats())
+	fmt.Printf("  zeros/burst:       %s\n", &zeros)
+	fmt.Printf("  ones/burst:        %s\n", &ones)
+	fmt.Printf("  transitions/burst: %s (raw wires, cross-burst state carried)\n", &transitions)
+	return nil
+}
+
+func dumpCmd(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (required)")
+	n := fs.Int("n", 8, "bursts to dump")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("dump: -in is required")
+	}
+	r, f, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < *n; i++ {
+		b, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d: %s\n", i, trace.FormatHexBurst(b))
+	}
+	return nil
+}
+
+func fromFileCmd(args []string) error {
+	fs := flag.NewFlagSet("fromfile", flag.ContinueOnError)
+	in := fs.String("in", "", "raw binary input (required)")
+	out := fs.String("out", "", "output trace file (required)")
+	beats := fs.Int("beats", bus.BurstLength, "beats per burst")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("fromfile: -in and -out are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	bursts := trace.FromBytes(data, *beats)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, *beats)
+	if err != nil {
+		return err
+	}
+	for _, b := range bursts {
+		if err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrapped %d bytes into %d bursts at %s\n", len(data), len(bursts), *out)
+	return f.Close()
+}

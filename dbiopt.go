@@ -1,0 +1,140 @@
+// Package dbiopt is the public API of the optimal DC/AC data bus inversion
+// (DBI) coding library, a reproduction of Lucas, Lal and Juurlink, "Optimal
+// DC/AC Data Bus Inversion Coding", DATE 2018.
+//
+// DBI coding decides, for every byte crossing a POD-signalled memory bus
+// (GDDR5/GDDR5X/DDR4), whether to transmit it inverted, trading transmitted
+// zeros (DC termination energy) against wire transitions (CV² energy). This
+// package exposes:
+//
+//   - the coding schemes: RAW, DBI DC, DBI AC, DBI ACDC, a weighted greedy
+//     heuristic, and the paper's optimal trellis encoder in float,
+//     fixed-coefficient and 3-bit-integer variants (NewEncoder, Opt,
+//     OptFixed, ...);
+//   - exact wire-level accounting (Encode, CostOf, Stream);
+//   - the CACTI-IO-derived POD link energy model (POD135, POD12, POD15);
+//   - the experiment runners reproducing every figure and table of the
+//     paper (see package internal/experiments, surfaced through the
+//     cmd/dbibench tool).
+//
+// Quick start:
+//
+//	link := dbiopt.POD135(3*dbiopt.PicoFarad, 12*dbiopt.Gbps)
+//	enc := dbiopt.Opt(link.Weights())
+//	st := dbiopt.NewStream(enc)
+//	wire := st.Transmit(dbiopt.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4})
+//	fmt.Println(wire, link.BurstEnergy(st.TotalCost()))
+package dbiopt
+
+import (
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/phy"
+)
+
+// Core vocabulary, aliased from the internal packages so the public surface
+// is a single import.
+type (
+	// Burst is the payload of one burst on a byte lane: the bytes to move,
+	// before coding.
+	Burst = bus.Burst
+	// LineState is the electrical state of a lane's 9 wires (8 DQ + DBI).
+	LineState = bus.LineState
+	// Wire is the wire-level image of an encoded burst.
+	Wire = bus.Wire
+	// Cost counts transmitted zeros and wire transitions, DBI wire
+	// included.
+	Cost = bus.Cost
+	// Frame is a multi-lane payload (one Burst per byte lane).
+	Frame = bus.Frame
+	// Encoder is a DBI coding policy.
+	Encoder = dbi.Encoder
+	// Weights are the per-transition (Alpha) and per-zero (Beta) costs the
+	// optimal encoder minimises.
+	Weights = dbi.Weights
+	// Stream encodes consecutive bursts against the persistent wire state.
+	Stream = dbi.Stream
+	// LaneSet runs one Stream per lane of a wide bus.
+	LaneSet = dbi.LaneSet
+	// Link is the POD interface energy model.
+	Link = phy.Link
+)
+
+// InitialLineState is the all-wires-high idle state of a POD lane, the
+// boundary condition the paper encodes each burst against.
+var InitialLineState = bus.InitialLineState
+
+// BurstLength is the standard burst length (BL8).
+const BurstLength = bus.BurstLength
+
+// Unit constants for readable physical literals.
+const (
+	PicoFarad = phy.PicoFarad
+	Gbps      = phy.Gbps
+)
+
+// Raw returns the unencoded baseline scheme.
+func Raw() Encoder { return dbi.Raw{} }
+
+// DC returns the JEDEC DBI DC scheme (invert iff ≥ 5 zeros in the byte).
+func DC() Encoder { return dbi.DC{} }
+
+// AC returns the JEDEC DBI AC scheme (greedy transition minimisation).
+func AC() Encoder { return dbi.AC{} }
+
+// ACDC returns Hollis' hybrid scheme (first byte DC, rest AC).
+func ACDC() Encoder { return dbi.ACDC{} }
+
+// Greedy returns the per-byte weighted heuristic (locally optimal only).
+func Greedy(w Weights) Encoder { return dbi.Greedy{Weights: w} }
+
+// Opt returns the paper's optimal trellis encoder for the given weights.
+func Opt(w Weights) Encoder { return dbi.Opt{Weights: w} }
+
+// OptFixed returns the fixed-coefficient optimal encoder (alpha = beta =
+// 1), the hardware-friendly variant the paper recommends.
+func OptFixed() Encoder { return dbi.OptFixed() }
+
+// OptQuantized returns the optimal encoder with 3-bit integer coefficients,
+// mirroring the configurable hardware design. Coefficients must fit 0..7
+// and not both be zero.
+func OptQuantized(alpha, beta uint8) (Encoder, error) { return dbi.NewQuantized(alpha, beta) }
+
+// NewEncoder returns a scheme by conventional name ("RAW", "DC", "AC",
+// "ACDC", "GREEDY", "OPT", "OPT-FIXED", "EXHAUSTIVE"); weighted schemes use
+// w.
+func NewEncoder(name string, w Weights) (Encoder, error) { return dbi.New(name, w) }
+
+// SchemeNames lists the names NewEncoder accepts.
+func SchemeNames() []string { return dbi.Names() }
+
+// Encode runs enc on one burst from the given line state and returns the
+// wire image.
+func Encode(enc Encoder, prev LineState, b Burst) Wire { return dbi.EncodeWire(enc, prev, b) }
+
+// CostOf returns the exact activity counts enc achieves on b from prev,
+// via an independent wire-level recount.
+func CostOf(enc Encoder, prev LineState, b Burst) Cost { return dbi.CostOf(enc, prev, b) }
+
+// Decode recovers the payload from a wire image, as a DBI receiver does.
+func Decode(w Wire) Burst { return w.Decode() }
+
+// NewStream returns a streaming encoder starting from the idle line state.
+func NewStream(enc Encoder) *Stream { return dbi.NewStream(enc) }
+
+// NewLaneSet returns n independent per-lane streams sharing one policy.
+func NewLaneSet(enc Encoder, n int) *LaneSet { return dbi.NewLaneSet(enc, n) }
+
+// ParetoFront enumerates the Pareto-optimal (zeros, transitions) outcomes
+// of a burst over all inversion patterns (bursts of at most 24 beats).
+func ParetoFront(prev LineState, b Burst) []Cost { return dbi.ParetoFront(prev, b) }
+
+// POD135 returns a GDDR5X-style 1.35 V POD link model at the given load
+// capacitance (farads) and per-pin data rate (bit/s).
+func POD135(cload, dataRate float64) Link { return phy.POD135(cload, dataRate) }
+
+// POD15 returns a 1.5 V POD link model (JESD8-20A).
+func POD15(cload, dataRate float64) Link { return phy.POD15(cload, dataRate) }
+
+// POD12 returns a DDR4-style 1.2 V POD link model.
+func POD12(cload, dataRate float64) Link { return phy.POD12(cload, dataRate) }

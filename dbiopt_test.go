@@ -1,0 +1,110 @@
+package dbiopt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeFig2 drives the paper's worked example purely through the
+// public API.
+func TestFacadeFig2(t *testing.T) {
+	b := Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+	if c := CostOf(DC(), InitialLineState, b); c != (Cost{Zeros: 26, Transitions: 42}) {
+		t.Errorf("DC = %+v", c)
+	}
+	if c := CostOf(AC(), InitialLineState, b); c != (Cost{Zeros: 43, Transitions: 22}) {
+		t.Errorf("AC = %+v", c)
+	}
+	if c := CostOf(OptFixed(), InitialLineState, b); c.Zeros+c.Transitions != 52 {
+		t.Errorf("OptFixed total = %d", c.Zeros+c.Transitions)
+	}
+	if front := ParetoFront(InitialLineState, b); len(front) != 5 {
+		t.Errorf("pareto front = %v", front)
+	}
+}
+
+// TestFacadeRoundTrip: decode(encode(x)) == x through the facade for all
+// constructors.
+func TestFacadeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	q, err := OptQuantized(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoders := []Encoder{Raw(), DC(), AC(), ACDC(), Greedy(Weights{Alpha: 1, Beta: 2}), Opt(Weights{Alpha: 1, Beta: 2}), OptFixed(), q}
+	for _, enc := range encoders {
+		for trial := 0; trial < 50; trial++ {
+			b := make(Burst, 8)
+			for i := range b {
+				b[i] = byte(rng.Intn(256))
+			}
+			w := Encode(enc, InitialLineState, b)
+			if got := Decode(w); !got.Equal(b) {
+				t.Fatalf("%s: round trip failed", enc.Name())
+			}
+		}
+	}
+}
+
+// TestFacadeLinkAndStream: end-to-end energy accounting via the facade.
+func TestFacadeLinkAndStream(t *testing.T) {
+	link := POD135(3*PicoFarad, 12*Gbps)
+	if err := link.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStream(Opt(link.Weights()))
+	raw := NewStream(Raw())
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 100; i++ {
+		b := make(Burst, BurstLength)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		st.Transmit(b)
+		raw.Transmit(b)
+	}
+	if e, r := link.BurstEnergy(st.TotalCost()), link.BurstEnergy(raw.TotalCost()); e >= r {
+		t.Errorf("OPT energy %g >= RAW energy %g", e, r)
+	}
+}
+
+// TestFacadeRegistry: names round-trip through NewEncoder.
+func TestFacadeRegistry(t *testing.T) {
+	for _, name := range SchemeNames() {
+		if _, err := NewEncoder(name, Weights{Alpha: 1, Beta: 1}); err != nil {
+			t.Errorf("NewEncoder(%q): %v", name, err)
+		}
+	}
+	if _, err := NewEncoder("NOPE", Weights{}); err == nil {
+		t.Error("bogus name accepted")
+	}
+	if _, err := OptQuantized(9, 1); err == nil {
+		t.Error("out-of-range coefficient accepted")
+	}
+}
+
+// TestFacadeLaneSet: multi-lane transmission through the facade.
+func TestFacadeLaneSet(t *testing.T) {
+	ls := NewLaneSet(OptFixed(), 4)
+	f := Frame{make(Burst, 8), make(Burst, 8), make(Burst, 8), make(Burst, 8)}
+	for l := range f {
+		for i := range f[l] {
+			f[l][i] = byte(l*8 + i)
+		}
+	}
+	ws := ls.Transmit(f)
+	if len(ws) != 4 {
+		t.Fatalf("got %d wires", len(ws))
+	}
+	for l, w := range ws {
+		if got := Decode(w); !got.Equal(f[l]) {
+			t.Fatalf("lane %d corrupted", l)
+		}
+	}
+	pods := []Link{POD12(PicoFarad, Gbps), POD15(PicoFarad, Gbps)}
+	for _, p := range pods {
+		if p.BurstEnergy(ls.TotalCost()) <= 0 {
+			t.Error("non-positive energy")
+		}
+	}
+}

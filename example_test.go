@@ -1,0 +1,65 @@
+package dbiopt_test
+
+import (
+	"fmt"
+
+	"dbiopt"
+)
+
+// ExampleOpt encodes the paper's worked example optimally for equal
+// transition and zero costs.
+func ExampleOpt() {
+	burst := dbiopt.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+	enc := dbiopt.Opt(dbiopt.Weights{Alpha: 1, Beta: 1})
+	cost := dbiopt.CostOf(enc, dbiopt.InitialLineState, burst)
+	fmt.Println(cost.Zeros + cost.Transitions)
+	// Output: 52
+}
+
+// ExampleDC shows the classic zero-minimising scheme on the same burst.
+func ExampleDC() {
+	burst := dbiopt.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+	cost := dbiopt.CostOf(dbiopt.DC(), dbiopt.InitialLineState, burst)
+	fmt.Printf("%d zeros, %d transitions\n", cost.Zeros, cost.Transitions)
+	// Output: 26 zeros, 42 transitions
+}
+
+// ExampleDecode demonstrates that the wire image alone recovers the
+// payload.
+func ExampleDecode() {
+	burst := dbiopt.Burst{0x00, 0xFF, 0x0F}
+	wire := dbiopt.Encode(dbiopt.OptFixed(), dbiopt.InitialLineState, burst)
+	fmt.Println(dbiopt.Decode(wire).Equal(burst))
+	// Output: true
+}
+
+// ExampleLink_Weights converts a physical operating point into encoder
+// weights.
+func ExampleLink_Weights() {
+	link := dbiopt.POD135(3*dbiopt.PicoFarad, 12*dbiopt.Gbps)
+	w := link.Weights()
+	fmt.Println(w.Alpha > 0 && w.Beta > 0)
+	// Output: true
+}
+
+// ExampleParetoFront lists every coding outcome no weight choice can
+// improve on.
+func ExampleParetoFront() {
+	burst := dbiopt.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+	for _, p := range dbiopt.ParetoFront(dbiopt.InitialLineState, burst) {
+		fmt.Printf("(%d,%d) ", p.Zeros, p.Transitions)
+	}
+	fmt.Println()
+	// Output: (26,42) (27,28) (28,24) (29,23) (43,22)
+}
+
+// ExampleNewStream carries wire state across consecutive bursts, as the
+// PHY of a real memory controller does.
+func ExampleNewStream() {
+	st := dbiopt.NewStream(dbiopt.AC())
+	st.Transmit(dbiopt.Burst{0x00, 0x00})
+	st.Transmit(dbiopt.Burst{0xFF, 0xFF})
+	c := st.TotalCost()
+	fmt.Println(c.Zeros >= 0 && st.Beats() == 4)
+	// Output: true
+}

@@ -1,0 +1,59 @@
+// gddr5x sweeps a GDDR5X link across per-pin data rates and shows where
+// each DBI scheme wins — the scenario of the paper's Fig. 7: DBI DC is best
+// at low rates (termination current dominates), DBI AC at high rates
+// (transition energy dominates), and the optimal encoder tracks the better
+// of the two everywhere while beating both in the middle.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbiopt"
+)
+
+func main() {
+	const bursts = 2000
+	rng := rand.New(rand.NewSource(42))
+	workload := make([]dbiopt.Burst, bursts)
+	for i := range workload {
+		b := make(dbiopt.Burst, dbiopt.BurstLength)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		workload[i] = b
+	}
+
+	// Precompute the rate-independent activity counts.
+	total := func(enc dbiopt.Encoder) dbiopt.Cost {
+		var c dbiopt.Cost
+		for _, b := range workload {
+			c = c.Add(dbiopt.CostOf(enc, dbiopt.InitialLineState, b))
+		}
+		return c
+	}
+	raw := total(dbiopt.Raw())
+	dc := total(dbiopt.DC())
+	ac := total(dbiopt.AC())
+	fixed := total(dbiopt.OptFixed())
+
+	fmt.Println("normalised interface energy vs RAW (POD135, 3 pF):")
+	fmt.Printf("%6s %8s %8s %8s %8s\n", "Gbps", "DC", "AC", "OPTfix", "OPT")
+	for _, gbps := range []float64{1, 2, 4, 8, 12, 14, 16, 20} {
+		link := dbiopt.POD135(3*dbiopt.PicoFarad, gbps*dbiopt.Gbps)
+		rawE := link.BurstEnergy(raw)
+
+		// The true optimum re-encodes for each operating point.
+		opt := total(dbiopt.Opt(link.Weights()))
+
+		fmt.Printf("%6.1f %8.3f %8.3f %8.3f %8.3f\n", gbps,
+			link.BurstEnergy(dc)/rawE,
+			link.BurstEnergy(ac)/rawE,
+			link.BurstEnergy(fixed)/rawE,
+			link.BurstEnergy(opt)/rawE)
+	}
+
+	fmt.Println("\nreading the table: <1.000 saves energy vs unencoded;")
+	fmt.Println("DC wins on the first rows, AC improves towards the bottom,")
+	fmt.Println("OPT is never worse than either at any rate.")
+}

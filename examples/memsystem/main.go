@@ -1,0 +1,79 @@
+// memsystem runs a small GDDR5-style memory channel end to end: a
+// controller with FR-FCFS scheduling and open-page banks, a DRAM device,
+// and a DBI-coded PHY between them. It writes a realistic workload through
+// three different coding schemes, verifies every byte reads back intact,
+// and compares the interface energy each scheme spent.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/memctrl"
+	"dbiopt/internal/phy"
+	"dbiopt/internal/trace"
+)
+
+func main() {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	geom := memctrl.DefaultGeometry()
+	timing := memctrl.GDDR5Timing()
+	fmt.Println("link:", link)
+	fmt.Printf("channel: %d byte lanes, %d banks, BL%d\n\n", geom.Lanes, geom.Banks, timing.BL)
+
+	schemes := []dbi.Encoder{dbi.Raw{}, dbi.DC{}, dbi.Opt{Weights: link.Weights()}}
+	var rawEnergy float64
+	for _, enc := range schemes {
+		ctl, err := memctrl.NewController(geom, timing, link, enc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		// A mixed workload: image-like rows written sequentially, then
+		// read back and verified.
+		src := trace.NewImage(3)
+		size := geom.BurstBytes(timing)
+		const accesses = 512
+		written := make([][]byte, accesses)
+		for i := 0; i < accesses; i++ {
+			data := src.Next(size)
+			written[i] = data
+			if _, err := ctl.Submit(memctrl.Request{Addr: uint64(i * size), Write: true, Data: data}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		ctl.Drain()
+		var reads []*memctrl.Result
+		for i := 0; i < accesses; i++ {
+			r, err := ctl.Submit(memctrl.Request{Addr: uint64(i * size)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			reads = append(reads, r)
+		}
+		ctl.Drain()
+		for i, r := range reads {
+			for j := range written[i] {
+				if r.Data[j] != written[i][j] {
+					fmt.Fprintf(os.Stderr, "%s: data corruption at access %d byte %d\n", enc.Name(), i, j)
+					os.Exit(1)
+				}
+			}
+		}
+
+		s := ctl.Stats()
+		total := s.WriteEnergy + s.ReadEnergy
+		if enc.Name() == "RAW" {
+			rawEnergy = total
+		}
+		fmt.Printf("%-16s rowhits=%4d/%d cycles=%6d  bus zeros=%7d transitions=%7d  energy=%8.1f nJ (%.1f%% vs RAW)\n",
+			enc.Name(), s.RowHits, s.RowHits+s.RowMisses, s.Cycles,
+			s.WriteBus.Zeros+s.ReadBus.Zeros, s.WriteBus.Transitions+s.ReadBus.Transitions,
+			total*1e9, (total/rawEnergy-1)*100)
+	}
+	fmt.Println("\nall reads verified byte-exact through every coding scheme")
+}

@@ -1,0 +1,50 @@
+// Quickstart: encode one burst with every DBI scheme and see the
+// zeros/transitions trade-off the paper is about, using only the public
+// dbiopt API.
+package main
+
+import (
+	"fmt"
+
+	"dbiopt"
+)
+
+func main() {
+	// The worked example from the paper's Fig. 2.
+	burst := dbiopt.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+
+	// A GDDR5X-style link: 1.35 V POD, 3 pF load, 12 Gbps per pin. The
+	// link's operating point fixes how much a zero costs versus a
+	// transition, which is exactly what the optimal encoder needs to know.
+	link := dbiopt.POD135(3*dbiopt.PicoFarad, 12*dbiopt.Gbps)
+	fmt.Println("link:", link)
+	fmt.Println("burst:", burst)
+	fmt.Println()
+
+	schemes := []dbiopt.Encoder{
+		dbiopt.Raw(),
+		dbiopt.DC(),
+		dbiopt.AC(),
+		dbiopt.OptFixed(),
+		dbiopt.Opt(link.Weights()), // optimal for this exact link
+	}
+	for _, enc := range schemes {
+		cost := dbiopt.CostOf(enc, dbiopt.InitialLineState, burst)
+		energy := link.BurstEnergy(cost)
+		fmt.Printf("%-18s zeros=%2d transitions=%2d energy=%6.2f pJ\n",
+			enc.Name(), cost.Zeros, cost.Transitions, energy*1e12)
+	}
+
+	// Every encoding is losslessly decodable from the wire image alone.
+	wire := dbiopt.Encode(dbiopt.OptFixed(), dbiopt.InitialLineState, burst)
+	fmt.Println("\nwire image:", wire)
+	fmt.Println("decodes to:", dbiopt.Decode(wire))
+
+	// The full Pareto front of this burst: the encodings no weight choice
+	// can improve on. DBI DC and DBI AC sit at the two corners; the middle
+	// points are reachable only by the optimal scheme.
+	fmt.Println("\npareto front (zeros, transitions):")
+	for _, p := range dbiopt.ParetoFront(dbiopt.InitialLineState, burst) {
+		fmt.Printf("  (%2d, %2d)\n", p.Zeros, p.Transitions)
+	}
+}

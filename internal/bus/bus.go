@@ -1,0 +1,161 @@
+// Package bus models the physical data bus of a POD-signalled memory
+// interface (GDDR5/GDDR5X/DDR4) at the granularity relevant to data bus
+// inversion (DBI) coding.
+//
+// The unit of interest is a byte lane: 8 DQ (data) wires plus 1 DBI wire.
+// Data moves in bursts, a fixed-length sequence of beats; on each beat one
+// byte is presented on the DQ wires and one bit on the DBI wire. Driving the
+// DBI wire low (0) signals that the byte on the DQ wires is the bitwise
+// inverse of the payload byte; driving it high (1) signals the payload byte
+// is transmitted as-is.
+//
+// Two quantities determine the interface energy of a burst on a POD link:
+//
+//   - the number of zeros transmitted (each zero draws DC current through
+//     the termination resistor), and
+//   - the number of signal transitions (each charges/discharges the load
+//     capacitance).
+//
+// Both counts include the DBI wire itself: an inverted beat contributes one
+// extra zero on the DBI wire, and toggling the inversion state between
+// consecutive beats contributes one extra transition. The package counts
+// these exactly as the DATE 2018 paper "Optimal DC/AC Data Bus Inversion
+// Coding" does, which was validated against the paper's worked example.
+//
+// The package is deliberately free of any encoding policy; policies live in
+// package dbi. bus provides the vocabulary those policies are written in:
+// Burst, LineState, Wire, Cost, and the exact zero/transition accounting.
+package bus
+
+import "math/bits"
+
+// BurstLength is the default burst length (beats per burst) used by
+// GDDR5/GDDR5X and DDR4 (BL8).
+const BurstLength = 8
+
+// WiresPerLane is the number of wires in one byte lane: 8 DQ wires plus the
+// DBI wire.
+const WiresPerLane = 9
+
+// Burst is the payload of one burst on a single byte lane: the sequence of
+// bytes the memory controller wants delivered, before any DBI coding. Its
+// length is the burst length in beats (usually BurstLength).
+type Burst []byte
+
+// Clone returns an independent copy of the burst.
+func (b Burst) Clone() Burst {
+	c := make(Burst, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two bursts carry identical payloads.
+func (b Burst) Equal(o Burst) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LineState is the electrical state of one byte lane's 9 wires at a given
+// instant: the byte on the DQ wires and the level of the DBI wire.
+//
+// DBI follows the JEDEC convention: true (high) means "not inverted",
+// false (low) means "inverted".
+type LineState struct {
+	Data byte // value currently driven on the 8 DQ wires
+	DBI  bool // value on the DBI wire; true = high = non-inverted
+}
+
+// InitialLineState is the boundary condition assumed by the paper: all nine
+// wires transmitted ones before the burst under evaluation. POD links idle
+// high (termination to VDDQ), so this is also the electrically natural idle
+// state.
+var InitialLineState = LineState{Data: 0xFF, DBI: true}
+
+// dbiWire returns the DBI wire level as a 0/1 integer.
+func (s LineState) dbiWire() int {
+	if s.DBI {
+		return 1
+	}
+	return 0
+}
+
+// Cost aggregates the two energy-relevant activity counts of a transmission:
+// the number of zero bits driven onto the 9 wires and the number of wire
+// transitions, both summed over all beats (and, for transitions, including
+// the transition from the pre-burst line state into the first beat).
+type Cost struct {
+	Zeros       int
+	Transitions int
+}
+
+// Add returns the component-wise sum of two costs.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{Zeros: c.Zeros + o.Zeros, Transitions: c.Transitions + o.Transitions}
+}
+
+// Weighted returns alpha*Transitions + beta*Zeros, the generalised energy
+// measure minimised by optimal DBI coding.
+func (c Cost) Weighted(alpha, beta float64) float64 {
+	return alpha*float64(c.Transitions) + beta*float64(c.Zeros)
+}
+
+// Dominates reports whether c is at least as good as o in both components
+// and strictly better in at least one (Pareto dominance for minimisation).
+func (c Cost) Dominates(o Cost) bool {
+	if c.Zeros > o.Zeros || c.Transitions > o.Transitions {
+		return false
+	}
+	return c.Zeros < o.Zeros || c.Transitions < o.Transitions
+}
+
+// Zeros returns the number of zero bits in b.
+func Zeros(b byte) int { return 8 - bits.OnesCount8(b) }
+
+// Ones returns the number of one bits in b.
+func Ones(b byte) int { return bits.OnesCount8(b) }
+
+// Transitions returns the Hamming distance between two consecutive values of
+// the 8 DQ wires, i.e. the number of wires that toggle.
+func Transitions(prev, cur byte) int { return bits.OnesCount8(prev ^ cur) }
+
+// Invert returns the bitwise inverse of b.
+func Invert(b byte) byte { return ^b }
+
+// BeatCost returns the zero and transition counts of driving payload byte b
+// onto a lane whose current state is prev, with the given inversion choice.
+// Both counts include the DBI wire.
+func BeatCost(prev LineState, b byte, inverted bool) Cost {
+	wire := b
+	dbi := 1
+	if inverted {
+		wire = ^b
+		dbi = 0
+	}
+	c := Cost{
+		Zeros:       Zeros(wire),
+		Transitions: Transitions(prev.Data, wire),
+	}
+	if dbi == 0 {
+		c.Zeros++
+	}
+	if dbi != prev.dbiWire() {
+		c.Transitions++
+	}
+	return c
+}
+
+// Advance returns the lane state after driving payload byte b with the given
+// inversion choice.
+func Advance(prev LineState, b byte, inverted bool) LineState {
+	if inverted {
+		return LineState{Data: ^b, DBI: false}
+	}
+	return LineState{Data: b, DBI: true}
+}

@@ -1,0 +1,306 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZerosOnes(t *testing.T) {
+	cases := []struct {
+		b     byte
+		zeros int
+	}{
+		{0x00, 8}, {0xFF, 0}, {0x0F, 4}, {0xF0, 4}, {0x01, 7}, {0xFE, 1}, {0xAA, 4}, {0x8E, 4},
+	}
+	for _, c := range cases {
+		if got := Zeros(c.b); got != c.zeros {
+			t.Errorf("Zeros(%#02x) = %d, want %d", c.b, got, c.zeros)
+		}
+		if got := Ones(c.b); got != 8-c.zeros {
+			t.Errorf("Ones(%#02x) = %d, want %d", c.b, got, 8-c.zeros)
+		}
+	}
+}
+
+func TestZerosOnesComplement(t *testing.T) {
+	f := func(b byte) bool {
+		return Zeros(b)+Ones(b) == 8 && Zeros(^b) == Ones(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{0x00, 0x00, 0}, {0x00, 0xFF, 8}, {0xFF, 0x8E, 4}, {0xAA, 0x55, 8}, {0x0F, 0x1F, 1},
+	}
+	for _, c := range cases {
+		if got := Transitions(c.a, c.b); got != c.want {
+			t.Errorf("Transitions(%#02x, %#02x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTransitionsProperties(t *testing.T) {
+	symmetric := func(a, b byte) bool { return Transitions(a, b) == Transitions(b, a) }
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a byte) bool { return Transitions(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	inversionInvariant := func(a, b byte) bool {
+		// Inverting both endpoints preserves the transition count.
+		return Transitions(a, b) == Transitions(^a, ^b)
+	}
+	if err := quick.Check(inversionInvariant, nil); err != nil {
+		t.Errorf("inversion invariance: %v", err)
+	}
+	complementRelation := func(a, b byte) bool {
+		// Inverting one endpoint complements the count against 8.
+		return Transitions(a, b)+Transitions(a, ^b) == 8
+	}
+	if err := quick.Check(complementRelation, nil); err != nil {
+		t.Errorf("complement relation: %v", err)
+	}
+}
+
+func TestBeatCostPlain(t *testing.T) {
+	// From the idle all-ones state, a plain 0x8E beat costs 4 zeros (byte
+	// has 4 zeros, DBI stays high) and 4 transitions (FF->8E flips 4 wires,
+	// DBI does not move).
+	c := BeatCost(InitialLineState, 0x8E, false)
+	if c.Zeros != 4 || c.Transitions != 4 {
+		t.Errorf("BeatCost(idle, 0x8E, plain) = %+v, want {4 4}", c)
+	}
+}
+
+func TestBeatCostInverted(t *testing.T) {
+	// Inverting 0x8E from idle: wire byte 0x71 has 4 zeros, plus the DBI
+	// wire low adds one more zero; transitions are FF->71 (4 flips) plus
+	// the DBI wire falling (1).
+	c := BeatCost(InitialLineState, 0x8E, true)
+	if c.Zeros != 5 || c.Transitions != 5 {
+		t.Errorf("BeatCost(idle, 0x8E, inverted) = %+v, want {5 5}", c)
+	}
+}
+
+func TestBeatCostDBIWireAccounting(t *testing.T) {
+	// Starting from an inverted state, keeping inversion costs no DBI
+	// transition; releasing it costs one.
+	prev := LineState{Data: 0x00, DBI: false}
+	keep := BeatCost(prev, 0xFF, true) // wire 0x00, DBI stays low
+	if keep.Transitions != 0 {
+		t.Errorf("keeping inversion: transitions = %d, want 0", keep.Transitions)
+	}
+	if keep.Zeros != 9 {
+		t.Errorf("keeping inversion: zeros = %d, want 9 (8 data + DBI)", keep.Zeros)
+	}
+	release := BeatCost(prev, 0x00, false) // wire 0x00, DBI rises
+	if release.Transitions != 1 {
+		t.Errorf("releasing inversion: transitions = %d, want 1", release.Transitions)
+	}
+	if release.Zeros != 8 {
+		t.Errorf("releasing inversion: zeros = %d, want 8", release.Zeros)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	s := Advance(InitialLineState, 0x8E, false)
+	if s.Data != 0x8E || !s.DBI {
+		t.Errorf("Advance plain = %+v", s)
+	}
+	s = Advance(s, 0x8E, true)
+	if s.Data != 0x71 || s.DBI {
+		t.Errorf("Advance inverted = %+v", s)
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{Zeros: 3, Transitions: 5}
+	b := Cost{Zeros: 2, Transitions: 1}
+	if got := a.Add(b); got != (Cost{Zeros: 5, Transitions: 6}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Weighted(2, 10); got != 40 {
+		t.Errorf("Weighted = %g, want 40", got)
+	}
+}
+
+func TestCostDominates(t *testing.T) {
+	cases := []struct {
+		a, b Cost
+		want bool
+	}{
+		{Cost{1, 1}, Cost{2, 2}, true},
+		{Cost{1, 2}, Cost{2, 1}, false},
+		{Cost{1, 1}, Cost{1, 1}, false}, // equal: no strict improvement
+		{Cost{1, 1}, Cost{1, 2}, true},
+		{Cost{2, 2}, Cost{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%+v.Dominates(%+v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBurstCloneEqual(t *testing.T) {
+	b := Burst{1, 2, 3}
+	c := b.Clone()
+	if !b.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = 9
+	if b.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+	if b.Equal(Burst{1, 2}) {
+		t.Fatal("length mismatch reported equal")
+	}
+}
+
+func TestApplyDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(16)
+		b := make(Burst, n)
+		inv := make([]bool, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+			inv[i] = rng.Intn(2) == 0
+		}
+		w := Apply(b, inv)
+		if got := w.Decode(); !got.Equal(b) {
+			t.Fatalf("decode(apply(b)) != b: %v vs %v", got, b)
+		}
+		gotInv := w.Inverted()
+		for i := range inv {
+			if gotInv[i] != inv[i] {
+				t.Fatalf("Inverted()[%d] = %v, want %v", i, gotInv[i], inv[i])
+			}
+		}
+	}
+}
+
+func TestApplyPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Apply(Burst{1, 2}, []bool{true})
+}
+
+func TestWireCostMatchesBeatCosts(t *testing.T) {
+	// The wire-level recount must equal the sum of per-beat costs.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		b := make(Burst, n)
+		inv := make([]bool, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+			inv[i] = rng.Intn(2) == 0
+		}
+		var want Cost
+		s := InitialLineState
+		for i := range b {
+			want = want.Add(BeatCost(s, b[i], inv[i]))
+			s = Advance(s, b[i], inv[i])
+		}
+		w := Apply(b, inv)
+		if got := w.Cost(InitialLineState); got != want {
+			t.Fatalf("wire cost %+v != summed beat costs %+v", got, want)
+		}
+		if fs := w.FinalState(InitialLineState); fs != s {
+			t.Fatalf("final state %+v != advanced state %+v", fs, s)
+		}
+	}
+}
+
+func TestWireFinalStateEmpty(t *testing.T) {
+	var w Wire
+	if got := w.FinalState(InitialLineState); got != InitialLineState {
+		t.Errorf("empty wire final state = %+v", got)
+	}
+}
+
+func TestWireString(t *testing.T) {
+	w := Apply(Burst{0x8E, 0x8E}, []bool{false, true})
+	want := "10001110/1 01110001/0"
+	if got := w.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSplitMergeLanes(t *testing.T) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for _, lanes := range []int{1, 2, 4, 8} {
+		f, err := SplitLanes(data, lanes)
+		if err != nil {
+			t.Fatalf("SplitLanes(%d): %v", lanes, err)
+		}
+		if f.Lanes() != lanes || f.Beats() != 64/lanes {
+			t.Fatalf("geometry %dx%d", f.Lanes(), f.Beats())
+		}
+		// Beat-major: beat t, lane l carries data[t*lanes+l].
+		if f[0][1] != data[lanes] {
+			t.Errorf("lanes=%d: f[0][1] = %d, want %d", lanes, f[0][1], data[lanes])
+		}
+		back := MergeLanes(f)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatalf("lanes=%d: merge mismatch at %d", lanes, i)
+			}
+		}
+	}
+}
+
+func TestSplitLanesErrors(t *testing.T) {
+	if _, err := SplitLanes(make([]byte, 10), 4); err == nil {
+		t.Error("expected error for non-multiple length")
+	}
+	if _, err := SplitLanes(nil, 0); err == nil {
+		t.Error("expected error for zero lanes")
+	}
+	if _, err := SplitLanes(nil, -1); err == nil {
+		t.Error("expected error for negative lanes")
+	}
+}
+
+func TestNewFrameStates(t *testing.T) {
+	s := NewFrameStates(4)
+	if len(s) != 4 {
+		t.Fatalf("got %d lanes", len(s))
+	}
+	for i, st := range s {
+		if st != InitialLineState {
+			t.Errorf("lane %d state = %+v", i, st)
+		}
+	}
+}
+
+func TestNewFrame(t *testing.T) {
+	f := NewFrame(3, 8)
+	if f.Lanes() != 3 || f.Beats() != 8 {
+		t.Fatalf("geometry %dx%d", f.Lanes(), f.Beats())
+	}
+	f[0][7] = 1 // must not spill into lane 1 (full slice expressions)
+	if f[1][0] != 0 {
+		t.Error("lane storage aliases across lanes")
+	}
+	var empty Frame
+	if empty.Beats() != 0 {
+		t.Error("empty frame beats != 0")
+	}
+}

@@ -1,0 +1,67 @@
+package bus
+
+import "fmt"
+
+// WireError identifies one single-bit error on the link: a beat index and a
+// wire index, where wires 0..7 are the DQ lines (bit position within the
+// byte) and wire 8 is the DBI line.
+type WireError struct {
+	Beat int
+	Wire int // 0..7 = DQ bit, 8 = DBI
+}
+
+// DBIWire is the wire index of the DBI line in a WireError.
+const DBIWire = 8
+
+// Validate reports an error for out-of-range coordinates against a wire
+// image of the given length.
+func (e WireError) Validate(beats int) error {
+	if e.Beat < 0 || e.Beat >= beats {
+		return fmt.Errorf("bus: error beat %d out of range [0, %d)", e.Beat, beats)
+	}
+	if e.Wire < 0 || e.Wire >= WiresPerLane {
+		return fmt.Errorf("bus: error wire %d out of range [0, %d)", e.Wire, WiresPerLane)
+	}
+	return nil
+}
+
+// Inject returns a copy of w with the addressed wire sample flipped —
+// the model of a single sampling error at the receiver. The error
+// containment of DBI coding follows directly from the wire semantics:
+//
+//   - a DQ-wire error corrupts exactly one payload bit of one beat;
+//   - a DBI-wire error inverts the entire decoded byte of that beat (all
+//     eight bits), because the receiver re-inverts based on the corrupted
+//     DBI sample.
+//
+// Neither propagates to any other beat: DBI decoding is stateless per
+// beat, which is what keeps analog/approximate encoder implementations
+// safe (the encoding decision can be wrong, the decode cannot).
+func (w Wire) Inject(e WireError) (Wire, error) {
+	if err := e.Validate(w.Len()); err != nil {
+		return Wire{}, err
+	}
+	out := Wire{Data: append([]byte(nil), w.Data...), DBI: append([]bool(nil), w.DBI...)}
+	if e.Wire == DBIWire {
+		out.DBI[e.Beat] = !out.DBI[e.Beat]
+	} else {
+		out.Data[e.Beat] ^= 1 << e.Wire
+	}
+	return out, nil
+}
+
+// ErrorImpact decodes both the clean and the corrupted wire image and
+// returns, per beat, the number of payload bits that differ — the
+// containment profile of the error.
+func ErrorImpact(clean, corrupted Wire) ([]int, error) {
+	if clean.Len() != corrupted.Len() {
+		return nil, fmt.Errorf("bus: wire images differ in length: %d vs %d", clean.Len(), corrupted.Len())
+	}
+	a := clean.Decode()
+	b := corrupted.Decode()
+	impact := make([]int, len(a))
+	for i := range a {
+		impact[i] = Transitions(a[i], b[i])
+	}
+	return impact, nil
+}

@@ -1,0 +1,114 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInjectDQErrorFlipsOneBit: a data-wire error corrupts exactly one
+// payload bit of exactly one beat.
+func TestInjectDQErrorFlipsOneBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		b := make(Burst, n)
+		inv := make([]bool, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+			inv[i] = rng.Intn(2) == 0
+		}
+		w := Apply(b, inv)
+		e := WireError{Beat: rng.Intn(n), Wire: rng.Intn(8)}
+		corrupted, err := w.Inject(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impact, err := ErrorImpact(w, corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for beat, bits := range impact {
+			want := 0
+			if beat == e.Beat {
+				want = 1
+			}
+			if bits != want {
+				t.Fatalf("DQ error at %+v: beat %d has %d corrupted bits, want %d", e, beat, bits, want)
+			}
+		}
+	}
+}
+
+// TestInjectDBIErrorInvertsByte: a DBI-wire error inverts all eight bits of
+// that beat and touches nothing else — the worst-case containment of DBI.
+func TestInjectDBIErrorInvertsByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		b := make(Burst, n)
+		inv := make([]bool, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+			inv[i] = rng.Intn(2) == 0
+		}
+		w := Apply(b, inv)
+		e := WireError{Beat: rng.Intn(n), Wire: DBIWire}
+		corrupted, err := w.Inject(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impact, err := ErrorImpact(w, corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for beat, bits := range impact {
+			want := 0
+			if beat == e.Beat {
+				want = 8
+			}
+			if bits != want {
+				t.Fatalf("DBI error at beat %d: beat %d has %d corrupted bits, want %d", e.Beat, beat, bits, want)
+			}
+		}
+	}
+}
+
+// TestInjectDoesNotAliasOriginal: injection must not mutate the clean wire.
+func TestInjectDoesNotAliasOriginal(t *testing.T) {
+	w := Apply(Burst{0x12, 0x34}, []bool{false, true})
+	before := w.String()
+	if _, err := w.Inject(WireError{Beat: 1, Wire: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Inject(WireError{Beat: 0, Wire: DBIWire}); err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != before {
+		t.Error("Inject mutated the original wire image")
+	}
+}
+
+// TestInjectValidation covers coordinate checking.
+func TestInjectValidation(t *testing.T) {
+	w := Apply(Burst{0x12}, []bool{false})
+	bad := []WireError{
+		{Beat: -1, Wire: 0},
+		{Beat: 1, Wire: 0},
+		{Beat: 0, Wire: -1},
+		{Beat: 0, Wire: 9},
+	}
+	for _, e := range bad {
+		if _, err := w.Inject(e); err == nil {
+			t.Errorf("Inject(%+v) accepted", e)
+		}
+	}
+}
+
+// TestErrorImpactLengthMismatch guards the comparison.
+func TestErrorImpactLengthMismatch(t *testing.T) {
+	a := Apply(Burst{1}, []bool{false})
+	b := Apply(Burst{1, 2}, []bool{false, false})
+	if _, err := ErrorImpact(a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

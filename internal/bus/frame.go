@@ -1,0 +1,78 @@
+package bus
+
+import "fmt"
+
+// Frame is the payload of one burst on a bus wider than one byte lane, for
+// example a x32 GDDR5 device (4 byte lanes) or a 64-bit DDR4 channel
+// (8 byte lanes). Each lane carries its own DBI wire and is encoded
+// independently; Frame groups the per-lane bursts.
+//
+// Frame[l][t] is the byte on lane l at beat t.
+type Frame []Burst
+
+// NewFrame allocates a frame of the given geometry with zeroed payload.
+func NewFrame(lanes, beats int) Frame {
+	f := make(Frame, lanes)
+	buf := make([]byte, lanes*beats)
+	for l := range f {
+		f[l] = Burst(buf[l*beats : (l+1)*beats : (l+1)*beats])
+	}
+	return f
+}
+
+// Lanes returns the number of byte lanes in the frame.
+func (f Frame) Lanes() int { return len(f) }
+
+// Beats returns the burst length, or zero for an empty frame.
+func (f Frame) Beats() int {
+	if len(f) == 0 {
+		return 0
+	}
+	return len(f[0])
+}
+
+// SplitLanes distributes a flat data block across lanes in the beat-major
+// order used by memory channels: on each beat, lane l carries byte
+// data[beat*lanes+l]. len(data) must be a multiple of lanes.
+func SplitLanes(data []byte, lanes int) (Frame, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("bus: lane count must be positive, got %d", lanes)
+	}
+	if len(data)%lanes != 0 {
+		return nil, fmt.Errorf("bus: data length %d is not a multiple of %d lanes", len(data), lanes)
+	}
+	beats := len(data) / lanes
+	f := NewFrame(lanes, beats)
+	for t := 0; t < beats; t++ {
+		for l := 0; l < lanes; l++ {
+			f[l][t] = data[t*lanes+l]
+		}
+	}
+	return f, nil
+}
+
+// MergeLanes is the inverse of SplitLanes: it reassembles the flat data
+// block from the per-lane bursts.
+func MergeLanes(f Frame) []byte {
+	lanes := f.Lanes()
+	beats := f.Beats()
+	data := make([]byte, lanes*beats)
+	for t := 0; t < beats; t++ {
+		for l := 0; l < lanes; l++ {
+			data[t*lanes+l] = f[l][t]
+		}
+	}
+	return data
+}
+
+// FrameStates holds the per-lane line states of a multi-lane bus.
+type FrameStates []LineState
+
+// NewFrameStates returns the idle (all-ones) state for every lane.
+func NewFrameStates(lanes int) FrameStates {
+	s := make(FrameStates, lanes)
+	for i := range s {
+		s[i] = InitialLineState
+	}
+	return s
+}

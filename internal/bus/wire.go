@@ -1,0 +1,112 @@
+package bus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wire is the wire-level image of one encoded burst on a byte lane: for each
+// beat, the byte actually driven on the DQ wires and the level of the DBI
+// wire. A Wire is what travels over the link and what the receiving device
+// sees; Decode recovers the payload from it.
+type Wire struct {
+	Data []byte // per-beat DQ values (already inverted where DBI is low)
+	DBI  []bool // per-beat DBI wire level; true = non-inverted
+}
+
+// Apply produces the wire-level image of transmitting burst b with the given
+// per-beat inversion pattern. inverted must have the same length as b.
+func Apply(b Burst, inverted []bool) Wire {
+	if len(inverted) != len(b) {
+		panic(fmt.Sprintf("bus: inversion pattern length %d != burst length %d", len(inverted), len(b)))
+	}
+	w := Wire{Data: make([]byte, len(b)), DBI: make([]bool, len(b))}
+	for i, v := range b {
+		if inverted[i] {
+			w.Data[i] = ^v
+			w.DBI[i] = false
+		} else {
+			w.Data[i] = v
+			w.DBI[i] = true
+		}
+	}
+	return w
+}
+
+// Len returns the number of beats.
+func (w Wire) Len() int { return len(w.Data) }
+
+// Decode recovers the payload burst from the wire image, exactly as a
+// DBI-aware receiver does: beats whose DBI wire is low are re-inverted.
+func (w Wire) Decode() Burst {
+	b := make(Burst, len(w.Data))
+	for i, v := range w.Data {
+		if w.DBI[i] {
+			b[i] = v
+		} else {
+			b[i] = ^v
+		}
+	}
+	return b
+}
+
+// Inverted returns the per-beat inversion pattern encoded on the DBI wire.
+func (w Wire) Inverted() []bool {
+	inv := make([]bool, len(w.DBI))
+	for i, d := range w.DBI {
+		inv[i] = !d
+	}
+	return inv
+}
+
+// Cost returns the exact zero and transition counts of this wire image given
+// the lane state prior to the burst. This is the ground-truth accounting all
+// encoders are measured by.
+func (w Wire) Cost(prev LineState) Cost {
+	var c Cost
+	s := prev
+	for i, v := range w.Data {
+		c.Zeros += Zeros(v)
+		if !w.DBI[i] {
+			c.Zeros++
+		}
+		c.Transitions += Transitions(s.Data, v)
+		dbi := 0
+		if w.DBI[i] {
+			dbi = 1
+		}
+		if dbi != s.dbiWire() {
+			c.Transitions++
+		}
+		s = LineState{Data: v, DBI: w.DBI[i]}
+	}
+	return c
+}
+
+// FinalState returns the lane state after the last beat, or prev when the
+// wire image is empty. This state must seed the encoding of the next burst
+// on the same lane.
+func (w Wire) FinalState(prev LineState) LineState {
+	if len(w.Data) == 0 {
+		return prev
+	}
+	last := len(w.Data) - 1
+	return LineState{Data: w.Data[last], DBI: w.DBI[last]}
+}
+
+// String renders the wire image beat by beat, most significant bit first,
+// with the DBI level appended after a slash, e.g. "01110001/0".
+func (w Wire) String() string {
+	var sb strings.Builder
+	for i, v := range w.Data {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		dbi := byte('1')
+		if !w.DBI[i] {
+			dbi = '0'
+		}
+		fmt.Fprintf(&sb, "%08b/%c", v, dbi)
+	}
+	return sb.String()
+}

@@ -1,0 +1,312 @@
+package dbi
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// allEncoders returns one instance of every scheme, weighted schemes at a
+// representative weight.
+func allEncoders() []Encoder {
+	return []Encoder{
+		Raw{},
+		DC{},
+		AC{},
+		ACDC{},
+		Greedy{Weights: Weights{Alpha: 0.4, Beta: 0.6}},
+		Opt{Weights: Weights{Alpha: 0.4, Beta: 0.6}},
+		OptFixed(),
+		Quantized{Alpha: 3, Beta: 5},
+		Exhaustive{Weights: Weights{Alpha: 0.4, Beta: 0.6}},
+	}
+}
+
+func randomBurst(rng *rand.Rand, n int) bus.Burst {
+	b := make(bus.Burst, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+func randomState(rng *rand.Rand) bus.LineState {
+	return bus.LineState{Data: byte(rng.Intn(256)), DBI: rng.Intn(2) == 0}
+}
+
+// TestDecodeRoundTrip checks the fundamental DBI property for every scheme:
+// the receiver recovers the payload exactly from the wire image.
+func TestDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, enc := range allEncoders() {
+		for trial := 0; trial < 100; trial++ {
+			b := randomBurst(rng, 1+rng.Intn(10))
+			prev := randomState(rng)
+			w := EncodeWire(enc, prev, b)
+			if got := w.Decode(); !got.Equal(b) {
+				t.Fatalf("%s: decode mismatch: got %v want %v", enc.Name(), got, b)
+			}
+		}
+	}
+}
+
+// TestEncodeLength checks that every scheme returns one flag per beat,
+// including for empty bursts.
+func TestEncodeLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, enc := range allEncoders() {
+		for _, n := range []int{0, 1, 2, 8, 13} {
+			inv := enc.Encode(bus.InitialLineState, randomBurst(rng, n))
+			if len(inv) != n {
+				t.Errorf("%s: %d flags for %d beats", enc.Name(), len(inv), n)
+			}
+		}
+	}
+}
+
+// TestRawNeverInverts pins the baseline.
+func TestRawNeverInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := randomBurst(rng, 8)
+	for _, f := range (Raw{}).Encode(bus.InitialLineState, b) {
+		if f {
+			t.Fatal("RAW inverted a beat")
+		}
+	}
+}
+
+// TestDCRule pins the JEDEC rule byte by byte: invert iff >= 5 zeros.
+func TestDCRule(t *testing.T) {
+	for v := 0; v < 256; v++ {
+		inv := (DC{}).Encode(bus.InitialLineState, bus.Burst{byte(v)})
+		want := bus.Zeros(byte(v)) >= 5
+		if inv[0] != want {
+			t.Errorf("DC(%#02x): inverted=%v, want %v (zeros=%d)", v, inv[0], want, bus.Zeros(byte(v)))
+		}
+	}
+}
+
+// TestDCZeroBound verifies the scheme's guarantee: after DC coding no beat
+// ever drives more than four zeros onto the nine wires.
+func TestDCZeroBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		b := randomBurst(rng, 8)
+		w := EncodeWire(DC{}, bus.InitialLineState, b)
+		for i := range w.Data {
+			zeros := bus.Zeros(w.Data[i])
+			if !w.DBI[i] {
+				zeros++
+			}
+			if zeros > 4 {
+				t.Fatalf("beat %d of %v drives %d zeros", i, b, zeros)
+			}
+		}
+	}
+}
+
+// TestACTransitionBound verifies DBI AC's guarantee: no beat ever toggles
+// more than four of the nine wires (min(t, 9-t) <= 4).
+func TestACTransitionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		b := randomBurst(rng, 8)
+		prev := randomState(rng)
+		w := EncodeWire(AC{}, prev, b)
+		s := prev
+		for i := range w.Data {
+			tr := bus.Transitions(s.Data, w.Data[i])
+			dbi := 0
+			if w.DBI[i] {
+				dbi = 1
+			}
+			prevDBI := 0
+			if s.DBI {
+				prevDBI = 1
+			}
+			if dbi != prevDBI {
+				tr++
+			}
+			if tr > 4 {
+				t.Fatalf("beat %d toggles %d wires", i, tr)
+			}
+			s = bus.LineState{Data: w.Data[i], DBI: w.DBI[i]}
+		}
+	}
+}
+
+// TestACGreedyPerBeatMinimum verifies each AC decision is the per-beat
+// transition minimiser with non-inverted tie-breaking.
+func TestACGreedyPerBeatMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		prev := randomState(rng)
+		inv := (AC{}).Encode(prev, b)
+		s := prev
+		for i, v := range b {
+			plain := bus.BeatCost(s, v, false).Transitions
+			flipped := bus.BeatCost(s, v, true).Transitions
+			want := flipped < plain
+			if inv[i] != want {
+				t.Fatalf("beat %d: inverted=%v, want %v (plain=%d flipped=%d)", i, inv[i], want, plain, flipped)
+			}
+			s = bus.Advance(s, v, inv[i])
+		}
+	}
+}
+
+// TestACDCMatchesACFromIdle reproduces the paper's observation that, under
+// the all-ones boundary condition, DBI ACDC encodes identically to DBI AC.
+func TestACDCMatchesACFromIdle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		b := randomBurst(rng, 8)
+		acdc := (ACDC{}).Encode(bus.InitialLineState, b)
+		ac := (AC{}).Encode(bus.InitialLineState, b)
+		for i := range b {
+			if acdc[i] != ac[i] {
+				t.Fatalf("burst %v: ACDC and AC diverge at beat %d", b, i)
+			}
+		}
+	}
+}
+
+// TestACDCFirstByteUsesDCRule pins the hybrid's defining property with a
+// prior state where AC and DC would disagree on the first byte.
+func TestACDCFirstByteUsesDCRule(t *testing.T) {
+	// Byte 0x07 has 5 zeros, so DC inverts it. From prev state 0x07 the AC
+	// rule would not invert (zero transitions plain vs 9 inverted).
+	prev := bus.LineState{Data: 0x07, DBI: true}
+	b := bus.Burst{0x07, 0x07}
+	inv := (ACDC{}).Encode(prev, b)
+	if !inv[0] {
+		t.Error("ACDC first byte did not follow the DC rule")
+	}
+	acInv := (AC{}).Encode(prev, b)
+	if acInv[0] {
+		t.Error("AC unexpectedly inverted; test premise broken")
+	}
+}
+
+// TestACDCEmptyBurst guards the length-zero path.
+func TestACDCEmptyBurst(t *testing.T) {
+	if got := (ACDC{}).Encode(bus.InitialLineState, nil); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+// TestGreedyPerBeatMinimum verifies Greedy minimises the weighted cost of
+// each beat in isolation.
+func TestGreedyPerBeatMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := Greedy{Weights: Weights{Alpha: 0.3, Beta: 0.7}}
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		prev := randomState(rng)
+		inv := g.Encode(prev, b)
+		s := prev
+		for i, v := range b {
+			plain := g.Weights.Cost(bus.BeatCost(s, v, false))
+			flipped := g.Weights.Cost(bus.BeatCost(s, v, true))
+			want := flipped < plain
+			if inv[i] != want {
+				t.Fatalf("beat %d: inverted=%v, want %v", i, inv[i], want)
+			}
+			s = bus.Advance(s, v, inv[i])
+		}
+	}
+}
+
+// TestGreedyDegeneratesToAC checks that with beta=0 the weighted greedy
+// scheme makes exactly the AC decisions.
+func TestGreedyDegeneratesToAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := Greedy{Weights: Weights{Alpha: 1, Beta: 0}}
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		prev := randomState(rng)
+		gi := g.Encode(prev, b)
+		ai := (AC{}).Encode(prev, b)
+		for i := range b {
+			if gi[i] != ai[i] {
+				t.Fatalf("diverge at beat %d of %v", i, b)
+			}
+		}
+	}
+}
+
+// TestWeightsValidate covers the weight sanity checks.
+func TestWeightsValidate(t *testing.T) {
+	ok := []Weights{{1, 1}, {0, 1}, {1, 0}, {0.3, 0.7}}
+	for _, w := range ok {
+		if err := w.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", w, err)
+		}
+	}
+	nan := 0.0
+	nan /= nan
+	bad := []Weights{{0, 0}, {-1, 1}, {1, -1}, {nan, 1}, {1, nan}}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", w)
+		}
+	}
+}
+
+// TestNewByName covers the scheme registry.
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		enc, err := New(name, FixedWeights)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if enc == nil {
+			t.Errorf("New(%q) returned nil", name)
+		}
+	}
+	if _, err := New("BOGUS", FixedWeights); err == nil {
+		t.Error("New(BOGUS) should fail")
+	}
+	if _, err := New("OPT", Weights{}); err == nil {
+		t.Error("New(OPT) with zero weights should fail")
+	}
+	if _, err := New("GREEDY", Weights{}); err == nil {
+		t.Error("New(GREEDY) with zero weights should fail")
+	}
+	if _, err := New("EXHAUSTIVE", Weights{}); err == nil {
+		t.Error("New(EXHAUSTIVE) with zero weights should fail")
+	}
+}
+
+// TestNames pins the registry contents.
+func TestNames(t *testing.T) {
+	if len(Names()) != 8 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+// TestEncoderNames pins the presentation names used in reports.
+func TestEncoderNames(t *testing.T) {
+	cases := []struct {
+		enc  Encoder
+		want string
+	}{
+		{Raw{}, "RAW"},
+		{DC{}, "DBI DC"},
+		{AC{}, "DBI AC"},
+		{ACDC{}, "DBI ACDC"},
+		{Greedy{}, "DBI GREEDY"},
+		{Opt{Weights: Weights{0.5, 0.5}}, "DBI OPT"},
+		{OptFixed(), "DBI OPT (Fixed)"},
+		{Quantized{Alpha: 1, Beta: 1}, "DBI OPT (3-Bit Coeff.)"},
+		{Exhaustive{}, "DBI EXHAUSTIVE"},
+	}
+	for _, c := range cases {
+		if got := c.enc.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

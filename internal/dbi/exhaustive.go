@@ -1,0 +1,110 @@
+package dbi
+
+import (
+	"fmt"
+
+	"dbiopt/internal/bus"
+)
+
+// Exhaustive is a brute-force reference encoder: it evaluates every one of
+// the 2^n inversion patterns of an n-beat burst and returns the cheapest
+// under its weights. It exists to validate Opt (the two must always agree on
+// cost) and is limited to bursts of at most 24 beats.
+type Exhaustive struct {
+	Weights Weights
+}
+
+// MaxExhaustiveBeats bounds the burst length Exhaustive accepts.
+const MaxExhaustiveBeats = 24
+
+// Name implements Encoder.
+func (Exhaustive) Name() string { return "DBI EXHAUSTIVE" }
+
+// Encode implements Encoder.
+func (e Exhaustive) Encode(prev bus.LineState, b bus.Burst) []bool {
+	n := len(b)
+	if n > MaxExhaustiveBeats {
+		panic(fmt.Sprintf("dbi: exhaustive search over %d beats (max %d)", n, MaxExhaustiveBeats))
+	}
+	best := make([]bool, n)
+	if n == 0 {
+		return best
+	}
+	bestCost := e.patternCost(prev, b, 0)
+	pattern := make([]bool, n)
+	for mask := uint32(1); mask < uint32(1)<<n; mask++ {
+		c := e.patternCost(prev, b, mask)
+		if c < bestCost {
+			bestCost = c
+			for i := range pattern {
+				pattern[i] = mask&(1<<i) != 0
+			}
+			copy(best, pattern)
+		}
+	}
+	return best
+}
+
+func (e Exhaustive) patternCost(prev bus.LineState, b bus.Burst, mask uint32) float64 {
+	var total float64
+	s := prev
+	for i, v := range b {
+		inverted := mask&(1<<i) != 0
+		total += e.Weights.Cost(bus.BeatCost(s, v, inverted))
+		s = bus.Advance(s, v, inverted)
+	}
+	return total
+}
+
+// ParetoFront enumerates every inversion pattern of b (subject to
+// MaxExhaustiveBeats) and returns the Pareto-optimal set of (zeros,
+// transitions) outcomes, sorted by ascending zeros. These are exactly the
+// encodings reachable by Opt for some weight ratio, plus any unsupported
+// points of the trade-off curve; for the paper's Fig. 2 example the set is
+// {(26,42), (27,28), (28,24), (29,23), (43,22)}.
+func ParetoFront(prev bus.LineState, b bus.Burst) []bus.Cost {
+	n := len(b)
+	if n > MaxExhaustiveBeats {
+		panic(fmt.Sprintf("dbi: pareto enumeration over %d beats (max %d)", n, MaxExhaustiveBeats))
+	}
+	// Collect all distinct outcomes.
+	seen := make(map[bus.Cost]struct{})
+	inverted := make([]bool, n)
+	for mask := uint32(0); mask < uint32(1)<<n; mask++ {
+		for i := range inverted {
+			inverted[i] = mask&(1<<i) != 0
+		}
+		c := bus.Apply(b, inverted).Cost(prev)
+		seen[c] = struct{}{}
+	}
+	var points []bus.Cost
+	for c := range seen {
+		dominated := false
+		for o := range seen {
+			if o.Dominates(c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			points = append(points, c)
+		}
+	}
+	sortCosts(points)
+	return points
+}
+
+func sortCosts(cs []bus.Cost) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func less(a, b bus.Cost) bool {
+	if a.Zeros != b.Zeros {
+		return a.Zeros < b.Zeros
+	}
+	return a.Transitions < b.Transitions
+}

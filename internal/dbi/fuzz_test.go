@@ -1,0 +1,74 @@
+package dbi
+
+import (
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// Fuzz targets complement the property tests: `go test` runs the seed
+// corpus as ordinary tests, and `go test -fuzz=FuzzX` explores further.
+
+// FuzzDecodeRoundTrip: for arbitrary payloads and prior states, every
+// scheme's wire image decodes back to the payload.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	f.Add([]byte{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}, byte(0xFF), true)
+	f.Add([]byte{}, byte(0), false)
+	f.Add([]byte{0x00, 0xFF, 0x00, 0xFF}, byte(0xAA), false)
+	f.Fuzz(func(t *testing.T, payload []byte, prevData byte, prevDBI bool) {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		prev := bus.LineState{Data: prevData, DBI: prevDBI}
+		b := bus.Burst(payload)
+		for _, enc := range []Encoder{Raw{}, DC{}, AC{}, ACDC{}, OptFixed(), Quantized{Alpha: 2, Beta: 3}} {
+			w := EncodeWire(enc, prev, b)
+			if got := w.Decode(); !got.Equal(b) {
+				t.Fatalf("%s: decode mismatch on %v", enc.Name(), payload)
+			}
+		}
+	})
+}
+
+// FuzzOptMatchesExhaustive: the trellis optimum equals brute force on
+// arbitrary short bursts and integer weight ratios.
+func FuzzOptMatchesExhaustive(f *testing.F) {
+	f.Add([]byte{0x8E, 0x86, 0x96}, uint8(1), uint8(1))
+	f.Add([]byte{0x00, 0xFF}, uint8(7), uint8(0))
+	f.Add([]byte{0x55, 0xAA, 0x55, 0xAA, 0x55}, uint8(0), uint8(7))
+	f.Fuzz(func(t *testing.T, payload []byte, qa, qb uint8) {
+		if len(payload) == 0 || len(payload) > 10 {
+			return
+		}
+		alpha := float64(qa%8) + 0.5
+		beta := float64(qb%8) + 0.5
+		w := Weights{Alpha: alpha, Beta: beta}
+		b := bus.Burst(payload)
+		oc := w.Cost(CostOf(Opt{Weights: w}, bus.InitialLineState, b))
+		ec := w.Cost(CostOf(Exhaustive{Weights: w}, bus.InitialLineState, b))
+		if d := oc - ec; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("opt %g != exhaustive %g on %v (w=%+v)", oc, ec, payload, w)
+		}
+	})
+}
+
+// FuzzOptNeverWorseThanBaselines: optimality against the per-byte schemes
+// for arbitrary payloads.
+func FuzzOptNeverWorseThanBaselines(f *testing.F) {
+	f.Add([]byte{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		b := bus.Burst(payload)
+		w := FixedWeights
+		opt := w.Cost(CostOf(OptFixed(), bus.InitialLineState, b))
+		for _, enc := range []Encoder{Raw{}, DC{}, AC{}, ACDC{}, Greedy{Weights: w}} {
+			c := w.Cost(CostOf(enc, bus.InitialLineState, b))
+			if opt > c+1e-9 {
+				t.Fatalf("OPT (%g) worse than %s (%g) on %v", opt, enc.Name(), c, payload)
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package dbi
+
+import (
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// fig2Burst is the worked example of the paper's Fig. 2.
+var fig2Burst = bus.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+
+// TestFig2DC reproduces the paper's DBI DC outcome on the Fig. 2 example:
+// an encoding with 26 zeros and 42 transitions.
+func TestFig2DC(t *testing.T) {
+	c := CostOf(DC{}, bus.InitialLineState, fig2Burst)
+	if c != (bus.Cost{Zeros: 26, Transitions: 42}) {
+		t.Errorf("DBI DC on Fig. 2 example = %+v, want {26 42}", c)
+	}
+}
+
+// TestFig2AC reproduces the paper's DBI AC outcome: 43 zeros and 22
+// transitions.
+func TestFig2AC(t *testing.T) {
+	c := CostOf(AC{}, bus.InitialLineState, fig2Burst)
+	if c != (bus.Cost{Zeros: 43, Transitions: 22}) {
+		t.Errorf("DBI AC on Fig. 2 example = %+v, want {43 22}", c)
+	}
+}
+
+// TestFig2Opt reproduces the optimal alpha=beta=1 cost of 52 (versus 68 for
+// DC and 65 for AC). Two Pareto points share that total — the paper's
+// (28,24) and its neighbour (29,23) — so the DP may legally return either;
+// the optimal total is what the paper claims.
+func TestFig2Opt(t *testing.T) {
+	c := CostOf(OptFixed(), bus.InitialLineState, fig2Burst)
+	if total := c.Zeros + c.Transitions; total != 52 {
+		t.Errorf("DBI OPT(1,1) total cost = %d (%+v), want 52", total, c)
+	}
+	if c != (bus.Cost{Zeros: 28, Transitions: 24}) && c != (bus.Cost{Zeros: 29, Transitions: 23}) {
+		t.Errorf("DBI OPT(1,1) = %+v, want one of the cost-52 Pareto points", c)
+	}
+	dc := CostOf(DC{}, bus.InitialLineState, fig2Burst)
+	if dc.Zeros+dc.Transitions != 68 {
+		t.Errorf("DC total = %d, want 68", dc.Zeros+dc.Transitions)
+	}
+	ac := CostOf(AC{}, bus.InitialLineState, fig2Burst)
+	if ac.Zeros+ac.Transitions != 65 {
+		t.Errorf("AC total = %d, want 65", ac.Zeros+ac.Transitions)
+	}
+}
+
+// TestFig2Pareto reproduces the paper's complete Pareto set for the example:
+// the DC and AC corner points plus the three balanced encodings neither
+// conventional scheme can find.
+func TestFig2Pareto(t *testing.T) {
+	want := []bus.Cost{
+		{Zeros: 26, Transitions: 42},
+		{Zeros: 27, Transitions: 28},
+		{Zeros: 28, Transitions: 24},
+		{Zeros: 29, Transitions: 23},
+		{Zeros: 43, Transitions: 22},
+	}
+	got := ParetoFront(bus.InitialLineState, fig2Burst)
+	if len(got) != len(want) {
+		t.Fatalf("Pareto front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Pareto[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFig2ParetoReachableByOpt verifies that sweeping the weight ratio makes
+// Opt reach every point of the example's Pareto front, as the paper argues.
+func TestFig2ParetoReachableByOpt(t *testing.T) {
+	want := map[bus.Cost]bool{
+		{Zeros: 26, Transitions: 42}: false,
+		{Zeros: 27, Transitions: 28}: false,
+		{Zeros: 28, Transitions: 24}: false,
+		{Zeros: 29, Transitions: 23}: false,
+		{Zeros: 43, Transitions: 22}: false,
+	}
+	for i := 0; i <= 1000; i++ {
+		alpha := float64(i) / 1000
+		enc := Opt{Weights: Weights{Alpha: alpha, Beta: 1 - alpha}}
+		c := CostOf(enc, bus.InitialLineState, fig2Burst)
+		if _, ok := want[c]; !ok {
+			t.Fatalf("alpha=%.3f: Opt produced non-Pareto cost %+v", alpha, c)
+		}
+		want[c] = true
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Errorf("Pareto point %+v never produced by Opt over the weight sweep", c)
+		}
+	}
+}

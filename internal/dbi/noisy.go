@@ -1,0 +1,52 @@
+package dbi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbiopt/internal/bus"
+)
+
+// Noisy wraps another encoder and corrupts each inversion decision with a
+// fixed probability, modelling the analog encoder implementations the paper
+// points to (Ihm et al.'s GDDR4 analog DBI circuit, and the paper's own
+// conclusion that "additional optimization ... including partially analog
+// implementation are possible"). The key property of DBI that makes analog
+// implementations attractive is preserved and tested here: a wrong decision
+// wastes a little energy but can never corrupt data, because the DBI wire
+// always carries the decision that was actually taken.
+//
+// Unlike the other encoders Noisy is pseudo-random; it is deterministic for
+// a fixed seed, so experiments remain reproducible.
+type Noisy struct {
+	inner Encoder
+	p     float64
+	rng   *rand.Rand
+}
+
+// NewNoisy wraps inner with per-decision error probability p in [0, 1).
+func NewNoisy(inner Encoder, p float64, seed int64) (*Noisy, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("dbi: error probability must be in [0, 1), got %g", p)
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("dbi: noisy encoder needs an inner encoder")
+	}
+	return &Noisy{inner: inner, p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements Encoder.
+func (n *Noisy) Name() string {
+	return fmt.Sprintf("%s + analog noise p=%g", n.inner.Name(), n.p)
+}
+
+// Encode implements Encoder: the inner decision, occasionally flipped.
+func (n *Noisy) Encode(prev bus.LineState, b bus.Burst) []bool {
+	inv := n.inner.Encode(prev, b)
+	for i := range inv {
+		if n.rng.Float64() < n.p {
+			inv[i] = !inv[i]
+		}
+	}
+	return inv
+}

@@ -1,0 +1,125 @@
+package dbi
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// TestNoisyDecodeAlwaysCorrect is the property that makes analog DBI
+// encoders viable: however wrong the decisions, the receiver still recovers
+// the payload exactly, because the DBI wire carries the decision taken.
+func TestNoisyDecodeAlwaysCorrect(t *testing.T) {
+	inner := OptFixed()
+	noisy, err := NewNoisy(inner, 0.3, 1) // absurdly bad comparator
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		w := EncodeWire(noisy, bus.InitialLineState, b)
+		if got := w.Decode(); !got.Equal(b) {
+			t.Fatalf("noisy encoding corrupted data: %v vs %v", got, b)
+		}
+	}
+}
+
+// TestNoisyCostDegradesGracefully: small error probabilities cost little
+// energy; the expected excess scales with p.
+func TestNoisyCostDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	bursts := make([]bus.Burst, 800)
+	for i := range bursts {
+		bursts[i] = randomBurst(rng, 8)
+	}
+	mean := func(enc Encoder) float64 {
+		var sum float64
+		for _, b := range bursts {
+			sum += FixedWeights.Cost(CostOf(enc, bus.InitialLineState, b))
+		}
+		return sum / float64(len(bursts))
+	}
+	exact := mean(OptFixed())
+	small, err := NewNoisy(OptFixed(), 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewNoisy(OptFixed(), 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallCost := mean(small)
+	bigCost := mean(big)
+	if smallCost < exact-1e-9 {
+		t.Error("noise cannot beat the optimum")
+	}
+	// Each wrong decision wastes a few cost points on one beat, so 1%
+	// decision errors land near 1% energy excess — graceful, not
+	// catastrophic.
+	if smallCost > exact*1.02 {
+		t.Errorf("1%% decision errors cost %.2f%% extra energy — should stay near 1%%",
+			(smallCost/exact-1)*100)
+	}
+	if bigCost <= smallCost {
+		t.Errorf("more noise should cost more: p=0.2 gives %.3f, p=0.01 gives %.3f", bigCost, smallCost)
+	}
+}
+
+// TestNoisyDeterministicPerSeed: reproducibility for experiments.
+func TestNoisyDeterministicPerSeed(t *testing.T) {
+	b := bus.Burst{1, 2, 3, 4, 5, 6, 7, 8}
+	a1, _ := NewNoisy(DC{}, 0.5, 42)
+	a2, _ := NewNoisy(DC{}, 0.5, 42)
+	for trial := 0; trial < 20; trial++ {
+		x := a1.Encode(bus.InitialLineState, b)
+		y := a2.Encode(bus.InitialLineState, b)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+// TestNoisyValidation covers the constructor guards.
+func TestNoisyValidation(t *testing.T) {
+	if _, err := NewNoisy(DC{}, -0.1, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewNoisy(DC{}, 1.0, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := NewNoisy(nil, 0.1, 1); err == nil {
+		t.Error("nil inner accepted")
+	}
+	n, err := NewNoisy(DC{}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.Name(), "DBI DC") {
+		t.Errorf("Name = %q", n.Name())
+	}
+}
+
+// TestNoisyZeroPMatchesInner: p = 0 is the inner encoder exactly.
+func TestNoisyZeroPMatchesInner(t *testing.T) {
+	noisy, err := NewNoisy(AC{}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 100; trial++ {
+		b := randomBurst(rng, 8)
+		prev := randomState(rng)
+		x := noisy.Encode(prev, b)
+		y := (AC{}).Encode(prev, b)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatal("p=0 diverged from inner encoder")
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package dbi
+
+import "dbiopt/internal/bus"
+
+// Opt is the paper's optimal DBI encoder. It treats the choice of inversion
+// pattern as a shortest-path problem on a directed trellis: two nodes per
+// beat (byte transmitted inverted / non-inverted), edges weighted by the
+// cost alpha*transitions + beta*zeros of entering that node from each
+// predecessor, a virtual start node fixed at the prior line state, and the
+// cheaper of the two final nodes as the destination. Because each beat's
+// edge weights depend only on the previous beat's inversion choice, a
+// Viterbi-style dynamic program finds the global minimum in O(n) time with
+// two path registers, exactly the structure of the paper's Fig. 5 hardware.
+type Opt struct {
+	Weights Weights
+}
+
+// OptFixed returns the paper's "DBI OPT (Fixed)" scheme: the optimal
+// encoder with alpha = beta = 1, the coefficient choice that removes all
+// multipliers from the hardware implementation and, per the paper's Fig. 4,
+// costs almost nothing in coding efficiency.
+func OptFixed() Opt { return Opt{Weights: FixedWeights} }
+
+// Name implements Encoder.
+func (o Opt) Name() string {
+	if o.Weights == FixedWeights {
+		return "DBI OPT (Fixed)"
+	}
+	return "DBI OPT"
+}
+
+// Encode implements Encoder. It runs the forward dynamic program, recording
+// for every trellis node which predecessor achieved its minimum, then walks
+// the decisions backwards from the cheaper final node, exactly like the
+// backtracking mux chain at the bottom of the paper's Fig. 5.
+func (o Opt) Encode(prev bus.LineState, b bus.Burst) []bool {
+	n := len(b)
+	inv := make([]bool, n)
+	if n == 0 {
+		return inv
+	}
+
+	// fromInv[i][s] records whether the cheapest path into beat i's state s
+	// (s=0 plain, s=1 inverted) came from the inverted state of beat i-1.
+	fromInv := make([][2]bool, n)
+
+	// Path costs up to and including the current beat, for the two possible
+	// states of the current beat.
+	var costPlain, costInv float64
+
+	// First beat: both nodes are entered from the fixed prior line state.
+	costPlain = o.Weights.Cost(bus.BeatCost(prev, b[0], false))
+	costInv = o.Weights.Cost(bus.BeatCost(prev, b[0], true))
+
+	for i := 1; i < n; i++ {
+		v := b[i]
+		// The wire image of beat i-1 in each of its two states.
+		plainState := bus.Advance(prev, b[i-1], false)
+		invState := bus.Advance(prev, b[i-1], true)
+
+		// Edge weights of the four trellis edges into beat i.
+		ePlainPlain := o.Weights.Cost(bus.BeatCost(plainState, v, false))
+		eInvPlain := o.Weights.Cost(bus.BeatCost(invState, v, false))
+		ePlainInv := o.Weights.Cost(bus.BeatCost(plainState, v, true))
+		eInvInv := o.Weights.Cost(bus.BeatCost(invState, v, true))
+
+		nextPlain := costPlain + ePlainPlain
+		if c := costInv + eInvPlain; c < nextPlain {
+			nextPlain = c
+			fromInv[i][0] = true
+		}
+		nextInv := costPlain + ePlainInv
+		if c := costInv + eInvInv; c < nextInv {
+			nextInv = c
+			fromInv[i][1] = true
+		}
+		costPlain, costInv = nextPlain, nextInv
+	}
+
+	// Pick the cheaper final node; ties prefer non-inverted, matching the
+	// tie-breaking of the per-byte schemes.
+	state := costInv < costPlain
+	for i := n - 1; i >= 0; i-- {
+		inv[i] = state
+		if state {
+			state = fromInv[i][1]
+		} else {
+			state = fromInv[i][0]
+		}
+	}
+	return inv
+}
+
+// Note: bus.Advance ignores everything about prev except via the byte
+// payload, so computing beat i-1's two states from `prev` is exact: the
+// advanced state depends only on b[i-1] and the inversion flag.

@@ -1,0 +1,370 @@
+package dbi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbiopt/internal/bus"
+)
+
+// TestOptMatchesExhaustive is the central correctness property: the trellis
+// shortest path achieves exactly the cost of brute-force search over all
+// 2^n inversion patterns, for random bursts, prior states and weights.
+func TestOptMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(10)
+		b := randomBurst(rng, n)
+		prev := randomState(rng)
+		w := Weights{Alpha: rng.Float64(), Beta: rng.Float64()}
+		if w.Alpha == 0 && w.Beta == 0 {
+			w.Alpha = 1
+		}
+		opt := Opt{Weights: w}
+		ex := Exhaustive{Weights: w}
+		oc := w.Cost(CostOf(opt, prev, b))
+		ec := w.Cost(CostOf(ex, prev, b))
+		if diff := oc - ec; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("weights %+v burst %v prev %+v: opt cost %g != exhaustive %g", w, b, prev, oc, ec)
+		}
+	}
+}
+
+// TestOptNeverWorseThanAnyScheme: optimality means no other policy can beat
+// Opt on Opt's own objective.
+func TestOptNeverWorseThanAnyScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		prev := randomState(rng)
+		w := Weights{Alpha: rng.Float64(), Beta: 1}
+		opt := w.Cost(CostOf(Opt{Weights: w}, prev, b))
+		for _, enc := range []Encoder{Raw{}, DC{}, AC{}, ACDC{}, Greedy{Weights: w}} {
+			c := w.Cost(CostOf(enc, prev, b))
+			if opt > c+1e-9 {
+				t.Fatalf("Opt (%g) worse than %s (%g) on %v", opt, enc.Name(), c, b)
+			}
+		}
+	}
+}
+
+// TestOptAlphaZeroMatchesDC: the paper notes OPT with alpha=0, beta=1 is
+// identical to DBI DC (in cost; decisions may differ on ties).
+func TestOptAlphaZeroMatchesDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	w := Weights{Alpha: 0, Beta: 1}
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		oc := CostOf(Opt{Weights: w}, bus.InitialLineState, b)
+		dc := CostOf(DC{}, bus.InitialLineState, b)
+		if oc.Zeros != dc.Zeros {
+			t.Fatalf("burst %v: OPT(0,1) zeros %d != DC zeros %d", b, oc.Zeros, dc.Zeros)
+		}
+	}
+}
+
+// TestOptBetaZeroMatchesAC: with beta=0 the trellis minimises transitions;
+// greedy AC is also transition-optimal for a single lane because each
+// decision's effect is local (inverting both endpoints of a beat pair
+// preserves the XOR). The costs must agree.
+func TestOptBetaZeroMatchesAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	w := Weights{Alpha: 1, Beta: 0}
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		oc := CostOf(Opt{Weights: w}, bus.InitialLineState, b)
+		ac := CostOf(AC{}, bus.InitialLineState, b)
+		if oc.Transitions != ac.Transitions {
+			t.Fatalf("burst %v: OPT(1,0) transitions %d != AC transitions %d", b, oc.Transitions, ac.Transitions)
+		}
+	}
+}
+
+// TestOptEmptyAndSingle covers the degenerate burst lengths.
+func TestOptEmptyAndSingle(t *testing.T) {
+	o := OptFixed()
+	if got := o.Encode(bus.InitialLineState, nil); len(got) != 0 {
+		t.Errorf("empty burst: %v", got)
+	}
+	// Single byte: the optimal decision is the per-byte weighted minimum.
+	for v := 0; v < 256; v++ {
+		inv := o.Encode(bus.InitialLineState, bus.Burst{byte(v)})
+		plain := FixedWeights.Cost(bus.BeatCost(bus.InitialLineState, byte(v), false))
+		flipped := FixedWeights.Cost(bus.BeatCost(bus.InitialLineState, byte(v), true))
+		if inv[0] && flipped >= plain {
+			t.Errorf("byte %#02x: inverted but plain is not worse (%g vs %g)", v, plain, flipped)
+		}
+		if !inv[0] && plain > flipped {
+			t.Errorf("byte %#02x: not inverted but flipped is cheaper (%g vs %g)", v, plain, flipped)
+		}
+	}
+}
+
+// TestOptScaleInvariance: scaling both weights by a positive constant never
+// changes the achieved (zeros, transitions) cost.
+func TestOptScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 200; trial++ {
+		b := randomBurst(rng, 8)
+		alpha := rng.Float64()
+		w1 := Weights{Alpha: alpha, Beta: 1 - alpha}
+		w2 := Weights{Alpha: alpha * 37.5, Beta: (1 - alpha) * 37.5}
+		c1 := CostOf(Opt{Weights: w1}, bus.InitialLineState, b)
+		c2 := CostOf(Opt{Weights: w2}, bus.InitialLineState, b)
+		// Different tie-breaking could in principle pick a different
+		// optimal encoding, but the weighted cost must be identical.
+		if d := w1.Cost(c1) - w1.Cost(c2); d > 1e-9 || d < -1e-9 {
+			t.Fatalf("scaling changed optimal cost: %+v vs %+v", c1, c2)
+		}
+	}
+}
+
+// TestOptQuickProperty drives the optimality check through testing/quick's
+// input generation as well.
+func TestOptQuickProperty(t *testing.T) {
+	f := func(raw [8]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := Weights{Alpha: rng.Float64() + 0.001, Beta: rng.Float64() + 0.001}
+		b := bus.Burst(raw[:])
+		oc := w.Cost(CostOf(Opt{Weights: w}, bus.InitialLineState, b))
+		ec := w.Cost(CostOf(Exhaustive{Weights: w}, bus.InitialLineState, b))
+		return oc <= ec+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantizedMatchesOptSameRatio: integer coefficients with the same
+// ratio as float weights must achieve the same optimal cost.
+func TestQuantizedMatchesOptSameRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 200; trial++ {
+		b := randomBurst(rng, 8)
+		q := Quantized{Alpha: uint8(1 + rng.Intn(7)), Beta: uint8(1 + rng.Intn(7))}
+		w := Weights{Alpha: float64(q.Alpha), Beta: float64(q.Beta)}
+		qc := w.Cost(CostOf(q, bus.InitialLineState, b))
+		oc := w.Cost(CostOf(Opt{Weights: w}, bus.InitialLineState, b))
+		if d := qc - oc; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("quantized %+v cost %g != opt cost %g on %v", q, qc, oc, b)
+		}
+	}
+}
+
+// TestQuantizedFixedMatchesOptFixed: alpha=beta=1 in integer arithmetic is
+// the same scheme as OptFixed.
+func TestQuantizedFixedMatchesOptFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	q := Quantized{Alpha: 1, Beta: 1}
+	o := OptFixed()
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		qc := CostOf(q, bus.InitialLineState, b)
+		oc := CostOf(o, bus.InitialLineState, b)
+		if qc.Zeros+qc.Transitions != oc.Zeros+oc.Transitions {
+			t.Fatalf("burst %v: quantized %+v vs float %+v", b, qc, oc)
+		}
+	}
+}
+
+// TestNewQuantized covers coefficient validation.
+func TestNewQuantized(t *testing.T) {
+	if _, err := NewQuantized(8, 1); err == nil {
+		t.Error("alpha=8 should be rejected")
+	}
+	if _, err := NewQuantized(1, 9); err == nil {
+		t.Error("beta=9 should be rejected")
+	}
+	if _, err := NewQuantized(0, 0); err == nil {
+		t.Error("0,0 should be rejected")
+	}
+	q, err := NewQuantized(7, 7)
+	if err != nil || q.Alpha != 7 || q.Beta != 7 {
+		t.Errorf("NewQuantized(7,7) = %+v, %v", q, err)
+	}
+}
+
+// TestQuantizeWeights checks the ratio-preserving quantiser.
+func TestQuantizeWeights(t *testing.T) {
+	cases := []struct {
+		w    Weights
+		want Quantized
+	}{
+		{Weights{1, 1}, Quantized{1, 1}},
+		{Weights{0.5, 0.5}, Quantized{1, 1}},
+		{Weights{0, 1}, Quantized{0, 1}},
+		{Weights{1, 0}, Quantized{1, 0}},
+		{Weights{2, 6}, Quantized{1, 3}},
+	}
+	for _, c := range cases {
+		got, err := QuantizeWeights(c.w)
+		if err != nil {
+			t.Errorf("QuantizeWeights(%+v): %v", c.w, err)
+			continue
+		}
+		// Accept any pair with the same ratio as the expected one.
+		if int(got.Alpha)*int(c.want.Beta) != int(got.Beta)*int(c.want.Alpha) {
+			t.Errorf("QuantizeWeights(%+v) = %+v, want ratio of %+v", c.w, got, c.want)
+		}
+	}
+	if _, err := QuantizeWeights(Weights{}); err == nil {
+		t.Error("zero weights should be rejected")
+	}
+}
+
+// TestQuantizeWeightsApproximation: for arbitrary ratios the quantised
+// encoder should stay within a few percent of the true optimum, the paper's
+// argument for why 3 bits suffice.
+func TestQuantizeWeightsApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	var worst float64
+	for trial := 0; trial < 100; trial++ {
+		alpha := rng.Float64()
+		w := Weights{Alpha: alpha, Beta: 1 - alpha}
+		if w.Alpha == 0 && w.Beta == 0 {
+			continue
+		}
+		q, err := QuantizeWeights(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var optSum, qSum float64
+		for i := 0; i < 50; i++ {
+			b := randomBurst(rng, 8)
+			optSum += w.Cost(CostOf(Opt{Weights: w}, bus.InitialLineState, b))
+			qSum += w.Cost(CostOf(q, bus.InitialLineState, b))
+		}
+		if optSum == 0 {
+			continue
+		}
+		loss := qSum/optSum - 1
+		if loss > worst {
+			worst = loss
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("3-bit quantisation loses %.2f%% (> 2%%) vs true optimum", worst*100)
+	}
+}
+
+// TestQuantizeWeightsBits covers the generalised quantiser.
+func TestQuantizeWeightsBits(t *testing.T) {
+	// 1 bit: only {0,1}² available, so any interior ratio maps to (1,1).
+	w, err := QuantizeWeightsBits(Weights{Alpha: 0.4, Beta: 0.6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Alpha != 1 || w.Beta != 1 {
+		t.Errorf("1-bit quantisation = %+v, want (1,1)", w)
+	}
+	// Pure axes stay pure at any width.
+	for bits := 1; bits <= 8; bits++ {
+		w, err := QuantizeWeightsBits(Weights{Alpha: 0, Beta: 1}, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Alpha != 0 || w.Beta == 0 {
+			t.Errorf("bits=%d: axis ratio broken: %+v", bits, w)
+		}
+	}
+	// Wider always approximates at least as well (angular error).
+	target := Weights{Alpha: 0.37, Beta: 0.63}
+	prevErr := math.Inf(1)
+	for bits := 1; bits <= 8; bits++ {
+		w, err := QuantizeWeightsBits(target, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := angularErr(target, w)
+		if e > prevErr+1e-12 {
+			t.Errorf("bits=%d: angular error grew: %g -> %g", bits, prevErr, e)
+		}
+		prevErr = e
+	}
+	// Guards.
+	if _, err := QuantizeWeightsBits(Weights{}, 3); err == nil {
+		t.Error("zero weights accepted")
+	}
+	if _, err := QuantizeWeightsBits(FixedWeights, 0); err == nil {
+		t.Error("0 bits accepted")
+	}
+	if _, err := QuantizeWeightsBits(FixedWeights, 11); err == nil {
+		t.Error("11 bits accepted")
+	}
+}
+
+func angularErr(a, b Weights) float64 {
+	na := math.Hypot(a.Alpha, a.Beta)
+	nb := math.Hypot(b.Alpha, b.Beta)
+	da := a.Alpha/na - b.Alpha/nb
+	db := a.Beta/na - b.Beta/nb
+	return da*da + db*db
+}
+
+// TestQuantizeWeightsBitsMatches3BitPath: the 3-bit special case agrees
+// with the general path.
+func TestQuantizeWeightsBitsMatches3BitPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		alpha := rng.Float64()
+		w := Weights{Alpha: alpha, Beta: 1 - alpha}
+		q, err := QuantizeWeights(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := QuantizeWeightsBits(w, CoefficientBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(q.Alpha) != g.Alpha || float64(q.Beta) != g.Beta {
+			t.Fatalf("3-bit paths disagree: %+v vs %+v", q, g)
+		}
+	}
+}
+
+// TestExhaustivePanicsOnLongBurst guards the complexity limit.
+func TestExhaustivePanicsOnLongBurst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(Exhaustive{Weights: FixedWeights}).Encode(bus.InitialLineState, make(bus.Burst, 25))
+}
+
+// TestParetoFrontPanicsOnLongBurst guards the complexity limit.
+func TestParetoFrontPanicsOnLongBurst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParetoFront(bus.InitialLineState, make(bus.Burst, 25))
+}
+
+// TestParetoFrontNoDomination: no returned point may dominate another, and
+// every point must be achieved by some pattern (implied by construction);
+// check pairwise non-domination and sortedness.
+func TestParetoFrontNoDomination(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 50; trial++ {
+		b := randomBurst(rng, 6)
+		front := ParetoFront(bus.InitialLineState, b)
+		if len(front) == 0 {
+			t.Fatal("empty front")
+		}
+		for i := range front {
+			for j := range front {
+				if i != j && front[i].Dominates(front[j]) {
+					t.Fatalf("front point %+v dominates %+v", front[i], front[j])
+				}
+			}
+			if i > 0 && front[i].Zeros <= front[i-1].Zeros {
+				t.Fatalf("front not strictly sorted by zeros: %v", front)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package dbi
+
+import (
+	"runtime"
+	"sync"
+
+	"dbiopt/internal/bus"
+)
+
+// TotalCost sums the exact wire activity of encoding every burst
+// independently from the idle state — the aggregation all per-burst
+// experiments reduce to. Because the counts are integers, the result is
+// identical regardless of evaluation order.
+func TotalCost(enc Encoder, bursts []bus.Burst) bus.Cost {
+	var total bus.Cost
+	for _, b := range bursts {
+		total = total.Add(CostOf(enc, bus.InitialLineState, b))
+	}
+	return total
+}
+
+// ParallelTotalCost is TotalCost fanned out over worker goroutines. All
+// encoders in this package except *Noisy are stateless values and safe for
+// concurrent use; passing a *Noisy here would race on its RNG and is the
+// caller's responsibility to avoid. workers <= 0 selects GOMAXPROCS.
+//
+// Integer accumulation makes the result bit-identical to the serial
+// version, so experiments stay deterministic when parallelised.
+func ParallelTotalCost(enc Encoder, bursts []bus.Burst, workers int) bus.Cost {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bursts) {
+		workers = len(bursts)
+	}
+	if workers <= 1 {
+		return TotalCost(enc, bursts)
+	}
+	partial := make([]bus.Cost, workers)
+	var wg sync.WaitGroup
+	chunk := (len(bursts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(bursts) {
+			hi = len(bursts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, part []bus.Burst) {
+			defer wg.Done()
+			partial[idx] = TotalCost(enc, part)
+		}(w, bursts[lo:hi])
+	}
+	wg.Wait()
+	var total bus.Cost
+	for _, p := range partial {
+		total = total.Add(p)
+	}
+	return total
+}

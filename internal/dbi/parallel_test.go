@@ -1,0 +1,47 @@
+package dbi
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// TestParallelTotalCostMatchesSerial: identical results for every worker
+// count, including the degenerate ones.
+func TestParallelTotalCostMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	bursts := make([]bus.Burst, 501) // deliberately not a multiple of workers
+	for i := range bursts {
+		bursts[i] = randomBurst(rng, 8)
+	}
+	for _, enc := range []Encoder{DC{}, AC{}, OptFixed()} {
+		want := TotalCost(enc, bursts)
+		for _, workers := range []int{0, 1, 2, 3, 7, 16, 1000} {
+			got := ParallelTotalCost(enc, bursts, workers)
+			if got != want {
+				t.Fatalf("%s workers=%d: %+v != %+v", enc.Name(), workers, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelTotalCostEmpty: no bursts, no cost, no panic.
+func TestParallelTotalCostEmpty(t *testing.T) {
+	if got := ParallelTotalCost(DC{}, nil, 4); got != (bus.Cost{}) {
+		t.Errorf("empty workload cost = %+v", got)
+	}
+}
+
+// TestParallelTotalCostRace is meaningful under -race: hammer the shared
+// encoder value from many goroutines.
+func TestParallelTotalCostRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	bursts := make([]bus.Burst, 256)
+	for i := range bursts {
+		bursts[i] = randomBurst(rng, 8)
+	}
+	for i := 0; i < 4; i++ {
+		ParallelTotalCost(Opt{Weights: FixedWeights}, bursts, 8)
+	}
+}

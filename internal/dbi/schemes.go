@@ -1,0 +1,107 @@
+package dbi
+
+import "dbiopt/internal/bus"
+
+// Raw is the unencoded baseline: every byte is transmitted as-is and the
+// DBI wire stays high.
+type Raw struct{}
+
+// Name implements Encoder.
+func (Raw) Name() string { return "RAW" }
+
+// Encode implements Encoder.
+func (Raw) Encode(_ bus.LineState, b bus.Burst) []bool {
+	return make([]bool, len(b))
+}
+
+// DC is the JEDEC DBI DC scheme: each byte is considered in isolation and
+// inverted iff it contains five or more zeros. After coding, no 9-wire beat
+// ever carries more than four zeros.
+type DC struct{}
+
+// Name implements Encoder.
+func (DC) Name() string { return "DBI DC" }
+
+// Encode implements Encoder.
+func (DC) Encode(_ bus.LineState, b bus.Burst) []bool {
+	inv := make([]bool, len(b))
+	for i, v := range b {
+		inv[i] = bus.Zeros(v) >= 5
+	}
+	return inv
+}
+
+// AC is the JEDEC DBI AC scheme: each byte is inverted iff inversion yields
+// fewer wire transitions (DBI wire included) against the previous wire
+// state. Ties keep the byte non-inverted. The decision is greedy: it fixes
+// the wire state seen by the next beat without lookahead.
+type AC struct{}
+
+// Name implements Encoder.
+func (AC) Name() string { return "DBI AC" }
+
+// Encode implements Encoder.
+func (AC) Encode(prev bus.LineState, b bus.Burst) []bool {
+	inv := make([]bool, len(b))
+	s := prev
+	for i, v := range b {
+		plain := bus.BeatCost(s, v, false).Transitions
+		flipped := bus.BeatCost(s, v, true).Transitions
+		inv[i] = flipped < plain
+		s = bus.Advance(s, v, inv[i])
+	}
+	return inv
+}
+
+// ACDC is Hollis' hybrid scheme: the first byte of each burst is encoded
+// with the DC rule and the remaining bytes with the AC rule. Under the
+// paper's boundary condition (all wires high before the burst) ACDC encodes
+// every burst exactly like AC, because against an all-ones state the AC rule
+// degenerates to the DC rule on the first byte.
+type ACDC struct{}
+
+// Name implements Encoder.
+func (ACDC) Name() string { return "DBI ACDC" }
+
+// Encode implements Encoder.
+func (ACDC) Encode(prev bus.LineState, b bus.Burst) []bool {
+	inv := make([]bool, len(b))
+	if len(b) == 0 {
+		return inv
+	}
+	inv[0] = bus.Zeros(b[0]) >= 5
+	s := bus.Advance(prev, b[0], inv[0])
+	for i := 1; i < len(b); i++ {
+		v := b[i]
+		plain := bus.BeatCost(s, v, false).Transitions
+		flipped := bus.BeatCost(s, v, true).Transitions
+		inv[i] = flipped < plain
+		s = bus.Advance(s, v, inv[i])
+	}
+	return inv
+}
+
+// Greedy minimises the weighted cost alpha*transitions + beta*zeros one byte
+// at a time, in the spirit of the heuristic bus-encoding schemes of Chang et
+// al. (DAC 2000): each decision is locally optimal given the wire state left
+// by the previous one, but the scheme cannot sacrifice a beat to set up a
+// cheaper future, so it is not globally optimal.
+type Greedy struct {
+	Weights Weights
+}
+
+// Name implements Encoder.
+func (g Greedy) Name() string { return "DBI GREEDY" }
+
+// Encode implements Encoder.
+func (g Greedy) Encode(prev bus.LineState, b bus.Burst) []bool {
+	inv := make([]bool, len(b))
+	s := prev
+	for i, v := range b {
+		plain := g.Weights.Cost(bus.BeatCost(s, v, false))
+		flipped := g.Weights.Cost(bus.BeatCost(s, v, true))
+		inv[i] = flipped < plain
+		s = bus.Advance(s, v, inv[i])
+	}
+	return inv
+}

@@ -1,0 +1,122 @@
+package dbi
+
+import (
+	"fmt"
+
+	"dbiopt/internal/bus"
+)
+
+// Stream wraps an Encoder with the persistent per-lane line state a real
+// PHY maintains: the wires do not reset between bursts, so the encoding of
+// each burst starts from the final wire state of the previous one. Stream
+// also accumulates the exact activity counts of everything it has
+// transmitted, which is what the energy models consume.
+type Stream struct {
+	enc   Encoder
+	state bus.LineState
+	total bus.Cost
+	beats int
+}
+
+// NewStream returns a streaming encoder starting from the idle (all-ones)
+// line state.
+func NewStream(enc Encoder) *Stream {
+	return &Stream{enc: enc, state: bus.InitialLineState}
+}
+
+// NewStreamFrom returns a streaming encoder starting from an explicit line
+// state.
+func NewStreamFrom(enc Encoder, state bus.LineState) *Stream {
+	return &Stream{enc: enc, state: state}
+}
+
+// Encoder returns the wrapped policy.
+func (s *Stream) Encoder() Encoder { return s.enc }
+
+// State returns the current wire state of the lane.
+func (s *Stream) State() bus.LineState { return s.state }
+
+// Transmit encodes one burst against the current line state, advances the
+// state past it, accumulates its activity counts and returns the wire image.
+func (s *Stream) Transmit(b bus.Burst) bus.Wire {
+	w := EncodeWire(s.enc, s.state, b)
+	s.total = s.total.Add(w.Cost(s.state))
+	s.state = w.FinalState(s.state)
+	s.beats += w.Len()
+	return w
+}
+
+// TotalCost returns the accumulated zero and transition counts of every
+// burst transmitted so far.
+func (s *Stream) TotalCost() bus.Cost { return s.total }
+
+// Beats returns the number of beats transmitted so far.
+func (s *Stream) Beats() int { return s.beats }
+
+// Reset returns the stream to the idle state and clears the accumulators.
+func (s *Stream) Reset() {
+	s.state = bus.InitialLineState
+	s.total = bus.Cost{}
+	s.beats = 0
+}
+
+// String summarises the stream for diagnostics.
+func (s *Stream) String() string {
+	return fmt.Sprintf("%s: %d beats, %d zeros, %d transitions",
+		s.enc.Name(), s.beats, s.total.Zeros, s.total.Transitions)
+}
+
+// LaneSet drives one Stream per byte lane of a multi-lane bus, applying the
+// same policy independently per lane exactly as the per-lane DBI wires of a
+// x16/x32 device do.
+type LaneSet struct {
+	lanes []*Stream
+}
+
+// NewLaneSet creates n independent streams sharing one policy. The policy
+// value is shared; all provided encoders are stateless, so this is safe.
+func NewLaneSet(enc Encoder, n int) *LaneSet {
+	if n <= 0 {
+		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", n))
+	}
+	ls := &LaneSet{lanes: make([]*Stream, n)}
+	for i := range ls.lanes {
+		ls.lanes[i] = NewStream(enc)
+	}
+	return ls
+}
+
+// Lanes returns the number of lanes.
+func (ls *LaneSet) Lanes() int { return len(ls.lanes) }
+
+// Lane returns the stream of lane i.
+func (ls *LaneSet) Lane(i int) *Stream { return ls.lanes[i] }
+
+// Transmit encodes one frame, lane by lane, and returns the per-lane wire
+// images.
+func (ls *LaneSet) Transmit(f bus.Frame) []bus.Wire {
+	if f.Lanes() != len(ls.lanes) {
+		panic(fmt.Sprintf("dbi: frame has %d lanes, lane set has %d", f.Lanes(), len(ls.lanes)))
+	}
+	ws := make([]bus.Wire, len(ls.lanes))
+	for i, b := range f {
+		ws[i] = ls.lanes[i].Transmit(b)
+	}
+	return ws
+}
+
+// TotalCost sums the activity counts over all lanes.
+func (ls *LaneSet) TotalCost() bus.Cost {
+	var c bus.Cost
+	for _, l := range ls.lanes {
+		c = c.Add(l.TotalCost())
+	}
+	return c
+}
+
+// Reset resets every lane.
+func (ls *LaneSet) Reset() {
+	for _, l := range ls.lanes {
+		l.Reset()
+	}
+}

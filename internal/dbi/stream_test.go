@@ -1,0 +1,134 @@
+package dbi
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// TestStreamStatePersistence: the stream must encode each burst against the
+// final wire state of the previous one, not against the idle state.
+func TestStreamStatePersistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	s := NewStream(AC{})
+	state := bus.InitialLineState
+	var want bus.Cost
+	for i := 0; i < 50; i++ {
+		b := randomBurst(rng, 8)
+		w := EncodeWire(AC{}, state, b)
+		want = want.Add(w.Cost(state))
+		state = w.FinalState(state)
+
+		got := s.Transmit(b)
+		if got.String() != w.String() {
+			t.Fatalf("burst %d: stream wire %s != manual wire %s", i, got, w)
+		}
+	}
+	if s.TotalCost() != want {
+		t.Errorf("accumulated cost %+v != manual %+v", s.TotalCost(), want)
+	}
+	if s.State() != state {
+		t.Errorf("stream state %+v != manual %+v", s.State(), state)
+	}
+	if s.Beats() != 400 {
+		t.Errorf("beats = %d, want 400", s.Beats())
+	}
+}
+
+// TestStreamReset covers Reset and the initial state.
+func TestStreamReset(t *testing.T) {
+	s := NewStream(DC{})
+	s.Transmit(bus.Burst{0x00, 0xFF})
+	s.Reset()
+	if s.TotalCost() != (bus.Cost{}) || s.Beats() != 0 || s.State() != bus.InitialLineState {
+		t.Errorf("after reset: %+v, beats=%d, state=%+v", s.TotalCost(), s.Beats(), s.State())
+	}
+}
+
+// TestStreamFromExplicitState covers NewStreamFrom.
+func TestStreamFromExplicitState(t *testing.T) {
+	st := bus.LineState{Data: 0x12, DBI: false}
+	s := NewStreamFrom(Raw{}, st)
+	if s.State() != st {
+		t.Errorf("initial state %+v", s.State())
+	}
+	if s.Encoder().Name() != "RAW" {
+		t.Errorf("encoder %q", s.Encoder().Name())
+	}
+}
+
+// TestStreamString smoke-tests the diagnostic format.
+func TestStreamString(t *testing.T) {
+	s := NewStream(DC{})
+	s.Transmit(bus.Burst{0x00})
+	if got := s.String(); !strings.Contains(got, "DBI DC") || !strings.Contains(got, "1 beats") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestLaneSet covers multi-lane transmission and aggregation.
+func TestLaneSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const lanes = 4
+	ls := NewLaneSet(OptFixed(), lanes)
+	if ls.Lanes() != lanes {
+		t.Fatalf("lanes = %d", ls.Lanes())
+	}
+	ref := make([]*Stream, lanes)
+	for i := range ref {
+		ref[i] = NewStream(OptFixed())
+	}
+	for iter := 0; iter < 20; iter++ {
+		f := bus.NewFrame(lanes, 8)
+		for l := range f {
+			copy(f[l], randomBurst(rng, 8))
+		}
+		ws := ls.Transmit(f)
+		if len(ws) != lanes {
+			t.Fatalf("got %d wires", len(ws))
+		}
+		for l := range f {
+			want := ref[l].Transmit(f[l])
+			if ws[l].String() != want.String() {
+				t.Fatalf("lane %d diverges", l)
+			}
+		}
+	}
+	var want bus.Cost
+	for _, r := range ref {
+		want = want.Add(r.TotalCost())
+	}
+	if got := ls.TotalCost(); got != want {
+		t.Errorf("TotalCost = %+v, want %+v", got, want)
+	}
+	ls.Reset()
+	if ls.TotalCost() != (bus.Cost{}) {
+		t.Error("reset did not clear totals")
+	}
+	if ls.Lane(0).State() != bus.InitialLineState {
+		t.Error("reset did not clear lane state")
+	}
+}
+
+// TestLaneSetPanics guards the geometry checks.
+func TestLaneSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero lanes")
+		}
+	}()
+	NewLaneSet(Raw{}, 0)
+}
+
+// TestLaneSetFrameMismatch guards against frames of the wrong width.
+func TestLaneSetFrameMismatch(t *testing.T) {
+	ls := NewLaneSet(Raw{}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for frame/lane mismatch")
+		}
+	}()
+	ls.Transmit(bus.NewFrame(3, 8))
+}

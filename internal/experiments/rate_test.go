@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dbiopt/internal/hw"
+	"dbiopt/internal/phy"
+)
+
+func testRateConfig() RateSweepConfig {
+	cfg := DefaultRateSweepConfig()
+	cfg.Bursts = 2000
+	return cfg
+}
+
+func testSynth() hw.SynthesisConfig {
+	cfg := hw.DefaultSynthesisConfig()
+	cfg.ActivityBursts = 400
+	return cfg
+}
+
+// TestFig7Claims checks the paper's Fig. 7 statements on POD135 with 3 pF:
+//
+//   - DBI DC beats OPT (Fixed) at low rates, with the crossover near
+//     3.8 Gbps
+//   - the maximum OPT (Fixed) gain over the best conventional scheme sits
+//     near 14 Gbps and is around 5-7 %
+//   - at low rates DC saves energy vs RAW (≈0.82) while AC costs more than
+//     RAW (>1); at high rates the picture flips
+func TestFig7Claims(t *testing.T) {
+	r, err := Fig7(testRateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross := r.DCOptFixedCrossover(); cross < 2.5 || cross > 5.5 {
+		t.Errorf("DC/OPT(Fixed) crossover at %.1f Gbps, paper finds 3.8", cross)
+	}
+	rate, saving := r.MaxGainRate()
+	if rate < 10 || rate > 18 {
+		t.Errorf("max gain at %.1f Gbps, paper finds ~14", rate)
+	}
+	if saving < 0.05 || saving > 0.08 {
+		t.Errorf("max gain %.2f%%, paper reports ~6%%", saving*100)
+	}
+	if r.DC[0] > 0.9 {
+		t.Errorf("DC at %.1f Gbps = %.3f, expected ≈0.82 (zero-dominated regime)", r.RatesGbps[0], r.DC[0])
+	}
+	if r.AC[0] < 1.0 {
+		t.Errorf("AC at %.1f Gbps = %.3f, expected >1 (DBI AC hurts at low rates)", r.RatesGbps[0], r.AC[0])
+	}
+	last := len(r.RatesGbps) - 1
+	if r.AC[last] > 1.0 {
+		t.Errorf("AC at %.1f Gbps = %.3f, expected <1", r.RatesGbps[last], r.AC[last])
+	}
+	if r.DC[last] < r.AC[last] {
+		t.Errorf("at 20 Gbps DC (%.3f) should be worse than AC (%.3f)", r.DC[last], r.AC[last])
+	}
+	// OPT must never be worse than any scheme, RAW (1.0) included.
+	for i := range r.RatesGbps {
+		if r.Opt[i] > 1+1e-9 || r.Opt[i] > r.DC[i]+1e-9 || r.Opt[i] > r.AC[i]+1e-9 ||
+			r.Opt[i] > r.OptFixed[i]+1e-9 {
+			t.Fatalf("at %.1f Gbps OPT (%.4f) worse than a baseline", r.RatesGbps[i], r.Opt[i])
+		}
+	}
+}
+
+// TestFig7Plot covers the rendering path.
+func TestFig7Plot(t *testing.T) {
+	cfg := testRateConfig()
+	cfg.Bursts = 200
+	cfg.StepRate = 5 * phy.Gbps
+	r, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.Plot("Fig. 7").WriteDat(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Data Rate") {
+		t.Error("missing axis label")
+	}
+}
+
+// TestTable1Rendering covers the table path and the per-scheme energy
+// lookup used by Fig. 8.
+func TestTable1Rendering(t *testing.T) {
+	r := Table1(8, testSynth())
+	tbl := r.Table()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+	var sb strings.Builder
+	if err := tbl.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "DBI OPT (Fixed Coeff.)") {
+		t.Error("markdown missing scheme row")
+	}
+	e, err := r.EncodingEnergy("DBI DC")
+	if err != nil || e <= 0 {
+		t.Errorf("EncodingEnergy = %g, %v", e, err)
+	}
+	if _, err := r.EncodingEnergy("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestFig8Claims checks the Fig. 8 statements: once the encoder's own
+// energy is charged, OPT (Fixed) loses at very low data rates (normalised
+// energy > 1) but still saves ~5-6 % at its best operating point for loads
+// of 3 pF and up, and larger loads reach their best saving at lower rates.
+func TestFig8Claims(t *testing.T) {
+	cfg := testRateConfig()
+	synth := Table1(8, testSynth())
+	cloads := []float64{1, 3, 8}
+	r, err := Fig8(cfg, cloads, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Norm) != len(cloads) || len(r.Norm[0]) != len(r.RatesGbps) {
+		t.Fatalf("geometry %dx%d", len(r.Norm), len(r.Norm[0]))
+	}
+	// At the lowest rate the encoder energy dominates any coding gain.
+	for c := range cloads {
+		if r.Norm[c][0] <= 1 {
+			t.Errorf("cload=%gpF: normalised energy at %.1f Gbps = %.3f, expected >1",
+				cloads[c], r.RatesGbps[0], r.Norm[c][0])
+		}
+	}
+	// 3 pF and 8 pF reach a 4-7 % saving somewhere in the sweep.
+	for _, c := range []int{1, 2} {
+		_, saving := r.BestSaving(c)
+		if saving < 0.04 || saving > 0.08 {
+			t.Errorf("cload=%gpF: best saving %.2f%%, paper reports 5-6%%", cloads[c], saving*100)
+		}
+	}
+	// Higher load capacitance moves the best operating point to lower
+	// rates (the paper's main Fig. 8 observation).
+	rate3, _ := r.BestSaving(1)
+	rate8, _ := r.BestSaving(2)
+	if rate8 >= rate3 {
+		t.Errorf("best rate at 8 pF (%.1f) should be below 3 pF (%.1f)", rate8, rate3)
+	}
+	var sb strings.Builder
+	if err := r.Plot("Fig. 8").WriteDat(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "8_pF") {
+		t.Error("plot missing cload series")
+	}
+}
+
+// TestRateSweepValidation covers the guard rails.
+func TestRateSweepValidation(t *testing.T) {
+	bad := DefaultRateSweepConfig()
+	bad.StepRate = 0
+	if _, err := Fig7(bad); err == nil {
+		t.Error("zero step accepted")
+	}
+	bad = DefaultRateSweepConfig()
+	bad.MaxRate = bad.MinRate / 2
+	if _, err := Fig7(bad); err == nil {
+		t.Error("inverted axis accepted")
+	}
+	bad = DefaultRateSweepConfig()
+	bad.Cload = -1
+	if _, err := Fig7(bad); err == nil {
+		t.Error("negative cload accepted")
+	}
+	bad = DefaultRateSweepConfig()
+	bad.Bursts = 0
+	if _, err := Fig8(bad, []float64{3}, Table1(8, testSynth())); err == nil {
+		t.Error("Fig8 accepted zero bursts")
+	}
+}
+
+// TestFig8MissingScheme: a synthesis result lacking a scheme is reported.
+func TestFig8MissingScheme(t *testing.T) {
+	if _, err := Fig8(testRateConfig(), []float64{3}, Table1Result{}); err == nil {
+		t.Error("empty synthesis accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/phy"
+	"dbiopt/internal/stats"
+	"dbiopt/internal/trace"
+)
+
+// SSOResult compares the simultaneous-switching profile of the coding
+// schemes on a multi-lane bus — the supply-noise view of DBI (the paper's
+// related work cites Kim et al. on DBI's SSN reduction in GDDR4).
+type SSOResult struct {
+	Lanes   int
+	Schemes []string
+	Max     []int     // worst simultaneous switching per scheme
+	Mean    []float64 // mean per edge
+	// ExceedHalf is the fraction of edges with more than half the bus
+	// switching at once.
+	ExceedHalf []float64
+}
+
+// SSOStudy transmits the same random traffic through every scheme on a
+// bus of the given lane count and profiles the switching coincidence.
+func SSOStudy(cfg Config, lanes int) (SSOResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SSOResult{}, err
+	}
+	if lanes <= 0 {
+		return SSOResult{}, fmt.Errorf("experiments: lanes must be positive, got %d", lanes)
+	}
+	schemes := []dbi.Encoder{dbi.Raw{}, dbi.DC{}, dbi.AC{}, dbi.OptFixed()}
+	var out SSOResult
+	out.Lanes = lanes
+	half := lanes * bus.WiresPerLane / 2
+
+	for _, enc := range schemes {
+		src := trace.NewUniform(cfg.Seed)
+		ls := dbi.NewLaneSet(enc, lanes)
+		var agg phy.SSOProfile
+		agg.Hist = make([]int, lanes*bus.WiresPerLane+1)
+		for i := 0; i < cfg.Bursts; i++ {
+			states := make([]bus.LineState, lanes)
+			f := bus.NewFrame(lanes, cfg.Beats)
+			for l := 0; l < lanes; l++ {
+				states[l] = ls.Lane(l).State()
+				copy(f[l], src.Next(cfg.Beats))
+			}
+			wires := ls.Transmit(f)
+			p, err := phy.MeasureSSO(states, wires)
+			if err != nil {
+				return SSOResult{}, err
+			}
+			agg.Beats += p.Beats
+			agg.Total += p.Total
+			if p.Max > agg.Max {
+				agg.Max = p.Max
+			}
+			for k, v := range p.Hist {
+				agg.Hist[k] += v
+			}
+		}
+		out.Schemes = append(out.Schemes, enc.Name())
+		out.Max = append(out.Max, agg.Max)
+		out.Mean = append(out.Mean, agg.Mean())
+		out.ExceedHalf = append(out.ExceedHalf, agg.Exceeding(half))
+	}
+	return out, nil
+}
+
+// Table renders the SSO study.
+func (r SSOResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("SSO study — %d byte lanes (%d wires)", r.Lanes, r.Lanes*bus.WiresPerLane),
+		Columns: []string{"Scheme", "Worst SSO", "Mean SSO", "P(>half bus)"},
+	}
+	for i, s := range r.Schemes {
+		_ = t.AddRow(s, fmt.Sprint(r.Max[i]), fmt.Sprintf("%.2f", r.Mean[i]),
+			fmt.Sprintf("%.4f", r.ExceedHalf[i]))
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/phy"
+	"dbiopt/internal/stats"
+	"dbiopt/internal/trace"
+)
+
+// WorkloadResult compares the coding schemes across realistic workload
+// classes at one physical operating point — the evaluation the paper's
+// uniform-random methodology abstracts away, and the reason the optimal
+// scheme's advantage varies in practice.
+type WorkloadResult struct {
+	Link      phy.Link
+	Workloads []string
+	Schemes   []string
+	// Norm[w][s] is scheme s's interface energy on workload w, normalised
+	// to RAW on the same data. NaN-free: workloads that cost RAW nothing
+	// (all-ones) report 1 for every scheme.
+	Norm [][]float64
+}
+
+// WorkloadStudy runs every catalog workload through every scheme using
+// streaming (state-carrying) encoding, as a real PHY would.
+func WorkloadStudy(cfg Config, link phy.Link) (WorkloadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return WorkloadResult{}, err
+	}
+	if err := link.Validate(); err != nil {
+		return WorkloadResult{}, err
+	}
+	schemes := []dbi.Encoder{
+		dbi.DC{}, dbi.AC{}, dbi.OptFixed(),
+		dbi.Opt{Weights: link.Weights()},
+	}
+	var out WorkloadResult
+	out.Link = link
+	for _, enc := range schemes {
+		out.Schemes = append(out.Schemes, enc.Name())
+	}
+	for _, mk := range trace.Catalog(cfg.Seed) {
+		// Regenerate the same byte stream for every scheme: sources are
+		// stateful, so each scheme gets a fresh source via the catalog.
+		name := mk.Name()
+		out.Workloads = append(out.Workloads, name)
+		raw := runWorkload(cfg, name, dbi.Raw{}, link)
+		row := make([]float64, 0, len(schemes))
+		for _, enc := range schemes {
+			e := runWorkload(cfg, name, enc, link)
+			if raw == 0 {
+				row = append(row, 1)
+			} else {
+				row = append(row, e/raw)
+			}
+		}
+		out.Norm = append(out.Norm, row)
+	}
+	return out, nil
+}
+
+// runWorkload streams cfg.Bursts bursts of the named catalog workload
+// through enc and returns the total interface energy.
+func runWorkload(cfg Config, name string, enc dbi.Encoder, link phy.Link) float64 {
+	var src trace.Source
+	for _, s := range trace.Catalog(cfg.Seed) {
+		if s.Name() == name {
+			src = s
+			break
+		}
+	}
+	if src == nil {
+		panic(fmt.Sprintf("experiments: workload %q vanished from the catalog", name))
+	}
+	st := dbi.NewStream(enc)
+	for i := 0; i < cfg.Bursts; i++ {
+		st.Transmit(src.Next(cfg.Beats))
+	}
+	return link.BurstEnergy(st.TotalCost())
+}
+
+// Table renders the workload study.
+func (r WorkloadResult) Table() *stats.Table {
+	cols := append([]string{"Workload"}, r.Schemes...)
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Workload study — energy vs RAW at %s", r.Link),
+		Columns: cols,
+	}
+	for i, w := range r.Workloads {
+		row := []string{w}
+		for _, v := range r.Norm[i] {
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		_ = t.AddRow(row...)
+	}
+	return t
+}
+
+// OptNeverWorst verifies the study's invariant: at the link's own operating
+// point the weight-matched optimal scheme is never meaningfully beaten by
+// DC or AC on any workload. A small slack is allowed because streaming
+// encoding is per-burst optimal along each scheme's own state trajectory,
+// not globally optimal across bursts (see the window ablation), so another
+// scheme can theoretically sneak ahead by a fraction of a percent.
+func (r WorkloadResult) OptNeverWorst() error {
+	optIdx := -1
+	for i, s := range r.Schemes {
+		if s == "DBI OPT" || s == "DBI OPT (Fixed)" {
+			optIdx = i // weight-matched OPT is added last; keep scanning
+		}
+	}
+	if optIdx < 0 {
+		return fmt.Errorf("experiments: no OPT scheme in study")
+	}
+	for w := range r.Workloads {
+		for s := range r.Schemes {
+			if s == optIdx {
+				continue
+			}
+			if r.Norm[w][optIdx] > r.Norm[w][s]*1.01+1e-9 {
+				return fmt.Errorf("experiments: %s beats OPT on %s (%.4f vs %.4f)",
+					r.Schemes[s], r.Workloads[w], r.Norm[w][s], r.Norm[w][optIdx])
+			}
+		}
+	}
+	return nil
+}

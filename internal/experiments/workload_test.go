@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dbiopt/internal/phy"
+)
+
+// TestWorkloadStudy exercises the realistic-workload comparison: geometry,
+// the OPT dominance invariant, and a couple of physically grounded spot
+// checks.
+func TestWorkloadStudy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Bursts = 600
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	r, err := WorkloadStudy(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) == 0 || len(r.Schemes) != 4 {
+		t.Fatalf("geometry: %d workloads x %d schemes", len(r.Workloads), len(r.Schemes))
+	}
+	for i, row := range r.Norm {
+		if len(row) != len(r.Schemes) {
+			t.Fatalf("row %d has %d entries", i, len(row))
+		}
+		for j, v := range row {
+			if v < 0 || v != v {
+				t.Fatalf("workload %s scheme %s: norm %g", r.Workloads[i], r.Schemes[j], v)
+			}
+		}
+	}
+	if err := r.OptNeverWorst(); err != nil {
+		t.Error(err)
+	}
+
+	idx := map[string]int{}
+	for i, w := range r.Workloads {
+		idx[w] = i
+	}
+	// All-zeros data: DC-style inversion nearly halves the zeros (8 zeros
+	// become 0 zeros + 1 DBI zero), so DC must save a lot.
+	if z, ok := idx["constant-00"]; ok {
+		if r.Norm[z][0] > 0.7 { // schemes[0] is DBI DC
+			t.Errorf("DC on all-zeros = %.3f, expected large saving", r.Norm[z][0])
+		}
+	} else {
+		t.Error("constant-00 workload missing from catalog")
+	}
+	// All-ones data costs RAW nothing; the study reports 1 for everyone.
+	if o, ok := idx["constant-ff"]; ok {
+		for j := range r.Schemes {
+			if r.Norm[o][j] != 1 {
+				t.Errorf("all-ones row should be 1, got %.3f for %s", r.Norm[o][j], r.Schemes[j])
+			}
+		}
+	} else {
+		t.Error("constant-ff workload missing from catalog")
+	}
+
+	var sb strings.Builder
+	if err := r.Table().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "uniform") {
+		t.Error("table missing workloads")
+	}
+}
+
+// TestWorkloadStudyValidation covers the guards.
+func TestWorkloadStudyValidation(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	if _, err := WorkloadStudy(Config{}, link); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := WorkloadStudy(testConfig(), phy.Link{}); err == nil {
+		t.Error("invalid link accepted")
+	}
+}

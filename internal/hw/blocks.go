@@ -1,0 +1,220 @@
+package hw
+
+import "fmt"
+
+// This file provides the structural arithmetic blocks the encoder designs
+// are assembled from. All arithmetic is unsigned, buses are LSB first, and
+// every block is pure combinational logic built from the 2-input cell set.
+
+// HalfAdder returns (sum, carry) of two bits.
+func (n *Netlist) HalfAdder(a, b Signal) (sum, carry Signal) {
+	return n.Xor(a, b), n.And(a, b)
+}
+
+// FullAdder returns (sum, carry) of three bits, built as the classic
+// two-half-adder composition.
+func (n *Netlist) FullAdder(a, b, c Signal) (sum, carry Signal) {
+	s1, c1 := n.HalfAdder(a, b)
+	s2, c2 := n.HalfAdder(s1, c)
+	return s2, n.Or(c1, c2)
+}
+
+// Add returns a + b as a bus one bit wider than the wider operand (the
+// final carry is kept). Operands of different widths are zero-extended.
+func (n *Netlist) Add(a, b Bus) Bus {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	out := make(Bus, 0, w+1)
+	var carry Signal = -1
+	for i := 0; i < w; i++ {
+		switch {
+		case i < len(a) && i < len(b):
+			if carry < 0 {
+				var s Signal
+				s, carry = n.HalfAdder(a[i], b[i])
+				out = append(out, s)
+			} else {
+				var s Signal
+				s, carry = n.FullAdder(a[i], b[i], carry)
+				out = append(out, s)
+			}
+		case i < len(a):
+			if carry < 0 {
+				out = append(out, n.Buf(a[i]))
+			} else {
+				s, c := n.HalfAdder(a[i], carry)
+				out = append(out, s)
+				carry = c
+			}
+		default:
+			if carry < 0 {
+				out = append(out, n.Buf(b[i]))
+			} else {
+				s, c := n.HalfAdder(b[i], carry)
+				out = append(out, s)
+				carry = c
+			}
+		}
+	}
+	if carry < 0 {
+		carry = n.Const(false)
+	}
+	return append(out, carry)
+}
+
+// AddTrunc returns a + b truncated to the given width. The caller asserts
+// the sum fits; overflow bits are silently discarded, as a synthesised
+// datapath of that width would.
+func (n *Netlist) AddTrunc(a, b Bus, width int) Bus {
+	sum := n.Add(a, b)
+	if len(sum) < width {
+		zero := n.Const(false)
+		for len(sum) < width {
+			sum = append(sum, zero)
+		}
+	}
+	return sum[:width]
+}
+
+// Inc returns a + 1, one bit wider than a.
+func (n *Netlist) Inc(a Bus) Bus {
+	out := make(Bus, 0, len(a)+1)
+	carry := n.Const(true)
+	for i := range a {
+		s, c := n.HalfAdder(a[i], carry)
+		out = append(out, s)
+		carry = c
+	}
+	return append(out, carry)
+}
+
+// SubConst returns k - a for a constant k, assuming k >= a (the result is
+// the low len(a)+1 bits of k + ^a + 1, which is exact under that
+// assumption). Used for the 9-x and 8-y terms of the encoder datapath.
+func (n *Netlist) SubConst(k uint64, a Bus) Bus {
+	width := len(a) + 1
+	// k - a = k + (^a) + 1 in width-bit two's complement; extend ^a with
+	// ones (inverted zero-extension of a).
+	inv := n.NotBus(a)
+	one := n.Const(true)
+	ext := make(Bus, width)
+	copy(ext, inv)
+	for i := len(inv); i < width; i++ {
+		ext[i] = one
+	}
+	kc := n.ConstBus((k+1)&((1<<width)-1), width)
+	return n.AddTrunc(ext, kc, width)
+}
+
+// LessThan returns the single-bit predicate a < b over equal-width unsigned
+// buses, implemented as a ripple borrow chain.
+func (n *Netlist) LessThan(a, b Bus) Signal {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hw: LessThan width mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return n.Const(false)
+	}
+	// borrow_{i+1} = (~a_i & b_i) | ((~a_i | b_i) & borrow_i)
+	borrow := n.Const(false)
+	for i := range a {
+		na := n.Not(a[i])
+		gen := n.And(na, b[i])
+		prop := n.Or(na, b[i])
+		borrow = n.Or(gen, n.And(prop, borrow))
+	}
+	return borrow
+}
+
+// Popcount returns the number of ones among the given bits as a bus of
+// ceil(log2(len+1)) bits, built as a carry-save adder tree of full adders —
+// the POPCNT blocks of the paper's Fig. 5.
+func (n *Netlist) Popcount(bits []Signal) Bus {
+	switch len(bits) {
+	case 0:
+		return Bus{n.Const(false)}
+	case 1:
+		return Bus{n.Buf(bits[0])}
+	}
+	// Reduce the multiset of weighted bits column by column: each column
+	// holds bits of equal weight; three bits of weight w combine into one
+	// of weight w (sum) and one of weight w+1 (carry).
+	columns := [][]Signal{append([]Signal(nil), bits...)}
+	for w := 0; w < len(columns); w++ {
+		for len(columns[w]) > 1 {
+			col := columns[w]
+			if len(columns) == w+1 {
+				columns = append(columns, nil)
+			}
+			if len(col) >= 3 {
+				s, c := n.FullAdder(col[0], col[1], col[2])
+				columns[w] = append(col[3:], s)
+				columns[w+1] = append(columns[w+1], c)
+			} else {
+				s, c := n.HalfAdder(col[0], col[1])
+				columns[w] = append(col[2:], s)
+				columns[w+1] = append(columns[w+1], c)
+			}
+		}
+	}
+	out := make(Bus, len(columns))
+	for w, col := range columns {
+		if len(col) == 1 {
+			out[w] = col[0]
+		} else {
+			out[w] = n.Const(false)
+		}
+	}
+	return out
+}
+
+// MulConst returns a * coef where coef is a small configurable bus
+// (the 3-bit coefficient registers of the paper's configurable design),
+// implemented as the canonical shift-and-add of partial products: for each
+// coefficient bit j, the partial product (a AND coef[j]) << j is accumulated.
+func (n *Netlist) MulConst(a Bus, coef Bus) Bus {
+	if len(coef) == 0 {
+		return Bus{n.Const(false)}
+	}
+	zero := n.Const(false)
+	var acc Bus
+	for j := range coef {
+		pp := make(Bus, j, j+len(a))
+		for k := range pp {
+			pp[k] = zero
+		}
+		for _, bit := range a {
+			pp = append(pp, n.And(bit, coef[j]))
+		}
+		if acc == nil {
+			acc = pp
+		} else {
+			acc = n.Add(acc, pp)
+		}
+	}
+	return acc
+}
+
+// Min returns (min(a,b), sel) over equal-width buses, where sel is 1 iff b
+// is strictly smaller — the comparator+mux pair at the heart of each Fig. 5
+// processing block, with sel doubling as the backtracking bit.
+func (n *Netlist) Min(a, b Bus) (Bus, Signal) {
+	sel := n.LessThan(b, a)
+	return n.MuxBus(sel, a, b), sel
+}
+
+// ZeroExtend returns a widened to width bits (no-op if already wide enough).
+func (n *Netlist) ZeroExtend(a Bus, width int) Bus {
+	if len(a) >= width {
+		return a
+	}
+	out := make(Bus, width)
+	copy(out, a)
+	zero := n.Const(false)
+	for i := len(a); i < width; i++ {
+		out[i] = zero
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package hw
+
+import "fmt"
+
+// Corner is a process/voltage/temperature operating corner, expressed as
+// multipliers against the typical library characterisation — the standard
+// way synthesis signs off timing (slow corner) and power (fast corner).
+type Corner struct {
+	Name string
+	// DelayFactor scales every cell delay (slow corner > 1).
+	DelayFactor float64
+	// LeakageFactor scales leakage (fast/hot corner > 1).
+	LeakageFactor float64
+}
+
+// The conventional three-corner set.
+var (
+	SlowCorner    = Corner{Name: "ss", DelayFactor: 1.25, LeakageFactor: 0.6}
+	TypicalCorner = Corner{Name: "tt", DelayFactor: 1.0, LeakageFactor: 1.0}
+	FastCorner    = Corner{Name: "ff", DelayFactor: 0.8, LeakageFactor: 2.2}
+)
+
+// Corners returns the sign-off set in slow-to-fast order.
+func Corners() []Corner { return []Corner{SlowCorner, TypicalCorner, FastCorner} }
+
+// At returns a copy of the library characterised at the given corner.
+func (l *Library) At(c Corner) (*Library, error) {
+	if c.DelayFactor <= 0 || c.LeakageFactor <= 0 {
+		return nil, fmt.Errorf("hw: corner factors must be positive: %+v", c)
+	}
+	out := *l
+	out.Name = l.Name + "-" + c.Name
+	for t := CellType(0); t < numCellTypes; t++ {
+		out.Specs[t].Delay *= c.DelayFactor
+		out.Specs[t].DelayPerLoad *= c.DelayFactor
+		out.Specs[t].Leakage *= c.LeakageFactor
+	}
+	out.RegSetup *= c.DelayFactor
+	out.RegClkQ *= c.DelayFactor
+	return &out, nil
+}

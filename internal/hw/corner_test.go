@@ -1,0 +1,78 @@
+package hw
+
+import "testing"
+
+// TestCornerMonotonicity: the same design gets slower at the slow corner
+// and faster at the fast corner, with leakage moving the other way.
+func TestCornerMonotonicity(t *testing.T) {
+	base := Generic32()
+	d := BuildOptFixed(8)
+	var prevDelay float64
+	var prevLeak float64
+	for i, c := range Corners() {
+		lib, err := base.At(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := Analyze(d.Netlist, lib)
+		leak := lib.Spec(CellInv).Leakage
+		if i > 0 {
+			if tm.CriticalPath >= prevDelay {
+				t.Errorf("%s: delay %.0f not below previous corner's %.0f", c.Name, tm.CriticalPath, prevDelay)
+			}
+			if leak <= prevLeak {
+				t.Errorf("%s: leakage %.2f not above previous corner's %.2f", c.Name, leak, prevLeak)
+			}
+		}
+		prevDelay = tm.CriticalPath
+		prevLeak = leak
+	}
+}
+
+// TestCornerDoesNotMutateBase: At returns a copy.
+func TestCornerDoesNotMutateBase(t *testing.T) {
+	base := Generic32()
+	before := base.Spec(CellXor2).Delay
+	if _, err := base.At(SlowCorner); err != nil {
+		t.Fatal(err)
+	}
+	if base.Spec(CellXor2).Delay != before {
+		t.Error("At mutated the base library")
+	}
+}
+
+// TestCornerValidation rejects non-physical factors.
+func TestCornerValidation(t *testing.T) {
+	base := Generic32()
+	if _, err := base.At(Corner{Name: "bad", DelayFactor: 0, LeakageFactor: 1}); err == nil {
+		t.Error("zero delay factor accepted")
+	}
+	if _, err := base.At(Corner{Name: "bad", DelayFactor: 1, LeakageFactor: -1}); err == nil {
+		t.Error("negative leakage factor accepted")
+	}
+}
+
+// TestCornerSignoffStory: the fixed-coefficient design that closes 1.5 GHz
+// at the typical corner is expected to struggle at the slow corner — the
+// realistic sign-off picture (and area/energy are corner-independent).
+func TestCornerSignoffStory(t *testing.T) {
+	cfg := DefaultSynthesisConfig()
+	cfg.ActivityBursts = 200
+	slow, err := Generic32().At(SlowCorner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Library = slow
+	rSlow := Synthesize("DBI OPT (Fixed Coeff.)", BuildOptFixed(8), cfg)
+	cfg.Library = nil // typical
+	rTyp := Synthesize("DBI OPT (Fixed Coeff.)", BuildOptFixed(8), cfg)
+	if !rTyp.MeetsTarget {
+		t.Fatal("typical corner should close 1.5 GHz (calibration broken)")
+	}
+	if rSlow.FmaxGHz >= rTyp.FmaxGHz {
+		t.Errorf("slow corner fmax %.2f not below typical %.2f", rSlow.FmaxGHz, rTyp.FmaxGHz)
+	}
+	if rSlow.AreaUm2 != rTyp.AreaUm2 {
+		t.Error("area must be corner-independent")
+	}
+}

@@ -1,0 +1,205 @@
+package hw
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+)
+
+func randomBurst(rng *rand.Rand, n int) bus.Burst {
+	b := make(bus.Burst, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// TestDCDesignMatchesSoftware: the DC netlist must agree bit-for-bit with
+// the software DBI DC encoder on every byte value.
+func TestDCDesignMatchesSoftware(t *testing.T) {
+	d := BuildDC(1)
+	sim := NewSimulator(d.Netlist)
+	sw := dbi.DC{}
+	for v := 0; v < 256; v++ {
+		b := bus.Burst{byte(v)}
+		got := d.Encode(sim, bus.InitialLineState, b)
+		want := sw.Encode(bus.InitialLineState, b)
+		if got[0] != want[0] {
+			t.Errorf("byte %#02x: hw=%v sw=%v", v, got[0], want[0])
+		}
+	}
+}
+
+// TestDCDesignBurst: full 8-beat bursts.
+func TestDCDesignBurst(t *testing.T) {
+	d := BuildDC(8)
+	sim := NewSimulator(d.Netlist)
+	sw := dbi.DC{}
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 300; trial++ {
+		b := randomBurst(rng, 8)
+		got := d.Encode(sim, bus.InitialLineState, b)
+		want := sw.Encode(bus.InitialLineState, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("burst %v beat %d: hw=%v sw=%v", b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestACDesignMatchesSoftware exercises the AC netlist against the software
+// encoder over random bursts and random prior line states.
+func TestACDesignMatchesSoftware(t *testing.T) {
+	d := BuildAC(8)
+	sim := NewSimulator(d.Netlist)
+	sw := dbi.AC{}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		b := randomBurst(rng, 8)
+		prev := bus.LineState{Data: byte(rng.Intn(256)), DBI: rng.Intn(2) == 0}
+		got := d.Encode(sim, prev, b)
+		want := sw.Encode(prev, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("prev %+v burst %v beat %d: hw=%v sw=%v", prev, b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOptFixedDesignMatchesSoftware is the Fig. 5 validation: the
+// fixed-coefficient trellis hardware must agree bit-for-bit with the
+// software shortest-path encoder (identical tie-breaking makes the
+// decision, not just the cost, deterministic).
+func TestOptFixedDesignMatchesSoftware(t *testing.T) {
+	d := BuildOptFixed(8)
+	sim := NewSimulator(d.Netlist)
+	sw := dbi.OptFixed()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		b := randomBurst(rng, 8)
+		got := d.Encode(sim, bus.InitialLineState, b)
+		want := sw.Encode(bus.InitialLineState, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("burst %v beat %d: hw=%v sw=%v (hw %v, sw %v)", b, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// TestOptFixedDesignFig2 pins the hardware on the paper's worked example:
+// whatever inversion pattern it picks must cost exactly 52.
+func TestOptFixedDesignFig2(t *testing.T) {
+	fig2 := bus.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
+	d := BuildOptFixed(8)
+	sim := NewSimulator(d.Netlist)
+	inv := d.Encode(sim, bus.InitialLineState, fig2)
+	c := bus.Apply(fig2, inv).Cost(bus.InitialLineState)
+	if c.Zeros+c.Transitions != 52 {
+		t.Errorf("hardware encoding costs %d (%+v), want 52", c.Zeros+c.Transitions, c)
+	}
+}
+
+// TestOpt3BitDesignMatchesSoftware validates the configurable design
+// against the software integer-coefficient encoder across coefficient
+// settings.
+func TestOpt3BitDesignMatchesSoftware(t *testing.T) {
+	d := BuildOpt3Bit(8)
+	sim := NewSimulator(d.Netlist)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		alpha := uint8(rng.Intn(8))
+		beta := uint8(rng.Intn(8))
+		if alpha == 0 && beta == 0 {
+			alpha = 1
+		}
+		sw := dbi.Quantized{Alpha: alpha, Beta: beta}
+		b := randomBurst(rng, 8)
+		got := d.EncodeCoef(sim, bus.InitialLineState, b, alpha, beta)
+		want := sw.Encode(bus.InitialLineState, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("a=%d b=%d burst %v beat %d: hw=%v sw=%v", alpha, beta, b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOpt3BitUnitCoeffMatchesFixed: with alpha=beta=1 the configurable
+// design must reproduce the fixed design exactly.
+func TestOpt3BitUnitCoeffMatchesFixed(t *testing.T) {
+	d3 := BuildOpt3Bit(8)
+	df := BuildOptFixed(8)
+	sim3 := NewSimulator(d3.Netlist)
+	simf := NewSimulator(df.Netlist)
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		b := randomBurst(rng, 8)
+		g3 := d3.Encode(sim3, bus.InitialLineState, b) // default coefs 1,1
+		gf := df.Encode(simf, bus.InitialLineState, b)
+		for i := range gf {
+			if g3[i] != gf[i] {
+				t.Fatalf("burst %v beat %d: 3bit=%v fixed=%v", b, i, g3[i], gf[i])
+			}
+		}
+	}
+}
+
+// TestDesignGuards covers the interface misuse panics.
+func TestDesignGuards(t *testing.T) {
+	d := BuildOptFixed(8)
+	sim := NewSimulator(d.Netlist)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("wrong burst length", func() {
+		d.Encode(sim, bus.InitialLineState, make(bus.Burst, 4))
+	})
+	mustPanic("non-idle prev on boundary-hardwired design", func() {
+		d.Encode(sim, bus.LineState{Data: 0, DBI: false}, make(bus.Burst, 8))
+	})
+	mustPanic("coef on non-coef design", func() {
+		d.EncodeCoef(sim, bus.InitialLineState, make(bus.Burst, 8), 1, 1)
+	})
+}
+
+// TestDesignSizesOrdering asserts the Table I shape on gate counts: the
+// optimal encoders are substantially larger than the conventional ones and
+// the multiplier variant dwarfs the fixed one.
+func TestDesignSizesOrdering(t *testing.T) {
+	dc := BuildDC(8).Netlist.GateCount()
+	ac := BuildAC(8).Netlist.GateCount()
+	of := BuildOptFixed(8).Netlist.GateCount()
+	o3 := BuildOpt3Bit(8).Netlist.GateCount()
+	if !(dc < ac && ac < of && of < o3) {
+		t.Errorf("gate counts not ordered: DC=%d AC=%d OPT=%d OPT3=%d", dc, ac, of, o3)
+	}
+	if float64(o3) < 1.8*float64(of) {
+		t.Errorf("3-bit design (%d gates) should be much larger than fixed (%d)", o3, of)
+	}
+}
+
+// TestVerilogExport smoke-tests the structural dump.
+func TestVerilogExport(t *testing.T) {
+	d := BuildDC(2)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, d.Netlist); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{"module dbi_dc", "input  byte0_0", "output inv1", "endmodule"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+}

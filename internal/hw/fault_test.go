@@ -1,0 +1,145 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSimDetectsObviousFault: a single AND gate's output faults are
+// trivially detectable.
+func TestFaultSimDetectsObviousFault(t *testing.T) {
+	n := NewNetlist("and")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("o", n.And(a, b))
+	cov := SimulateFaults(n, 32, 1)
+	if cov.Total != 2 {
+		t.Fatalf("total = %d", cov.Total)
+	}
+	if cov.Detected != 2 {
+		t.Errorf("detected = %d/%d, undetected: %v", cov.Detected, cov.Total, cov.Undetected)
+	}
+	if cov.Coverage() != 1 {
+		t.Errorf("coverage = %g", cov.Coverage())
+	}
+}
+
+// TestFaultSimMissesRedundantLogic: a fault on logic that cannot influence
+// any output is undetectable — the classic redundancy case.
+func TestFaultSimMissesRedundantLogic(t *testing.T) {
+	n := NewNetlist("red")
+	a := n.Input("a")
+	// x XOR x == 0: the AND below can never pass anything through.
+	dead := n.Xor(a, a)
+	g := n.And(a, dead)
+	n.Output("o", n.Or(g, a)) // o == a regardless of g
+	cov := SimulateFaults(n, 64, 2)
+	if len(cov.Undetected) == 0 {
+		t.Error("expected undetectable faults in redundant logic")
+	}
+	if cov.Coverage() >= 1 {
+		t.Errorf("coverage = %g, expected < 1", cov.Coverage())
+	}
+	// The fault report must render.
+	if s := cov.Undetected[0].String(); !strings.Contains(s, "/SA") {
+		t.Errorf("fault string = %q", s)
+	}
+}
+
+// TestFaultCoverageEmptyNetlist: no logic means vacuous full coverage.
+func TestFaultCoverageEmptyNetlist(t *testing.T) {
+	n := NewNetlist("empty")
+	in := n.Input("a")
+	n.Output("o", in)
+	cov := SimulateFaults(n, 4, 3)
+	if cov.Total != 0 || cov.Coverage() != 1 {
+		t.Errorf("coverage of wire-only netlist: %+v", cov)
+	}
+}
+
+// TestEncoderFaultCoverage: the optimized DC encoder is highly testable
+// with random patterns — near-full stuck-at coverage, meaning the netlist
+// carries essentially no redundant logic. (A low number here would indicate
+// the builders emit dead or masked gates.)
+func TestEncoderFaultCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault simulation is quadratic; skipped with -short")
+	}
+	n := Optimize(BuildDC(2).Netlist)
+	cov := SimulateFaults(n, 128, 4)
+	if cov.Coverage() < 0.97 {
+		t.Errorf("DC encoder stuck-at coverage %.1f%% (undetected: %v)",
+			cov.Coverage()*100, cov.Undetected)
+	}
+}
+
+// TestVCDRecorder: dump a couple of cycles and check the structure.
+func TestVCDRecorder(t *testing.T) {
+	n := NewNetlist("wave")
+	a := n.Input("a")
+	o := n.Not(a)
+	n.Label(o, "inv_out")
+	n.Output("o", o)
+	sim := NewSimulator(n)
+	var sb strings.Builder
+	rec := NewVCDRecorder(&sb, n, sim)
+
+	sim.Eval([]bool{false})
+	if err := rec.Step(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Eval([]bool{true})
+	if err := rec.Step(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Eval([]bool{true}) // no change
+	if err := rec.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"$timescale", "$var wire 1", "inv_out", "#0", "#1", "#3", "$enddefinitions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vcd missing %q:\n%s", want, out)
+		}
+	}
+	// The unchanged third cycle must not re-emit values.
+	if strings.Count(out, "#2\n") != 1 {
+		t.Error("timestamp #2 missing")
+	}
+	idx2 := strings.Index(out, "#2\n")
+	idx3 := strings.Index(out, "#3\n")
+	if strings.TrimSpace(out[idx2+3:idx3]) != "" {
+		t.Errorf("steady cycle emitted changes: %q", out[idx2:idx3])
+	}
+}
+
+// TestVCDRecorderCloseWithoutStep still writes a valid header.
+func TestVCDRecorderCloseWithoutStep(t *testing.T) {
+	n := NewNetlist("w2")
+	n.Output("o", n.Input("a"))
+	sim := NewSimulator(n)
+	var sb strings.Builder
+	rec := NewVCDRecorder(&sb, n, sim)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "$enddefinitions") {
+		t.Error("header missing")
+	}
+}
+
+// TestVCDIDsUnique: identifier generation stays collision-free well past
+// one character.
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,337 @@
+package hw
+
+import "fmt"
+
+// Optimize returns a functionally equivalent copy of n with the classic
+// logic-cleanup passes a synthesis tool runs before mapping:
+//
+//   - constant propagation (ties folded through every gate, the mux
+//     branches of constant selects taken),
+//   - algebraic identities (x AND x = x, x XOR x = 0, double inversion,
+//     muxes with equal branches, AND/OR/XOR with a constant operand),
+//   - structural hashing (common-subexpression elimination: identical
+//     gates on identical inputs are built once),
+//   - dead-cell sweeping (everything not reachable from an output is
+//     dropped; primary inputs are kept to preserve the interface).
+//
+// The pass matters for the encoder designs because the Fig. 5 trellis
+// hard-wires its boundary state (previous byte all-ones, path costs 0/∞):
+// a third of the first block's logic folds away, exactly as it does under a
+// real synthesis flow.
+func Optimize(n *Netlist) *Netlist {
+	n.Freeze()
+	o := newOptimizer(n)
+	o.run()
+	return o.sweep()
+}
+
+// ref is the optimizer's view of one original signal: either a known
+// constant or a signal in the rebuilt netlist.
+type ref struct {
+	isConst bool
+	val     bool
+	sig     Signal
+}
+
+func constRef(v bool) ref { return ref{isConst: true, val: v} }
+func sigRef(s Signal) ref { return ref{sig: s} }
+
+type optimizer struct {
+	src *Netlist
+	dst *Netlist
+	// refs maps every source signal to its folded destination form.
+	refs []ref
+	// hash implements structural hashing over destination cells.
+	hash map[[4]int32]Signal
+	// invOf records, for destination signals produced by an inverter, the
+	// signal they invert — enabling Inv(Inv(x)) = x.
+	invOf map[Signal]Signal
+	// tie0/tie1 are lazily created shared constant cells.
+	tie0, tie1 Signal
+}
+
+func newOptimizer(src *Netlist) *optimizer {
+	return &optimizer{
+		src:   src,
+		dst:   NewNetlist(src.Name),
+		refs:  make([]ref, len(src.types)),
+		hash:  make(map[[4]int32]Signal),
+		invOf: make(map[Signal]Signal),
+		tie0:  -1,
+		tie1:  -1,
+	}
+}
+
+// materialize turns a ref into a destination signal, creating shared tie
+// cells for constants on demand.
+func (o *optimizer) materialize(r ref) Signal {
+	if !r.isConst {
+		return r.sig
+	}
+	if r.val {
+		if o.tie1 < 0 {
+			o.tie1 = o.dst.Const(true)
+		}
+		return o.tie1
+	}
+	if o.tie0 < 0 {
+		o.tie0 = o.dst.Const(false)
+	}
+	return o.tie0
+}
+
+// emit creates (or reuses, via structural hashing) a destination gate.
+func (o *optimizer) emit(t CellType, pins ...Signal) Signal {
+	key := [4]int32{int32(t), -1, -1, -1}
+	for i, p := range pins {
+		key[i+1] = int32(p)
+	}
+	// Commutative gates hash with sorted operands.
+	switch t {
+	case CellAnd2, CellOr2, CellNand2, CellNor2, CellXor2, CellXnor2:
+		if key[1] > key[2] {
+			key[1], key[2] = key[2], key[1]
+		}
+	}
+	if s, ok := o.hash[key]; ok {
+		return s
+	}
+	var s Signal
+	switch len(pins) {
+	case 1:
+		s = o.dst.add(t, pins[0], -1, -1)
+	case 2:
+		s = o.dst.add(t, pins[0], pins[1], -1)
+	case 3:
+		s = o.dst.add(t, pins[0], pins[1], pins[2])
+	default:
+		panic(fmt.Sprintf("hw: emit with %d pins", len(pins)))
+	}
+	o.hash[key] = s
+	return s
+}
+
+// inv returns the inversion of a destination signal, folding double
+// inversion.
+func (o *optimizer) inv(s Signal) ref {
+	if src, ok := o.invOf[s]; ok {
+		return sigRef(src)
+	}
+	out := o.emit(CellInv, s)
+	o.invOf[out] = s
+	return sigRef(out)
+}
+
+func (o *optimizer) run() {
+	for id, t := range o.src.types {
+		f := o.src.fanin[id]
+		var r ref
+		switch t {
+		case CellInput:
+			// Inputs are preserved verbatim to keep the interface stable.
+			r = sigRef(o.dst.Input(o.src.labels[Signal(id)]))
+		case CellTie0:
+			r = constRef(false)
+		case CellTie1:
+			r = constRef(true)
+		case CellBuf, CellDFF:
+			r = o.refs[f[0]] // pure aliases disappear
+		case CellInv:
+			a := o.refs[f[0]]
+			if a.isConst {
+				r = constRef(!a.val)
+			} else {
+				r = o.inv(a.sig)
+			}
+		case CellAnd2:
+			r = o.fold2(CellAnd2, o.refs[f[0]], o.refs[f[1]])
+		case CellOr2:
+			r = o.fold2(CellOr2, o.refs[f[0]], o.refs[f[1]])
+		case CellNand2:
+			r = o.fold2(CellNand2, o.refs[f[0]], o.refs[f[1]])
+		case CellNor2:
+			r = o.fold2(CellNor2, o.refs[f[0]], o.refs[f[1]])
+		case CellXor2:
+			r = o.fold2(CellXor2, o.refs[f[0]], o.refs[f[1]])
+		case CellXnor2:
+			r = o.fold2(CellXnor2, o.refs[f[0]], o.refs[f[1]])
+		case CellMux2:
+			r = o.foldMux(o.refs[f[0]], o.refs[f[1]], o.refs[f[2]])
+		default:
+			panic(fmt.Sprintf("hw: optimizer: unknown cell type %v", t))
+		}
+		o.refs[id] = r
+	}
+	for i, out := range o.src.outputs {
+		o.dst.Output(o.src.outputNames[i], o.materialize(o.refs[out]))
+	}
+}
+
+// fold2 applies constant and algebraic folding to a two-input gate.
+func (o *optimizer) fold2(t CellType, a, b ref) ref {
+	// Both constant: evaluate.
+	if a.isConst && b.isConst {
+		return constRef(eval2(t, a.val, b.val))
+	}
+	// Normalise: constant (if any) in a.
+	if b.isConst {
+		a, b = b, a
+	}
+	if a.isConst {
+		x := b.sig
+		switch t {
+		case CellAnd2:
+			if a.val {
+				return sigRef(x)
+			}
+			return constRef(false)
+		case CellOr2:
+			if a.val {
+				return constRef(true)
+			}
+			return sigRef(x)
+		case CellNand2:
+			if a.val {
+				return o.inv(x)
+			}
+			return constRef(true)
+		case CellNor2:
+			if a.val {
+				return constRef(false)
+			}
+			return o.inv(x)
+		case CellXor2:
+			if a.val {
+				return o.inv(x)
+			}
+			return sigRef(x)
+		case CellXnor2:
+			if a.val {
+				return sigRef(x)
+			}
+			return o.inv(x)
+		}
+	}
+	// Equal operands.
+	if a.sig == b.sig {
+		switch t {
+		case CellAnd2, CellOr2:
+			return sigRef(a.sig)
+		case CellNand2, CellNor2:
+			return o.inv(a.sig)
+		case CellXor2:
+			return constRef(false)
+		case CellXnor2:
+			return constRef(true)
+		}
+	}
+	return sigRef(o.emit(t, a.sig, b.sig))
+}
+
+// foldMux folds Mux(sel, a, b) = sel ? b : a.
+func (o *optimizer) foldMux(a, b, sel ref) ref {
+	if sel.isConst {
+		if sel.val {
+			return b
+		}
+		return a
+	}
+	if a.isConst && b.isConst {
+		if a.val == b.val {
+			return a
+		}
+		if b.val { // 0/1 mux is the select itself
+			return sel
+		}
+		return o.inv(sel.sig) // 1/0 mux is the inverted select
+	}
+	if a.isConst {
+		if a.val {
+			// sel ? b : 1  =  ~sel OR b
+			n := o.inv(sel.sig)
+			return o.fold2(CellOr2, n, b)
+		}
+		// sel ? b : 0  =  sel AND b
+		return o.fold2(CellAnd2, sel, b)
+	}
+	if b.isConst {
+		if b.val {
+			// sel ? 1 : a  =  sel OR a
+			return o.fold2(CellOr2, sel, a)
+		}
+		// sel ? 0 : a  =  ~sel AND a
+		n := o.inv(sel.sig)
+		return o.fold2(CellAnd2, n, a)
+	}
+	if a.sig == b.sig {
+		return a
+	}
+	return sigRef(o.emit(CellMux2, a.sig, b.sig, sel.sig))
+}
+
+func eval2(t CellType, a, b bool) bool {
+	switch t {
+	case CellAnd2:
+		return a && b
+	case CellOr2:
+		return a || b
+	case CellNand2:
+		return !(a && b)
+	case CellNor2:
+		return !(a || b)
+	case CellXor2:
+		return a != b
+	case CellXnor2:
+		return a == b
+	}
+	panic(fmt.Sprintf("hw: eval2 on %v", t))
+}
+
+// sweep removes cells not reachable from any output, preserving primary
+// inputs and creation order.
+func (o *optimizer) sweep() *Netlist {
+	d := o.dst
+	live := make([]bool, len(d.types))
+	var mark func(s Signal)
+	mark = func(s Signal) {
+		if live[s] {
+			return
+		}
+		live[s] = true
+		t := d.types[s]
+		for i := 0; i < t.fanins(); i++ {
+			mark(d.fanin[s][i])
+		}
+	}
+	for _, out := range d.outputs {
+		mark(out)
+	}
+	for _, in := range d.inputs {
+		live[in] = true // interface stability
+	}
+
+	out := NewNetlist(d.Name)
+	remap := make([]Signal, len(d.types))
+	for id, t := range d.types {
+		if !live[id] {
+			remap[id] = -1
+			continue
+		}
+		f := d.fanin[id]
+		pins := [3]Signal{-1, -1, -1}
+		for i := 0; i < t.fanins(); i++ {
+			pins[i] = remap[f[i]]
+		}
+		var s Signal
+		if t == CellInput {
+			s = out.Input(d.labels[Signal(id)])
+		} else {
+			s = out.add(t, pins[0], pins[1], pins[2])
+		}
+		remap[id] = s
+	}
+	for i, sig := range d.outputs {
+		out.Output(d.outputNames[i], remap[sig])
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+)
+
+// randomVectors drives both netlists with identical random inputs and
+// compares every output.
+func assertEquivalent(t *testing.T, a, b *Netlist, trials int, seed int64) {
+	t.Helper()
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		t.Fatalf("interface changed: %dx%d vs %dx%d", a.NumInputs(), a.NumOutputs(), b.NumInputs(), b.NumOutputs())
+	}
+	simA := NewSimulator(a)
+	simB := NewSimulator(b)
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, a.NumInputs())
+	for trial := 0; trial < trials; trial++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa := simA.Eval(in)
+		ob := simB.Eval(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("trial %d: output %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestOptimizePreservesFunction: the cleanup passes must not change any
+// output on any of the four encoder designs.
+func TestOptimizePreservesFunction(t *testing.T) {
+	designs := map[string]*Netlist{
+		"dc":    BuildDC(8).Netlist,
+		"ac":    BuildAC(8).Netlist,
+		"fixed": BuildOptFixed(8).Netlist,
+		"3bit":  BuildOpt3Bit(8).Netlist,
+	}
+	for name, n := range designs {
+		opt := Optimize(n)
+		assertEquivalent(t, n, opt, 300, 70)
+		if opt.GateCount() >= n.GateCount() {
+			t.Errorf("%s: optimization did not shrink the netlist (%d -> %d gates)",
+				name, n.GateCount(), opt.GateCount())
+		}
+	}
+}
+
+// TestOptimizeIdempotent: a second pass finds nothing more of substance
+// (allow a tiny wobble from tie sharing).
+func TestOptimizeIdempotent(t *testing.T) {
+	n := BuildOptFixed(8).Netlist
+	once := Optimize(n)
+	twice := Optimize(once)
+	if twice.GateCount() > once.GateCount() {
+		t.Errorf("second pass grew the netlist: %d -> %d", once.GateCount(), twice.GateCount())
+	}
+	assertEquivalent(t, once, twice, 100, 71)
+}
+
+// TestOptimizeConstantFolding: a circuit of constants collapses entirely.
+func TestOptimizeConstantFolding(t *testing.T) {
+	n := NewNetlist("const")
+	a := n.Const(true)
+	b := n.Const(false)
+	x := n.Xor(n.And(a, a), n.Or(b, b)) // = 1
+	n.Output("o", n.Mux(b, x, n.Not(x)))
+	opt := Optimize(n)
+	if opt.GateCount() != 0 {
+		t.Errorf("constant circuit kept %d gates", opt.GateCount())
+	}
+	sim := NewSimulator(opt)
+	if out := sim.Eval(nil); !out[0] {
+		t.Error("folded constant has wrong value")
+	}
+}
+
+// TestOptimizeIdentities covers the algebraic rules gate by gate.
+func TestOptimizeIdentities(t *testing.T) {
+	n := NewNetlist("ident")
+	x := n.Input("x")
+	one := n.Const(true)
+	zero := n.Const(false)
+	n.Output("and1", n.And(x, one))      // = x
+	n.Output("or0", n.Or(zero, x))       // = x
+	n.Output("xor0", n.Xor(x, zero))     // = x
+	n.Output("xnor1", n.Xnor(one, x))    // = x
+	n.Output("xx", n.Xor(x, x))          // = 0
+	n.Output("nn", n.Nand(x, x))         // = ~x
+	n.Output("inv2", n.Not(n.Not(x)))    // = x
+	n.Output("mux", n.Mux(x, zero, one)) // = x
+	opt := Optimize(n)
+	assertEquivalent(t, n, opt, 8, 72)
+	// Only the single inverter for "nn" should survive.
+	if g := opt.GateCount(); g > 1 {
+		t.Errorf("identities left %d gates, want <= 1 (%s)", g, opt.Stats())
+	}
+}
+
+// TestOptimizeCSE: structurally identical gates are built once.
+func TestOptimizeCSE(t *testing.T) {
+	n := NewNetlist("cse")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("x", n.And(a, b))
+	n.Output("y", n.And(b, a)) // commutative duplicate
+	n.Output("z", n.And(a, b)) // exact duplicate
+	opt := Optimize(n)
+	if opt.GateCount() != 1 {
+		t.Errorf("CSE kept %d gates, want 1", opt.GateCount())
+	}
+	assertEquivalent(t, n, opt, 4, 73)
+}
+
+// TestOptimizeDeadCodeSweep: logic feeding nothing disappears, inputs stay.
+func TestOptimizeDeadCodeSweep(t *testing.T) {
+	n := NewNetlist("dead")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Xor(n.And(a, b), b) // dead cone
+	n.Output("o", n.Buf(a))
+	opt := Optimize(n)
+	if opt.GateCount() != 0 {
+		t.Errorf("dead cone kept %d gates", opt.GateCount())
+	}
+	if opt.NumInputs() != 2 {
+		t.Errorf("inputs not preserved: %d", opt.NumInputs())
+	}
+}
+
+// TestOptimizeMuxFolds covers the constant-branch mux rewrites.
+func TestOptimizeMuxFolds(t *testing.T) {
+	n := NewNetlist("mux")
+	s := n.Input("s")
+	x := n.Input("x")
+	one := n.Const(true)
+	zero := n.Const(false)
+	n.Output("a", n.Mux(s, zero, x)) // = s AND x
+	n.Output("b", n.Mux(s, one, x))  // = ~s OR x
+	n.Output("c", n.Mux(s, x, zero)) // = ~s AND x
+	n.Output("d", n.Mux(s, x, one))  // = s OR x
+	n.Output("e", n.Mux(one, x, s))  // = s
+	n.Output("f", n.Mux(s, x, x))    // = x
+	opt := Optimize(n)
+	assertEquivalent(t, n, opt, 16, 74)
+	if opt.CellCount(CellMux2) != 0 {
+		t.Errorf("constant-branch muxes survived: %s", opt.Stats())
+	}
+}
+
+// TestOptimizedDesignStillMatchesSoftware: the synthesis flow swaps in the
+// optimized netlist; it must still encode bit-exactly.
+func TestOptimizedDesignStillMatchesSoftware(t *testing.T) {
+	raw := BuildOptFixed(8)
+	d := &Design{Netlist: Optimize(raw.Netlist), Beats: raw.Beats, PipelineRegisters: raw.PipelineRegisters}
+	sim := NewSimulator(d.Netlist)
+	sw := dbi.OptFixed()
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 300; trial++ {
+		b := make(bus.Burst, 8)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		got := d.Encode(sim, bus.InitialLineState, b)
+		want := sw.Encode(bus.InitialLineState, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("burst %v beat %d: hw=%v sw=%v", b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOptimizeReductionMagnitude documents the expected effect: the fixed
+// design (hard-wired boundary, shared popcount structures) folds harder
+// than the coefficient design with its live multiplier inputs.
+func TestOptimizeReductionMagnitude(t *testing.T) {
+	fixed := BuildOptFixed(8).Netlist
+	threeBit := BuildOpt3Bit(8).Netlist
+	fr := float64(Optimize(fixed).GateCount()) / float64(fixed.GateCount())
+	tr := float64(Optimize(threeBit).GateCount()) / float64(threeBit.GateCount())
+	if fr > 0.95 {
+		t.Errorf("fixed design only reduced to %.2f of original", fr)
+	}
+	if tr > 1.0 {
+		t.Errorf("3-bit design grew: %.2f", tr)
+	}
+}

@@ -1,0 +1,157 @@
+package hw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbiopt/internal/bus"
+)
+
+// Report is a synthesis-style summary of one encoder design, the row format
+// of the paper's Table I.
+type Report struct {
+	Scheme string
+	// AreaUm2 is the total cell area including pipeline registers, µm².
+	AreaUm2 float64
+	// StaticUw is the leakage power in µW.
+	StaticUw float64
+	// DynamicUw is the switching power in µW at the achieved burst rate.
+	DynamicUw float64
+	// BurstRateGHz is the achieved burst (clock) rate: the lower of the
+	// STA-derived maximum and the target rate.
+	BurstRateGHz float64
+	// FmaxGHz is the STA-derived maximum clock rate of the pipelined
+	// design, before capping at the target.
+	FmaxGHz float64
+	// TotalUw is static + dynamic power.
+	TotalUw float64
+	// EnergyPerBurstPJ is the total energy the encoder itself consumes per
+	// encoded burst, in picojoules.
+	EnergyPerBurstPJ float64
+	// MeetsTarget reports whether the design closes timing at the target
+	// rate.
+	MeetsTarget bool
+	// Gates is the combinational gate count.
+	Gates int
+	// CriticalPathPs is the unpipelined combinational delay.
+	CriticalPathPs float64
+}
+
+// String renders the report as one human-readable line.
+func (r Report) String() string {
+	return fmt.Sprintf("%-24s area=%6.0fµm² static=%7.1fµW dynamic=%8.1fµW rate=%.2fGHz total=%8.1fµW E/burst=%6.3fpJ",
+		r.Scheme, r.AreaUm2, r.StaticUw, r.DynamicUw, r.BurstRateGHz, r.TotalUw, r.EnergyPerBurstPJ)
+}
+
+// SynthesisConfig parameterises the estimation flow.
+type SynthesisConfig struct {
+	// Library is the cell library; nil selects Generic32.
+	Library *Library
+	// PipelineStages is the number of output pipeline stages the retiming
+	// model distributes; the paper uses 8.
+	PipelineStages int
+	// TargetRateGHz is the burst rate the design must close timing at:
+	// 1.5 GHz for 12 Gbps GDDR5X (8 bytes per clock).
+	TargetRateGHz float64
+	// ActivityBursts is the number of random bursts simulated to estimate
+	// switching activity.
+	ActivityBursts int
+	// Seed drives the activity stimulus.
+	Seed int64
+	// Optimize runs the logic-cleanup passes (constant propagation,
+	// structural hashing, dead-cell sweep) before estimation, as a real
+	// synthesis flow would.
+	Optimize bool
+}
+
+// DefaultSynthesisConfig mirrors the paper's setup: 8 pipeline stages,
+// 1.5 GHz target (12 Gbps per pin), optimisation on, and a healthy
+// stimulus length.
+func DefaultSynthesisConfig() SynthesisConfig {
+	return SynthesisConfig{PipelineStages: 8, TargetRateGHz: 1.5, ActivityBursts: 2000, Seed: 1, Optimize: true}
+}
+
+// Synthesize estimates area, power and achievable rate for one design,
+// the way a synthesis report would summarise it: STA for timing, cell-area
+// summation for area, leakage summation for static power, and simulated
+// toggle counts for dynamic power.
+func Synthesize(scheme string, d *Design, cfg SynthesisConfig) Report {
+	lib := cfg.Library
+	if lib == nil {
+		lib = Generic32()
+	}
+	if cfg.Optimize {
+		d = &Design{
+			Netlist:           Optimize(d.Netlist),
+			Beats:             d.Beats,
+			PipelineRegisters: d.PipelineRegisters,
+			hasPrev:           d.hasPrev,
+			hasCoef:           d.hasCoef,
+		}
+	}
+	n := d.Netlist
+	n.Freeze()
+
+	// Area and leakage: combinational cells plus pipeline registers.
+	var area, leak float64
+	for t := CellType(0); t < numCellTypes; t++ {
+		c := float64(n.CellCount(t))
+		area += c * lib.Spec(t).Area
+		leak += c * lib.Spec(t).Leakage
+	}
+	pipe := Pipeline{Stages: cfg.PipelineStages, Registers: d.PipelineRegisters}
+	area += pipe.RegisterArea(lib)
+	leak += pipe.RegisterLeakage(lib)
+
+	// Timing.
+	tm := Analyze(n, lib)
+	fmax := pipe.MaxFrequency(tm, lib)
+	rate := cfg.TargetRateGHz * 1e9
+	meets := fmax >= rate
+	if !meets {
+		rate = fmax
+	}
+
+	// Activity: simulate random bursts back to back and average the
+	// switched energy; add the pipeline registers' per-cycle energy.
+	sim := NewSimulator(n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	burst := make(bus.Burst, d.Beats)
+	for i := 0; i <= cfg.ActivityBursts; i++ { // one extra to prime state
+		for j := range burst {
+			burst[j] = byte(rng.Intn(256))
+		}
+		d.Encode(sim, bus.InitialLineState, burst)
+	}
+	combEnergyFJ := sim.SwitchedEnergy(lib) / float64(cfg.ActivityBursts)
+	regEnergyFJ := pipe.RegisterEnergyPerCycle(lib)
+	energyPerBurstFJ := combEnergyFJ + regEnergyFJ
+
+	dynW := energyPerBurstFJ * 1e-15 * rate
+	staticW := leak * 1e-9
+
+	return Report{
+		Scheme:           scheme,
+		AreaUm2:          area,
+		StaticUw:         staticW * 1e6,
+		DynamicUw:        dynW * 1e6,
+		BurstRateGHz:     rate / 1e9,
+		FmaxGHz:          fmax / 1e9,
+		TotalUw:          (staticW + dynW) * 1e6,
+		EnergyPerBurstPJ: energyPerBurstFJ * 1e-3,
+		MeetsTarget:      meets,
+		Gates:            n.GateCount(),
+		CriticalPathPs:   tm.CriticalPath,
+	}
+}
+
+// SynthesizeAll builds and estimates the four Table I designs at the given
+// burst length and returns their reports in the paper's row order.
+func SynthesizeAll(beats int, cfg SynthesisConfig) []Report {
+	return []Report{
+		Synthesize("DBI DC", BuildDC(beats), cfg),
+		Synthesize("DBI AC", BuildAC(beats), cfg),
+		Synthesize("DBI OPT (Fixed Coeff.)", BuildOptFixed(beats), cfg),
+		Synthesize("DBI OPT (3-Bit Coeff.)", BuildOpt3Bit(beats), cfg),
+	}
+}

@@ -1,0 +1,90 @@
+package hw
+
+import "testing"
+
+// TestSynthesizeTable1Shape asserts the qualitative content of the paper's
+// Table I on our calibrated flow:
+//
+//   - area and total power strictly increase DC < AC < OPT(Fixed) < OPT(3-Bit)
+//   - DC, AC and OPT(Fixed) close timing at 1.5 GHz (12 Gbps), the 3-bit
+//     configurable design does not
+//   - encoding energy per burst is ordered the same way
+func TestSynthesizeTable1Shape(t *testing.T) {
+	rs := SynthesizeAll(8, DefaultSynthesisConfig())
+	if len(rs) != 4 {
+		t.Fatalf("got %d reports", len(rs))
+	}
+	dc, ac, of, o3 := rs[0], rs[1], rs[2], rs[3]
+
+	if !(dc.AreaUm2 < ac.AreaUm2 && ac.AreaUm2 < of.AreaUm2 && of.AreaUm2 < o3.AreaUm2) {
+		t.Errorf("area not ordered: %g %g %g %g", dc.AreaUm2, ac.AreaUm2, of.AreaUm2, o3.AreaUm2)
+	}
+	if !(dc.TotalUw < ac.TotalUw && ac.TotalUw < of.TotalUw && of.TotalUw < o3.TotalUw) {
+		t.Errorf("total power not ordered: %g %g %g %g", dc.TotalUw, ac.TotalUw, of.TotalUw, o3.TotalUw)
+	}
+	if !(dc.EnergyPerBurstPJ < ac.EnergyPerBurstPJ && ac.EnergyPerBurstPJ < of.EnergyPerBurstPJ &&
+		of.EnergyPerBurstPJ < o3.EnergyPerBurstPJ) {
+		t.Errorf("energy/burst not ordered: %g %g %g %g",
+			dc.EnergyPerBurstPJ, ac.EnergyPerBurstPJ, of.EnergyPerBurstPJ, o3.EnergyPerBurstPJ)
+	}
+	for _, r := range []Report{dc, ac, of} {
+		if !r.MeetsTarget || r.BurstRateGHz < 1.5 {
+			t.Errorf("%s should close 1.5 GHz, got %.2f GHz", r.Scheme, r.BurstRateGHz)
+		}
+	}
+	if o3.MeetsTarget {
+		t.Errorf("3-bit design should miss 1.5 GHz, got fmax %.2f GHz", o3.FmaxGHz)
+	}
+	if o3.BurstRateGHz >= 1.5 {
+		t.Errorf("3-bit achieved rate %.2f GHz should be below target", o3.BurstRateGHz)
+	}
+}
+
+// TestSynthesizeDeterministic: identical config must give identical reports
+// (the stimulus is seeded).
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := DefaultSynthesisConfig()
+	cfg.ActivityBursts = 200
+	a := Synthesize("DBI DC", BuildDC(8), cfg)
+	b := Synthesize("DBI DC", BuildDC(8), cfg)
+	if a != b {
+		t.Errorf("reports differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSynthesizeSeedChangesActivityOnly: a different stimulus seed may move
+// dynamic power slightly but must not change area or timing.
+func TestSynthesizeSeedChangesActivityOnly(t *testing.T) {
+	cfg := DefaultSynthesisConfig()
+	cfg.ActivityBursts = 200
+	a := Synthesize("DBI AC", BuildAC(8), cfg)
+	cfg.Seed = 99
+	b := Synthesize("DBI AC", BuildAC(8), cfg)
+	if a.AreaUm2 != b.AreaUm2 || a.FmaxGHz != b.FmaxGHz || a.StaticUw != b.StaticUw {
+		t.Error("seed affected non-activity quantities")
+	}
+	rel := (a.DynamicUw - b.DynamicUw) / a.DynamicUw
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.1 {
+		t.Errorf("dynamic power unstable across seeds: %g vs %g", a.DynamicUw, b.DynamicUw)
+	}
+}
+
+// TestReportString smoke-tests the formatting.
+func TestReportString(t *testing.T) {
+	r := Report{Scheme: "X", AreaUm2: 1, TotalUw: 2}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestSynthesizeDefaultLibrary: nil library selects Generic32.
+func TestSynthesizeDefaultLibrary(t *testing.T) {
+	cfg := SynthesisConfig{PipelineStages: 8, TargetRateGHz: 1.5, ActivityBursts: 50, Seed: 1}
+	r := Synthesize("DBI DC", BuildDC(8), cfg)
+	if r.AreaUm2 <= 0 || r.StaticUw <= 0 || r.DynamicUw <= 0 {
+		t.Errorf("implausible report: %+v", r)
+	}
+}

@@ -1,0 +1,134 @@
+package hw
+
+import "fmt"
+
+// Simulator evaluates a frozen netlist. Because cells are stored in
+// topological order, evaluation is a single forward pass; the simulator
+// additionally counts per-cell output toggles between consecutive input
+// vectors, the activity measure the dynamic power model consumes.
+type Simulator struct {
+	n       *Netlist
+	values  []bool
+	prev    []bool
+	toggles []uint64
+	vectors int
+}
+
+// NewSimulator prepares a simulator for n (freezing it if necessary).
+func NewSimulator(n *Netlist) *Simulator {
+	n.Freeze()
+	return &Simulator{
+		n:       n,
+		values:  make([]bool, len(n.types)),
+		prev:    make([]bool, len(n.types)),
+		toggles: make([]uint64, len(n.types)),
+	}
+}
+
+// Eval applies the input vector (one bool per primary input, in declaration
+// order) and returns the output vector (one bool per primary output). Eval
+// also accumulates toggle counts against the previous vector, except on the
+// very first call, which establishes the baseline state.
+func (s *Simulator) Eval(inputs []bool) []bool {
+	n := s.n
+	if len(inputs) != len(n.inputs) {
+		panic(fmt.Sprintf("hw: %d input values for %d inputs", len(inputs), len(n.inputs)))
+	}
+	v := s.values
+	in := 0
+	for id, t := range n.types {
+		f := n.fanin[id]
+		switch t {
+		case CellInput:
+			v[id] = inputs[in]
+			in++
+		case CellTie0:
+			v[id] = false
+		case CellTie1:
+			v[id] = true
+		case CellBuf, CellDFF:
+			v[id] = v[f[0]]
+		case CellInv:
+			v[id] = !v[f[0]]
+		case CellAnd2:
+			v[id] = v[f[0]] && v[f[1]]
+		case CellOr2:
+			v[id] = v[f[0]] || v[f[1]]
+		case CellNand2:
+			v[id] = !(v[f[0]] && v[f[1]])
+		case CellNor2:
+			v[id] = !(v[f[0]] || v[f[1]])
+		case CellXor2:
+			v[id] = v[f[0]] != v[f[1]]
+		case CellXnor2:
+			v[id] = v[f[0]] == v[f[1]]
+		case CellMux2:
+			if v[f[2]] {
+				v[id] = v[f[1]]
+			} else {
+				v[id] = v[f[0]]
+			}
+		default:
+			panic(fmt.Sprintf("hw: unknown cell type %v", t))
+		}
+	}
+	if s.vectors > 0 {
+		for id := range v {
+			if v[id] != s.prev[id] {
+				s.toggles[id]++
+			}
+		}
+	}
+	copy(s.prev, v)
+	s.vectors++
+
+	out := make([]bool, len(n.outputs))
+	for i, sig := range n.outputs {
+		out[i] = v[sig]
+	}
+	return out
+}
+
+// EvalUints is a convenience wrapper packing input/output buses into
+// uint64 words: each entry of inputs fills the corresponding declared input
+// bus slice, LSB first.
+func (s *Simulator) EvalUints(inputs []bool) []bool { return s.Eval(inputs) }
+
+// Vectors returns the number of vectors evaluated.
+func (s *Simulator) Vectors() int { return s.vectors }
+
+// Toggles returns the total output-toggle count across all cells since the
+// first vector.
+func (s *Simulator) Toggles() uint64 {
+	var t uint64
+	for _, c := range s.toggles {
+		t += c
+	}
+	return t
+}
+
+// SwitchedEnergy returns the accumulated switching energy in femtojoules
+// under the given library: the sum over cells of toggles × per-toggle
+// energy.
+func (s *Simulator) SwitchedEnergy(lib *Library) float64 {
+	var e float64
+	for id, c := range s.toggles {
+		if c == 0 {
+			continue
+		}
+		e += float64(c) * lib.Spec(s.n.types[id]).SwitchEnergy
+	}
+	return e
+}
+
+// ResetActivity clears toggle statistics but keeps the current state.
+func (s *Simulator) ResetActivity() {
+	for i := range s.toggles {
+		s.toggles[i] = 0
+	}
+	s.vectors = 1 // keep prev as baseline
+}
+
+// Value returns the current value of an arbitrary signal, for debugging and
+// white-box tests.
+func (s *Simulator) Value(sig Signal) bool { return s.values[sig] }

@@ -1,0 +1,119 @@
+package hw
+
+import (
+	"testing"
+)
+
+func TestSimulatorTruthTables(t *testing.T) {
+	n := NewNetlist("gates")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("and", n.And(a, b))
+	n.Output("or", n.Or(a, b))
+	n.Output("nand", n.Nand(a, b))
+	n.Output("nor", n.Nor(a, b))
+	n.Output("xor", n.Xor(a, b))
+	n.Output("xnor", n.Xnor(a, b))
+	n.Output("not", n.Not(a))
+	n.Output("buf", n.Buf(a))
+	sim := NewSimulator(n)
+	for v := 0; v < 4; v++ {
+		x, y := v&1 == 1, v&2 == 2
+		out := sim.Eval([]bool{x, y})
+		want := []bool{x && y, x || y, !(x && y), !(x || y), x != y, x == y, !x, x}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("v=%d output %d = %v, want %v", v, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSimulatorMuxTruthTable(t *testing.T) {
+	n := NewNetlist("mux")
+	sel := n.Input("sel")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("o", n.Mux(sel, a, b))
+	sim := NewSimulator(n)
+	for v := 0; v < 8; v++ {
+		s, x, y := v&1 == 1, v&2 == 2, v&4 == 4
+		got := sim.Eval([]bool{s, x, y})[0]
+		want := x
+		if s {
+			want = y
+		}
+		if got != want {
+			t.Errorf("mux(sel=%v,a=%v,b=%v) = %v", s, x, y, got)
+		}
+	}
+}
+
+func TestSimulatorToggleCounting(t *testing.T) {
+	n := NewNetlist("tog")
+	a := n.Input("a")
+	n.Output("o", n.Not(a))
+	sim := NewSimulator(n)
+	sim.Eval([]bool{false}) // baseline, no toggles counted
+	if sim.Toggles() != 0 {
+		t.Fatalf("baseline toggles = %d", sim.Toggles())
+	}
+	sim.Eval([]bool{true}) // input and inverter both flip
+	if sim.Toggles() != 2 {
+		t.Fatalf("toggles = %d, want 2", sim.Toggles())
+	}
+	sim.Eval([]bool{true}) // no change
+	if sim.Toggles() != 2 {
+		t.Fatalf("toggles = %d, want 2 after steady vector", sim.Toggles())
+	}
+	if sim.Vectors() != 3 {
+		t.Errorf("vectors = %d", sim.Vectors())
+	}
+	sim.ResetActivity()
+	if sim.Toggles() != 0 {
+		t.Error("reset did not clear toggles")
+	}
+	sim.Eval([]bool{false})
+	if sim.Toggles() != 2 {
+		t.Errorf("toggles after reset+flip = %d, want 2", sim.Toggles())
+	}
+}
+
+func TestSimulatorSwitchedEnergy(t *testing.T) {
+	lib := Generic32()
+	n := NewNetlist("e")
+	a := n.Input("a")
+	n.Output("o", n.Xor(a, n.Const(true)))
+	sim := NewSimulator(n)
+	sim.Eval([]bool{false})
+	sim.Eval([]bool{true})
+	// Input cell toggles (free) and the XOR output toggles once.
+	want := lib.Spec(CellXor2).SwitchEnergy
+	if got := sim.SwitchedEnergy(lib); got != want {
+		t.Errorf("SwitchedEnergy = %g, want %g", got, want)
+	}
+}
+
+func TestSimulatorInputCountGuard(t *testing.T) {
+	n := NewNetlist("g")
+	n.Input("a")
+	sim := NewSimulator(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sim.Eval([]bool{true, false})
+}
+
+func TestSimulatorValueProbe(t *testing.T) {
+	n := NewNetlist("probe")
+	a := n.Input("a")
+	g := n.Not(a)
+	n.Output("o", g)
+	sim := NewSimulator(n)
+	sim.Eval([]bool{false})
+	if !sim.Value(g) {
+		t.Error("probe returned wrong value")
+	}
+}

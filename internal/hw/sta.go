@@ -1,0 +1,94 @@
+package hw
+
+import "fmt"
+
+// Timing is the result of static timing analysis over a netlist.
+type Timing struct {
+	// CriticalPath is the longest combinational input-to-output delay in
+	// picoseconds.
+	CriticalPath float64
+	// CriticalOutput names the primary output the critical path ends at.
+	CriticalOutput string
+	// Depth is the logic depth (gate count) along the critical path.
+	Depth int
+}
+
+// Analyze performs static timing analysis: a forward pass computing arrival
+// times with the library's load-dependent linear delay model. The netlist's
+// creation order is its topological order, so one pass suffices.
+func Analyze(n *Netlist, lib *Library) Timing {
+	n.Freeze()
+	arrival := make([]float64, len(n.types))
+	depth := make([]int, len(n.types))
+	for id, t := range n.types {
+		var at float64
+		var d int
+		for i := 0; i < t.fanins(); i++ {
+			f := n.fanin[id][i]
+			if arrival[f] > at {
+				at = arrival[f]
+			}
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		spec := lib.Spec(t)
+		switch t {
+		case CellInput, CellTie0, CellTie1:
+			arrival[id] = 0
+			depth[id] = 0
+		default:
+			arrival[id] = at + spec.Delay + spec.DelayPerLoad*float64(n.fanout[id])
+			depth[id] = d + 1
+		}
+	}
+	var tm Timing
+	for i, sig := range n.outputs {
+		if arrival[sig] >= tm.CriticalPath {
+			tm.CriticalPath = arrival[sig]
+			tm.CriticalOutput = n.outputNames[i]
+			tm.Depth = depth[sig]
+		}
+	}
+	return tm
+}
+
+// Pipeline models the retimed implementation the paper describes: "We added
+// 8 pipeline stages to the output of our design and used the retime option
+// of the synthesis tool to move the registers to an appropriate location."
+// Ideal retiming splits the combinational depth evenly, so the achievable
+// clock period is CriticalPath/Stages plus the register overhead
+// (setup + clk-to-q).
+type Pipeline struct {
+	Stages int
+	// Registers is the estimated number of flip-flops the retimed pipeline
+	// carries per stage cut (the cut width of the datapath).
+	Registers int
+}
+
+// MaxFrequency returns the highest clock frequency in hertz the pipelined
+// design closes timing at, given the combinational timing t.
+func (p Pipeline) MaxFrequency(t Timing, lib *Library) float64 {
+	if p.Stages < 1 {
+		panic(fmt.Sprintf("hw: pipeline needs at least one stage, got %d", p.Stages))
+	}
+	period := t.CriticalPath/float64(p.Stages) + lib.RegSetup + lib.RegClkQ
+	return 1e12 / period // ps -> Hz
+}
+
+// RegisterArea returns the area in µm² the pipeline registers add.
+func (p Pipeline) RegisterArea(lib *Library) float64 {
+	return float64(p.Stages*p.Registers) * lib.Spec(CellDFF).Area
+}
+
+// RegisterLeakage returns the leakage in nW the pipeline registers add.
+func (p Pipeline) RegisterLeakage(lib *Library) float64 {
+	return float64(p.Stages*p.Registers) * lib.Spec(CellDFF).Leakage
+}
+
+// RegisterEnergyPerCycle returns the switching energy in fJ the registers
+// consume per clock cycle, assuming the usual 0.5 average data activity
+// plus the clock pin load (folded into the DFF switch energy).
+func (p Pipeline) RegisterEnergyPerCycle(lib *Library) float64 {
+	return float64(p.Stages*p.Registers) * lib.Spec(CellDFF).SwitchEnergy * 0.5
+}

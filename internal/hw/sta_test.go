@@ -1,0 +1,113 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeSingleGate(t *testing.T) {
+	lib := Generic32()
+	n := NewNetlist("one")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("o", n.And(a, b))
+	tm := Analyze(n, lib)
+	spec := lib.Spec(CellAnd2)
+	want := spec.Delay + spec.DelayPerLoad*1 // fanout 1: the output pin
+	if math.Abs(tm.CriticalPath-want) > 1e-9 {
+		t.Errorf("critical path = %g, want %g", tm.CriticalPath, want)
+	}
+	if tm.Depth != 1 {
+		t.Errorf("depth = %d, want 1", tm.Depth)
+	}
+	if tm.CriticalOutput != "o" {
+		t.Errorf("critical output = %q", tm.CriticalOutput)
+	}
+}
+
+func TestAnalyzeChainDepth(t *testing.T) {
+	lib := Generic32()
+	n := NewNetlist("chain")
+	s := n.Input("a")
+	for i := 0; i < 10; i++ {
+		s = n.Not(s)
+	}
+	n.Output("o", s)
+	tm := Analyze(n, lib)
+	if tm.Depth != 10 {
+		t.Errorf("depth = %d, want 10", tm.Depth)
+	}
+	spec := lib.Spec(CellInv)
+	want := 10 * (spec.Delay + spec.DelayPerLoad)
+	if math.Abs(tm.CriticalPath-want) > 1e-9 {
+		t.Errorf("critical path = %g, want %g", tm.CriticalPath, want)
+	}
+}
+
+func TestAnalyzeFanoutSlowsDriver(t *testing.T) {
+	lib := Generic32()
+	build := func(fanout int) float64 {
+		n := NewNetlist("fan")
+		a := n.Input("a")
+		g := n.Not(a)
+		for i := 0; i < fanout; i++ {
+			n.Output("o", n.Buf(g))
+		}
+		return Analyze(n, lib).CriticalPath
+	}
+	if !(build(8) > build(1)) {
+		t.Error("higher fanout should increase delay")
+	}
+}
+
+func TestPipelineMonotone(t *testing.T) {
+	lib := Generic32()
+	tm := Timing{CriticalPath: 4000}
+	var prev float64
+	for stages := 1; stages <= 10; stages++ {
+		f := Pipeline{Stages: stages, Registers: 8}.MaxFrequency(tm, lib)
+		if f <= prev {
+			t.Fatalf("fmax not increasing at %d stages: %g <= %g", stages, f, prev)
+		}
+		prev = f
+	}
+	// Deep pipelining saturates at the register overhead.
+	limit := 1e12 / (lib.RegSetup + lib.RegClkQ)
+	if prev >= limit {
+		t.Errorf("fmax %g exceeds register-overhead limit %g", prev, limit)
+	}
+}
+
+func TestPipelinePanicsOnZeroStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pipeline{Stages: 0}.MaxFrequency(Timing{CriticalPath: 100}, Generic32())
+}
+
+func TestPipelineRegisterOverheads(t *testing.T) {
+	lib := Generic32()
+	p := Pipeline{Stages: 4, Registers: 10}
+	if got, want := p.RegisterArea(lib), 40*lib.Spec(CellDFF).Area; math.Abs(got-want) > 1e-9 {
+		t.Errorf("RegisterArea = %g, want %g", got, want)
+	}
+	if got, want := p.RegisterLeakage(lib), 40*lib.Spec(CellDFF).Leakage; math.Abs(got-want) > 1e-9 {
+		t.Errorf("RegisterLeakage = %g, want %g", got, want)
+	}
+	if got, want := p.RegisterEnergyPerCycle(lib), 40*lib.Spec(CellDFF).SwitchEnergy*0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("RegisterEnergyPerCycle = %g, want %g", got, want)
+	}
+}
+
+func TestCellTypeStrings(t *testing.T) {
+	for ct := CellType(0); ct < numCellTypes; ct++ {
+		if ct.String() == "" {
+			t.Errorf("empty name for cell type %d", ct)
+		}
+	}
+	if CellType(200).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}

@@ -1,0 +1,108 @@
+package hw
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// VCDRecorder captures simulator activity as an IEEE 1364 value change
+// dump, so encoder waveforms can be inspected in GTKWave or any other VCD
+// viewer. Only labelled signals (primary inputs, outputs, and anything
+// named with Netlist.Label) are recorded, keeping dumps readable.
+type VCDRecorder struct {
+	n       *Netlist
+	sim     *Simulator
+	signals []Signal
+	ids     map[Signal]string
+	w       io.Writer
+	time    int
+	started bool
+	prev    map[Signal]bool
+}
+
+// NewVCDRecorder wires a recorder around a simulator. Call Step after every
+// Eval to emit the changes of that cycle, and Close to finish the dump.
+func NewVCDRecorder(w io.Writer, n *Netlist, sim *Simulator) *VCDRecorder {
+	n.Freeze()
+	r := &VCDRecorder{n: n, sim: sim, ids: make(map[Signal]string), w: w, prev: make(map[Signal]bool)}
+	var sigs []Signal
+	for s := range n.labels {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	r.signals = sigs
+	for i, s := range sigs {
+		r.ids[s] = vcdID(i)
+	}
+	return r
+}
+
+// vcdID generates the compact printable identifiers VCD uses.
+func vcdID(i int) string {
+	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var sb strings.Builder
+	for {
+		sb.WriteByte(chars[i%len(chars)])
+		i /= len(chars)
+		if i == 0 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// header emits the declaration section.
+func (r *VCDRecorder) header() error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "$timescale 1ns $end\n$scope module %s $end\n", strings.ReplaceAll(r.n.Name, " ", "_"))
+	for _, s := range r.signals {
+		name := strings.NewReplacer("[", "_", "]", "", " ", "_").Replace(r.n.SignalName(s))
+		fmt.Fprintf(&sb, "$var wire 1 %s %s $end\n", r.ids[s], name)
+	}
+	sb.WriteString("$upscope $end\n$enddefinitions $end\n")
+	_, err := io.WriteString(r.w, sb.String())
+	return err
+}
+
+// Step emits the value changes since the previous step at the next
+// timestamp. The first call emits the full initial state.
+func (r *VCDRecorder) Step() error {
+	if !r.started {
+		if err := r.header(); err != nil {
+			return err
+		}
+		r.started = true
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%d\n", r.time)
+	for _, s := range r.signals {
+		v := r.sim.Value(s)
+		if r.time > 0 {
+			if old, ok := r.prev[s]; ok && old == v {
+				continue
+			}
+		}
+		bit := '0'
+		if v {
+			bit = '1'
+		}
+		fmt.Fprintf(&sb, "%c%s\n", bit, r.ids[s])
+		r.prev[s] = v
+	}
+	r.time++
+	_, err := io.WriteString(r.w, sb.String())
+	return err
+}
+
+// Close finalises the dump with a terminating timestamp.
+func (r *VCDRecorder) Close() error {
+	if !r.started {
+		if err := r.header(); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(r.w, "#%d\n", r.time)
+	return err
+}

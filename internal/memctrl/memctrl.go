@@ -1,0 +1,455 @@
+// Package memctrl is a simplified GDDR5/DDR4 memory-channel simulator: a
+// memory controller with FR-FCFS scheduling and open-page banks, a DRAM
+// device model, and a DBI-coding PHY between them.
+//
+// It exists to exercise DBI coding in its real context — a write path where
+// the controller encodes and the device decodes, and a read path where the
+// device encodes and the controller decodes, with per-lane line state
+// persisting across transactions exactly as the wires do. The timing model
+// is deliberately coarse (bank-level tRCD/tRP/tRAS/CL bookkeeping plus
+// periodic all-bank refresh, single channel), but the data path is exact:
+// every byte crosses the bus DBI-coded, is decoded at the far end, and is
+// checked for integrity.
+package memctrl
+
+import (
+	"fmt"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/phy"
+)
+
+// Timing holds the DRAM timing parameters in clock cycles.
+type Timing struct {
+	CL   int // CAS latency: column command to first data
+	TRCD int // ACT to column command
+	TRP  int // precharge to ACT
+	TRAS int // ACT to precharge (minimum row-open time)
+	BL   int // burst length in beats
+	// TREFI is the average refresh interval; 0 disables refresh.
+	TREFI int
+	// TRFC is the refresh cycle time the channel stalls for.
+	TRFC int
+}
+
+// GDDR5Timing returns GDDR5-class timings (in memory-clock cycles).
+func GDDR5Timing() Timing {
+	return Timing{CL: 15, TRCD: 14, TRP: 14, TRAS: 32, BL: 8, TREFI: 9400, TRFC: 260}
+}
+
+// DDR4Timing returns DDR4-2400-class timings.
+func DDR4Timing() Timing {
+	return Timing{CL: 17, TRCD: 17, TRP: 17, TRAS: 39, BL: 8, TREFI: 9360, TRFC: 420}
+}
+
+// Geometry describes the address organisation of the channel.
+type Geometry struct {
+	Lanes int // byte lanes on the data bus (x8 devices: 1 lane per device)
+	Banks int
+	Rows  int
+	Cols  int // column groups per row; one column group holds one burst
+}
+
+// DefaultGeometry is a small x32 part: 4 byte lanes, 16 banks.
+func DefaultGeometry() Geometry { return Geometry{Lanes: 4, Banks: 16, Rows: 1 << 14, Cols: 1 << 7} }
+
+// Validate reports an error for non-physical geometry.
+func (g Geometry) Validate() error {
+	if g.Lanes <= 0 || g.Banks <= 0 || g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("memctrl: geometry fields must be positive: %+v", g)
+	}
+	return nil
+}
+
+// BurstBytes returns the payload size of one access: every lane carries BL
+// beats.
+func (g Geometry) BurstBytes(t Timing) int { return g.Lanes * t.BL }
+
+// Request is one memory transaction. Write requests carry Data of exactly
+// BurstBytes; read requests return data through the Result.
+type Request struct {
+	Addr  uint64 // flat byte address; mapped to (bank, row, col) internally
+	Write bool
+	Data  []byte
+}
+
+// Result describes one completed transaction.
+type Result struct {
+	Req        Request
+	IssueCycle int64 // cycle the column command issued
+	DoneCycle  int64 // cycle the last data beat transferred
+	RowHit     bool
+	Data       []byte // read data (nil for writes)
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads, Writes      int64
+	RowHits, RowMisses int64
+	Refreshes          int64
+	Cycles             int64
+	// TotalLatency accumulates per-request latency (completion minus
+	// arrival) in cycles; TotalLatency/(Reads+Writes) is the average.
+	TotalLatency int64
+	// WriteBus and ReadBus are the exact wire activity counts of each
+	// direction of the data bus, DBI wires included.
+	WriteBus, ReadBus bus.Cost
+	// WriteEnergy and ReadEnergy are the interface energies in joules,
+	// computed with the controller's phy.Link.
+	WriteEnergy, ReadEnergy float64
+}
+
+// PagePolicy selects what happens to a row after a column access.
+type PagePolicy int
+
+const (
+	// OpenPage keeps the row open, betting on locality (row hits cost only
+	// CL). The default.
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges immediately after every access, betting
+	// against locality (every access pays tRCD, none pays tRP on the
+	// critical path).
+	ClosedPage
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	if p == ClosedPage {
+		return "closed-page"
+	}
+	return "open-page"
+}
+
+// Controller is the memory controller plus its attached device. Create with
+// NewController; the zero value is not usable.
+type Controller struct {
+	geom        Geometry
+	timing      Timing
+	link        phy.Link
+	enc         dbi.Encoder
+	policy      PagePolicy
+	queue       []*pending
+	device      *Device
+	banks       []bankState
+	now         int64
+	nextRefresh int64
+	stats       Stats
+	// PHY line states: the write-direction wires are driven by the
+	// controller, the read-direction wires by the device. Each direction
+	// keeps its own per-lane state.
+	writeLanes []*dbi.Stream
+	readLanes  []*dbi.Stream
+}
+
+type pending struct {
+	req    Request
+	arrive int64
+	result *Result
+}
+
+type bankState struct {
+	rowOpen    bool
+	row        int
+	actCycle   int64 // cycle of the last ACT
+	readyCycle int64 // earliest cycle the bank accepts a column command
+}
+
+// NewController wires a controller, a fresh device, and per-lane DBI
+// streams for both bus directions using the given coding scheme.
+func NewController(geom Geometry, timing Timing, link phy.Link, enc dbi.Encoder) (*Controller, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if timing.BL <= 0 || timing.CL <= 0 || timing.TRCD <= 0 || timing.TRP <= 0 || timing.TRAS <= 0 {
+		return nil, fmt.Errorf("memctrl: timing fields must be positive: %+v", timing)
+	}
+	if timing.TREFI < 0 || timing.TRFC < 0 || (timing.TREFI > 0 && timing.TRFC == 0) {
+		return nil, fmt.Errorf("memctrl: refresh timing inconsistent: tREFI=%d tRFC=%d", timing.TREFI, timing.TRFC)
+	}
+	c := &Controller{
+		geom:   geom,
+		timing: timing,
+		link:   link,
+		enc:    enc,
+		device: NewDevice(geom, timing, enc),
+		banks:  make([]bankState, geom.Banks),
+	}
+	c.writeLanes = make([]*dbi.Stream, geom.Lanes)
+	c.readLanes = make([]*dbi.Stream, geom.Lanes)
+	for i := 0; i < geom.Lanes; i++ {
+		c.writeLanes[i] = dbi.NewStream(enc)
+		c.readLanes[i] = dbi.NewStream(enc)
+	}
+	return c, nil
+}
+
+// SetPagePolicy selects open- or closed-page operation. Must be called
+// before the first Submit.
+func (c *Controller) SetPagePolicy(p PagePolicy) {
+	if c.now != 0 || len(c.queue) != 0 {
+		panic("memctrl: page policy must be set before traffic")
+	}
+	c.policy = p
+}
+
+// PagePolicy returns the active policy.
+func (c *Controller) PagePolicy() PagePolicy { return c.policy }
+
+// decompose maps a flat address to (bank, row, col) with the conventional
+// row:bank:col split (col bits low so sequential addresses stream within a
+// row and rotate banks at row granularity).
+func (c *Controller) decompose(addr uint64) (bank, row, col int) {
+	burst := addr / uint64(c.geom.BurstBytes(c.timing))
+	col = int(burst % uint64(c.geom.Cols))
+	burst /= uint64(c.geom.Cols)
+	bank = int(burst % uint64(c.geom.Banks))
+	burst /= uint64(c.geom.Banks)
+	row = int(burst % uint64(c.geom.Rows))
+	return bank, row, col
+}
+
+// Submit queues one request. Write requests must carry exactly BurstBytes
+// of data.
+func (c *Controller) Submit(req Request) (*Result, error) {
+	if req.Write && len(req.Data) != c.geom.BurstBytes(c.timing) {
+		return nil, fmt.Errorf("memctrl: write carries %d bytes, channel moves %d per burst",
+			len(req.Data), c.geom.BurstBytes(c.timing))
+	}
+	if !req.Write && req.Data != nil {
+		return nil, fmt.Errorf("memctrl: read request must not carry data")
+	}
+	r := &Result{Req: req}
+	c.queue = append(c.queue, &pending{req: req, arrive: c.now, result: r})
+	return r, nil
+}
+
+// Drain executes every queued request with FR-FCFS scheduling (row hits
+// first, then oldest) and returns the results in completion order.
+func (c *Controller) Drain() []*Result {
+	var done []*Result
+	for len(c.queue) > 0 {
+		idx := c.pick()
+		p := c.queue[idx]
+		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		c.execute(p)
+		done = append(done, p.result)
+	}
+	c.stats.Cycles = c.now
+	return done
+}
+
+// pick returns the index of the next request under FR-FCFS: the oldest
+// row-hitting request if any, otherwise the oldest overall.
+func (c *Controller) pick() int {
+	for i, p := range c.queue {
+		bank, row, _ := c.decompose(p.req.Addr)
+		b := &c.banks[bank]
+		if b.rowOpen && b.row == row {
+			return i
+		}
+	}
+	return 0
+}
+
+// execute advances time past one request, updating bank state, moving the
+// data over the DBI-coded bus and accounting the energy.
+func (c *Controller) execute(p *pending) {
+	c.maybeRefresh()
+	bank, row, col := c.decompose(p.req.Addr)
+	b := &c.banks[bank]
+
+	// The bank must be ready for its next command first.
+	if c.now < b.readyCycle {
+		c.now = b.readyCycle
+	}
+	hit := b.rowOpen && b.row == row
+	if hit {
+		c.stats.RowHits++
+	} else {
+		c.stats.RowMisses++
+		if b.rowOpen {
+			// Precharge respects tRAS from the ACT.
+			preReady := b.actCycle + int64(c.timing.TRAS)
+			if c.now < preReady {
+				c.now = preReady
+			}
+			c.now += int64(c.timing.TRP)
+		}
+		c.now += int64(c.timing.TRCD) // ACT to column command
+		b.rowOpen = true
+		b.row = row
+		b.actCycle = c.now - int64(c.timing.TRCD)
+	}
+
+	issue := c.now
+	dataStart := issue + int64(c.timing.CL)
+	dataEnd := dataStart + int64(c.timing.BL)
+	b.readyCycle = dataEnd
+	c.now = dataEnd
+
+	if c.policy == ClosedPage {
+		// Auto-precharge: the row closes as soon as tRAS allows; the bank
+		// accepts its next activate only after the precharge completes.
+		pre := dataEnd
+		if preReady := b.actCycle + int64(c.timing.TRAS); pre < preReady {
+			pre = preReady
+		}
+		b.rowOpen = false
+		b.readyCycle = pre + int64(c.timing.TRP)
+	}
+
+	p.result.IssueCycle = issue
+	p.result.DoneCycle = dataEnd
+	p.result.RowHit = hit
+	c.stats.TotalLatency += dataEnd - p.arrive
+
+	if p.req.Write {
+		c.stats.Writes++
+		c.transferWrite(bank, row, col, p.req.Data)
+	} else {
+		c.stats.Reads++
+		p.result.Data = c.transferRead(bank, row, col)
+	}
+}
+
+// maybeRefresh stalls the channel for an all-bank refresh whenever the
+// refresh interval has elapsed. Refresh precharges every bank, so the next
+// access to each bank pays a full row activation.
+func (c *Controller) maybeRefresh() {
+	if c.timing.TREFI == 0 {
+		return
+	}
+	if c.nextRefresh == 0 {
+		c.nextRefresh = int64(c.timing.TREFI)
+	}
+	for c.now >= c.nextRefresh {
+		c.now = c.nextRefresh + int64(c.timing.TRFC)
+		c.nextRefresh += int64(c.timing.TREFI)
+		c.stats.Refreshes++
+		for i := range c.banks {
+			c.banks[i].rowOpen = false
+			if c.banks[i].readyCycle < c.now {
+				c.banks[i].readyCycle = c.now
+			}
+		}
+	}
+}
+
+// transferWrite moves one burst controller -> device over the DBI bus.
+func (c *Controller) transferWrite(bank, row, col int, data []byte) {
+	frame, err := bus.SplitLanes(data, c.geom.Lanes)
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: internal geometry error: %v", err))
+	}
+	wires := make([]bus.Wire, c.geom.Lanes)
+	for l, burst := range frame {
+		prev := c.writeLanes[l].State()
+		w := c.writeLanes[l].Transmit(burst)
+		c.stats.WriteEnergy += c.link.BurstEnergy(w.Cost(prev))
+		wires[l] = w
+	}
+	c.refreshBusTotals()
+	c.device.Write(bank, row, col, wires)
+}
+
+// transferRead moves one burst device -> controller over the DBI bus.
+func (c *Controller) transferRead(bank, row, col int) []byte {
+	wires := c.device.Read(bank, row, col)
+	frame := make(bus.Frame, c.geom.Lanes)
+	for l, w := range wires {
+		prev := c.readLanes[l].State()
+		// The device drives the read wires; mirror its transmission on the
+		// controller's model of those wires to account energy and keep the
+		// line state in sync, then decode.
+		mirrored := c.readLanes[l].Transmit(w.Decode())
+		c.stats.ReadEnergy += c.link.BurstEnergy(mirrored.Cost(prev))
+		frame[l] = mirrored.Decode()
+	}
+	c.refreshBusTotals()
+	return bus.MergeLanes(frame)
+}
+
+// refreshBusTotals recomputes the per-direction wire activity totals from
+// the lane streams, which are the single source of truth.
+func (c *Controller) refreshBusTotals() {
+	var w, r bus.Cost
+	for _, s := range c.writeLanes {
+		w = w.Add(s.TotalCost())
+	}
+	for _, s := range c.readLanes {
+		r = r.Add(s.TotalCost())
+	}
+	c.stats.WriteBus, c.stats.ReadBus = w, r
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.now
+	return s
+}
+
+// AvgLatency returns the mean request latency in cycles, or zero before any
+// request completed.
+func (s Stats) AvgLatency() float64 {
+	n := s.Reads + s.Writes
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(n)
+}
+
+// Now returns the controller's current cycle.
+func (c *Controller) Now() int64 { return c.now }
+
+// Device is the DRAM side of the channel: persistent storage addressed by
+// (bank, row, col) plus the device's own DBI codec state for the read path.
+type Device struct {
+	geom   Geometry
+	timing Timing
+	cells  map[uint64][]byte
+}
+
+// NewDevice returns an empty device. The encoder parameter is kept for
+// symmetry with the controller; the device decodes writes purely from the
+// DBI wire and re-encodes reads at the controller's mirrored stream.
+func NewDevice(geom Geometry, timing Timing, _ dbi.Encoder) *Device {
+	return &Device{geom: geom, timing: timing, cells: make(map[uint64][]byte)}
+}
+
+func (d *Device) key(bank, row, col int) uint64 {
+	return (uint64(bank)*uint64(d.geom.Rows)+uint64(row))*uint64(d.geom.Cols) + uint64(col)
+}
+
+// Write decodes the per-lane wire images (as the DRAM's DBI receiver does)
+// and stores the payload.
+func (d *Device) Write(bank, row, col int, wires []bus.Wire) {
+	frame := make(bus.Frame, len(wires))
+	for l, w := range wires {
+		frame[l] = w.Decode()
+	}
+	d.cells[d.key(bank, row, col)] = bus.MergeLanes(frame)
+}
+
+// Read returns the stored burst as per-lane wire images encoded with the
+// trivial RAW coding (the energy-accurate re-encoding happens at the
+// controller's mirrored read streams). Unwritten locations read as zero.
+func (d *Device) Read(bank, row, col int) []bus.Wire {
+	data, ok := d.cells[d.key(bank, row, col)]
+	if !ok {
+		data = make([]byte, d.geom.BurstBytes(d.timing))
+	}
+	frame, err := bus.SplitLanes(data, d.geom.Lanes)
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: internal geometry error: %v", err))
+	}
+	wires := make([]bus.Wire, len(frame))
+	for l, burst := range frame {
+		wires[l] = bus.Apply(burst, make([]bool, len(burst)))
+	}
+	return wires
+}

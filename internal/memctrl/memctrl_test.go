@@ -1,0 +1,432 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/phy"
+)
+
+func testController(t *testing.T, enc dbi.Encoder) *Controller {
+	t.Helper()
+	c, err := NewController(DefaultGeometry(), GDDR5Timing(), phy.POD135(3*phy.PicoFarad, 12*phy.Gbps), enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWriteReadIntegrity is the end-to-end property: whatever coding scheme
+// the PHY uses, data written must read back identically.
+func TestWriteReadIntegrity(t *testing.T) {
+	encoders := []dbi.Encoder{
+		dbi.Raw{}, dbi.DC{}, dbi.AC{}, dbi.ACDC{}, dbi.OptFixed(),
+		dbi.Opt{Weights: dbi.Weights{Alpha: 0.3, Beta: 0.7}},
+		dbi.Quantized{Alpha: 2, Beta: 5},
+	}
+	for _, enc := range encoders {
+		c := testController(t, enc)
+		rng := rand.New(rand.NewSource(50))
+		size := c.geom.BurstBytes(c.timing)
+		written := make(map[uint64][]byte)
+		for i := 0; i < 64; i++ {
+			addr := uint64(rng.Intn(1<<20)) * uint64(size)
+			data := make([]byte, size)
+			rng.Read(data)
+			written[addr] = data
+			if _, err := c.Submit(Request{Addr: addr, Write: true, Data: data}); err != nil {
+				t.Fatalf("%s: submit: %v", enc.Name(), err)
+			}
+		}
+		c.Drain()
+		var results []*Result
+		var addrs []uint64
+		for addr := range written {
+			r, err := c.Submit(Request{Addr: addr})
+			if err != nil {
+				t.Fatalf("%s: submit read: %v", enc.Name(), err)
+			}
+			results = append(results, r)
+			addrs = append(addrs, addr)
+		}
+		c.Drain()
+		for i, r := range results {
+			want := written[addrs[i]]
+			if len(r.Data) != len(want) {
+				t.Fatalf("%s: read returned %d bytes, want %d", enc.Name(), len(r.Data), len(want))
+			}
+			for j := range want {
+				if r.Data[j] != want[j] {
+					t.Fatalf("%s: addr %#x byte %d: got %#02x want %#02x",
+						enc.Name(), addrs[i], j, r.Data[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestUnwrittenReadsZero: reads of untouched locations return zeros.
+func TestUnwrittenReadsZero(t *testing.T) {
+	c := testController(t, dbi.DC{})
+	r, err := c.Submit(Request{Addr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	for _, b := range r.Data {
+		if b != 0 {
+			t.Fatalf("unwritten read returned %#02x", b)
+		}
+	}
+}
+
+// TestRowHitAccounting: consecutive accesses to the same row hit after the
+// first miss; a different row in the same bank misses.
+func TestRowHitAccounting(t *testing.T) {
+	c := testController(t, dbi.Raw{})
+	size := uint64(c.geom.BurstBytes(c.timing))
+	// Two bursts in the same row (consecutive columns), then a far address
+	// in the same bank but different row.
+	sameRowA := uint64(0)
+	sameRowB := size
+	rowStride := size * uint64(c.geom.Cols) * uint64(c.geom.Banks) // next row, same bank, col 0
+	for _, addr := range []uint64{sameRowA, sameRowB, rowStride} {
+		if _, err := c.Submit(Request{Addr: addr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := c.Drain()
+	if results[0].RowHit {
+		t.Error("first access should miss")
+	}
+	if !results[1].RowHit {
+		t.Error("second access to same row should hit")
+	}
+	if results[2].RowHit {
+		t.Error("different row should miss")
+	}
+	s := c.Stats()
+	if s.RowHits != 1 || s.RowMisses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", s.RowHits, s.RowMisses)
+	}
+}
+
+// TestFRFCFSPrefersRowHits: with an open row, a younger row-hit request is
+// served before an older row-miss one.
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	c := testController(t, dbi.Raw{})
+	size := uint64(c.geom.BurstBytes(c.timing))
+	rowStride := size * uint64(c.geom.Cols) * uint64(c.geom.Banks)
+
+	// Open row 0 via a first access.
+	if _, err := c.Submit(Request{Addr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+
+	missFirst, err := c.Submit(Request{Addr: rowStride}) // older, misses
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitSecond, err := c.Submit(Request{Addr: size}) // younger, hits row 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	if hitSecond.IssueCycle >= missFirst.IssueCycle {
+		t.Errorf("row hit issued at %d, miss at %d; FR-FCFS should serve the hit first",
+			hitSecond.IssueCycle, missFirst.IssueCycle)
+	}
+}
+
+// TestTimingOrdering: a row miss with an open row pays tRP + tRCD and
+// always takes longer than a row hit.
+func TestTimingOrdering(t *testing.T) {
+	c := testController(t, dbi.Raw{})
+	size := uint64(c.geom.BurstBytes(c.timing))
+	r1, _ := c.Submit(Request{Addr: 0})
+	c.Drain()
+	r2, _ := c.Submit(Request{Addr: size}) // hit
+	c.Drain()
+	rowStride := size * uint64(c.geom.Cols) * uint64(c.geom.Banks)
+	r3, _ := c.Submit(Request{Addr: rowStride}) // miss with open row
+	c.Drain()
+	hitLatency := r2.DoneCycle - r1.DoneCycle
+	missLatency := r3.DoneCycle - r2.DoneCycle
+	if missLatency <= hitLatency {
+		t.Errorf("miss latency %d should exceed hit latency %d", missLatency, hitLatency)
+	}
+}
+
+// TestEnergyMatchesStandaloneStreams: the controller's write-path energy
+// must equal what independent per-lane DBI streams would compute for the
+// same traffic.
+func TestEnergyMatchesStandaloneStreams(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, dbi.OptFixed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	size := c.geom.BurstBytes(c.timing)
+
+	ref := dbi.NewLaneSet(dbi.OptFixed(), c.geom.Lanes)
+	var refEnergy float64
+	for i := 0; i < 40; i++ {
+		data := make([]byte, size)
+		rng.Read(data)
+		addr := uint64(i) * uint64(size)
+		if _, err := c.Submit(Request{Addr: addr, Write: true, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := bus.SplitLanes(data, c.geom.Lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, burst := range frame {
+			prev := ref.Lane(l).State()
+			w := ref.Lane(l).Transmit(burst)
+			refEnergy += link.BurstEnergy(w.Cost(prev))
+		}
+	}
+	c.Drain()
+	s := c.Stats()
+	if d := s.WriteEnergy - refEnergy; d > 1e-18 || d < -1e-18 {
+		t.Errorf("controller write energy %g != standalone %g", s.WriteEnergy, refEnergy)
+	}
+	if s.WriteBus != ref.TotalCost() {
+		t.Errorf("controller write bus %+v != standalone %+v", s.WriteBus, ref.TotalCost())
+	}
+}
+
+// TestOptBeatsRawOnWriteEnergy: on random data the optimal scheme must not
+// use more interface energy than raw transmission.
+func TestOptBeatsRawOnWriteEnergy(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	run := func(enc dbi.Encoder) float64 {
+		c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(52))
+		size := c.geom.BurstBytes(c.timing)
+		for i := 0; i < 100; i++ {
+			data := make([]byte, size)
+			rng.Read(data)
+			if _, err := c.Submit(Request{Addr: uint64(i) * uint64(size), Write: true, Data: data}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Drain()
+		return c.Stats().WriteEnergy
+	}
+	raw := run(dbi.Raw{})
+	opt := run(dbi.Opt{Weights: link.Weights()})
+	if opt >= raw {
+		t.Errorf("OPT energy %g >= RAW energy %g", opt, raw)
+	}
+}
+
+// TestSubmitValidation covers the request sanity checks.
+func TestSubmitValidation(t *testing.T) {
+	c := testController(t, dbi.Raw{})
+	if _, err := c.Submit(Request{Addr: 0, Write: true, Data: []byte{1}}); err == nil {
+		t.Error("short write accepted")
+	}
+	if _, err := c.Submit(Request{Addr: 0, Data: []byte{1}}); err == nil {
+		t.Error("read with data accepted")
+	}
+}
+
+// TestNewControllerValidation covers constructor validation.
+func TestNewControllerValidation(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	if _, err := NewController(Geometry{}, GDDR5Timing(), link, dbi.Raw{}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := NewController(DefaultGeometry(), Timing{}, link, dbi.Raw{}); err == nil {
+		t.Error("bad timing accepted")
+	}
+	if _, err := NewController(DefaultGeometry(), GDDR5Timing(), phy.Link{}, dbi.Raw{}); err == nil {
+		t.Error("bad link accepted")
+	}
+}
+
+// TestClosedPagePolicy: under closed-page operation nothing ever row-hits,
+// data still round-trips, and sequential same-row traffic is slower than
+// under open-page.
+func TestClosedPagePolicy(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	run := func(policy PagePolicy) (Stats, []byte) {
+		c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, dbi.DC{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetPagePolicy(policy)
+		if c.PagePolicy() != policy {
+			t.Fatalf("policy = %v", c.PagePolicy())
+		}
+		size := c.geom.BurstBytes(c.timing)
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 3)
+		}
+		for i := 0; i < 16; i++ { // same row, consecutive columns
+			if _, err := c.Submit(Request{Addr: uint64(i * size), Write: true, Data: data}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Drain()
+		r, err := c.Submit(Request{Addr: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Drain()
+		return c.Stats(), r.Data
+	}
+	open, openData := run(OpenPage)
+	closed, closedData := run(ClosedPage)
+	if closed.RowHits != 0 {
+		t.Errorf("closed page had %d row hits", closed.RowHits)
+	}
+	if open.RowHits == 0 {
+		t.Error("open page should hit on sequential traffic")
+	}
+	if closed.Cycles <= open.Cycles {
+		t.Errorf("closed page (%d cycles) should be slower than open page (%d) on row-local traffic",
+			closed.Cycles, open.Cycles)
+	}
+	for i := range openData {
+		if openData[i] != closedData[i] || openData[i] != byte(i*3) {
+			t.Fatalf("data mismatch at %d under policy comparison", i)
+		}
+	}
+}
+
+// TestPagePolicyStrings pins the diagnostic names.
+func TestPagePolicyStrings(t *testing.T) {
+	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
+		t.Error("policy names wrong")
+	}
+}
+
+// TestSetPagePolicyAfterTrafficPanics guards the configuration window.
+func TestSetPagePolicyAfterTrafficPanics(t *testing.T) {
+	c := testController(t, dbi.Raw{})
+	if _, err := c.Submit(Request{Addr: 0}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SetPagePolicy(ClosedPage)
+}
+
+// TestRefresh: once enough cycles pass, refreshes fire, close every row,
+// and stall the channel — while data stays intact.
+func TestRefresh(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	timing := GDDR5Timing()
+	timing.TREFI = 200 // absurdly frequent, to force many refreshes
+	timing.TRFC = 50
+	c, err := NewController(DefaultGeometry(), timing, link, dbi.DC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := c.geom.BurstBytes(c.timing)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := c.Submit(Request{Addr: uint64(i * size), Write: true, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	r, err := c.Submit(Request{Addr: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	s := c.Stats()
+	if s.Refreshes == 0 {
+		t.Error("no refreshes fired despite tiny tREFI")
+	}
+	for i := range data {
+		if r.Data[i] != data[i] {
+			t.Fatalf("data corrupted across refresh at byte %d", i)
+		}
+	}
+
+	// Identical traffic without refresh finishes sooner.
+	timing.TREFI = 0
+	timing.TRFC = 0
+	c2, err := NewController(DefaultGeometry(), timing, link, dbi.DC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := c2.Submit(Request{Addr: uint64(i * size), Write: true, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2.Drain()
+	if c2.Stats().Refreshes != 0 {
+		t.Error("refresh fired with tREFI=0")
+	}
+	if c2.Stats().Cycles >= s.Cycles {
+		t.Errorf("refresh-free run (%d cycles) should be faster than refreshing run (%d)",
+			c2.Stats().Cycles, s.Cycles)
+	}
+}
+
+// TestRefreshTimingValidation: tREFI without tRFC is inconsistent.
+func TestRefreshTimingValidation(t *testing.T) {
+	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
+	timing := GDDR5Timing()
+	timing.TRFC = 0
+	if _, err := NewController(DefaultGeometry(), timing, link, dbi.Raw{}); err == nil {
+		t.Error("tREFI>0 with tRFC=0 accepted")
+	}
+	timing = GDDR5Timing()
+	timing.TREFI = -1
+	if _, err := NewController(DefaultGeometry(), timing, link, dbi.Raw{}); err == nil {
+		t.Error("negative tREFI accepted")
+	}
+}
+
+// TestStatsCounters checks read/write counting and cycle progression.
+func TestStatsCounters(t *testing.T) {
+	c := testController(t, dbi.DC{})
+	size := c.geom.BurstBytes(c.timing)
+	data := make([]byte, size)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(Request{Addr: uint64(i * size), Write: true, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(Request{Addr: uint64(i * size)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	s := c.Stats()
+	if s.Writes != 5 || s.Reads != 3 {
+		t.Errorf("reads/writes = %d/%d", s.Reads, s.Writes)
+	}
+	if s.Cycles <= 0 || c.Now() <= 0 {
+		t.Error("time did not advance")
+	}
+	if s.AvgLatency() < float64(GDDR5Timing().CL) {
+		t.Errorf("average latency %.1f below CAS latency — impossible", s.AvgLatency())
+	}
+	if (Stats{}).AvgLatency() != 0 {
+		t.Error("empty stats latency should be 0")
+	}
+}

@@ -1,0 +1,63 @@
+package phy
+
+import "fmt"
+
+// LoadModel composes the unified per-wire load capacitance the way CACTI-IO
+// does: the driver's effective output capacitance, the input capacitance of
+// every memory device sharing the wire, the PCB trace, and (for DIMM-style
+// systems) the socket. The paper's §IV-A cites the typical values the
+// defaults below use: ~2 pF for a DDR4 output driver, ~1.3 pF for a GDDR5
+// driver, ~1 pF per memory device input, and "a few additional pF" of trace
+// and socket.
+type LoadModel struct {
+	// Driver is the CPU/GPU pad and driver capacitance in farads.
+	Driver float64
+	// PerDevice is each memory device's input capacitance in farads.
+	PerDevice float64
+	// Devices is the number of devices sharing the wire (1 for
+	// point-to-point GDDR, more for multi-drop DIMM ranks).
+	Devices int
+	// Trace is the PCB interconnect capacitance in farads.
+	Trace float64
+	// Socket is the DIMM socket capacitance in farads (0 for soldered
+	// memory).
+	Socket float64
+}
+
+// GDDR5Load returns a point-to-point graphics memory load: 1.3 pF driver
+// (Amirkhany et al.), one device, a short trace.
+func GDDR5Load() LoadModel {
+	return LoadModel{Driver: 1.3 * PicoFarad, PerDevice: 1.0 * PicoFarad, Devices: 1, Trace: 0.7 * PicoFarad}
+}
+
+// DDR4DIMMLoad returns a socketed DDR4 load with the given number of
+// devices on the wire: 2 pF driver (CACTI-IO), 1 pF per device, trace and
+// socket.
+func DDR4DIMMLoad(devices int) LoadModel {
+	return LoadModel{Driver: 2.0 * PicoFarad, PerDevice: 1.0 * PicoFarad, Devices: devices,
+		Trace: 1.0 * PicoFarad, Socket: 0.8 * PicoFarad}
+}
+
+// Validate reports an error for non-physical loads.
+func (m LoadModel) Validate() error {
+	if m.Driver < 0 || m.PerDevice < 0 || m.Trace < 0 || m.Socket < 0 {
+		return fmt.Errorf("phy: load capacitances must be non-negative: %+v", m)
+	}
+	if m.Devices < 0 {
+		return fmt.Errorf("phy: device count must be non-negative, got %d", m.Devices)
+	}
+	return nil
+}
+
+// Total returns the unified load capacitance in farads, the Cload the Link
+// model consumes.
+func (m LoadModel) Total() float64 {
+	return m.Driver + float64(m.Devices)*m.PerDevice + m.Trace + m.Socket
+}
+
+// Link builds a POD link at the given supply voltage and data rate using
+// this load.
+func (m LoadModel) Link(vddq, dataRate float64) Link {
+	return Link{VDDQ: vddq, Rpullup: DefaultRpullup, Rpulldown: DefaultRpulldown,
+		Cload: m.Total(), DataRate: dataRate}
+}

@@ -1,0 +1,65 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoadModelTotals(t *testing.T) {
+	g := GDDR5Load()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1.3 + 1.0 + 0.7 = 3.0 pF — the paper's Fig. 7 operating load.
+	if math.Abs(g.Total()-3*PicoFarad) > 1e-18 {
+		t.Errorf("GDDR5 load = %g pF, want 3", g.Total()/PicoFarad)
+	}
+	d := DDR4DIMMLoad(2)
+	// 2 + 2*1 + 1 + 0.8 = 5.8 pF
+	if math.Abs(d.Total()-5.8*PicoFarad) > 1e-18 {
+		t.Errorf("DDR4 2-device load = %g pF", d.Total()/PicoFarad)
+	}
+}
+
+func TestLoadModelMoreDevicesMoreLoad(t *testing.T) {
+	if !(DDR4DIMMLoad(4).Total() > DDR4DIMMLoad(1).Total()) {
+		t.Error("load must grow with device count")
+	}
+}
+
+func TestLoadModelLink(t *testing.T) {
+	l := GDDR5Load().Link(1.35, 12*Gbps)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Cload != GDDR5Load().Total() {
+		t.Error("link did not take the composed load")
+	}
+	if l.VDDQ != 1.35 || l.DataRate != 12*Gbps {
+		t.Error("link operating point wrong")
+	}
+	// Heavier loads make transitions pricier on the resulting link.
+	heavy := DDR4DIMMLoad(4).Link(1.2, 12*Gbps)
+	light := GDDR5Load().Link(1.2, 12*Gbps)
+	if !(heavy.Etransition() > light.Etransition()) {
+		t.Error("heavier load should raise Etransition")
+	}
+}
+
+func TestLoadModelValidate(t *testing.T) {
+	bad := []LoadModel{
+		{Driver: -1},
+		{PerDevice: -1},
+		{Trace: -1},
+		{Socket: -1},
+		{Devices: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad load accepted: %+v", m)
+		}
+	}
+	if err := (LoadModel{}).Validate(); err != nil {
+		t.Errorf("zero load should be valid (soldered zero-load limit): %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package phy models the electrical interface energy of pseudo open drain
+// (POD) memory links, following the CACTI-IO-derived model of the DATE 2018
+// paper "Optimal DC/AC Data Bus Inversion Coding" (§IV-A).
+//
+// A POD link terminates to VDDQ, so DC current through the termination
+// flows only while a wire drives a zero; transmitting a one is free of DC
+// current. Each wire transition additionally charges or discharges the
+// lumped load capacitance. The model unifies all load capacitances into a
+// single cload and expresses both effects as energy per activity:
+//
+//	Ezero       = VDDQ² / (Rpullup + Rpulldown) · 1/f        (eq. 1)
+//	Etransition = ½ · VDDQ · Vswing · cload                  (eq. 2)
+//	Vswing      = VDDQ · Rpullup / (Rpullup + Rpulldown)     (eq. 3)
+//	Eburst      = nzeros·Ezero + ntransitions·Etransition    (eq. 4)
+//
+// where f is the per-pin data rate: a zero occupies the wire for one unit
+// interval 1/f, so the DC term shrinks as the link gets faster while the
+// transition term is rate-independent. This is what moves the optimum from
+// DC-style to AC-style coding as data rates grow.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+)
+
+// Link describes one POD-signalled wire group electrically. The zero value
+// is not usable; construct via a preset or fill every field and Validate.
+type Link struct {
+	// VDDQ is the I/O supply voltage in volts (1.35 V for POD135/GDDR5X,
+	// 1.2 V for POD12/DDR4).
+	VDDQ float64
+	// Rpullup is the on-die termination resistance to VDDQ in ohms.
+	Rpullup float64
+	// Rpulldown is the output driver pulldown resistance in ohms.
+	Rpulldown float64
+	// Cload is the unified load capacitance per wire in farads: driver,
+	// receiver pads, package and trace lumped together. Typical DDR4/GDDR5
+	// systems land between 1 pF and 8 pF.
+	Cload float64
+	// DataRate is the per-pin data rate in bit/s; one unit interval is
+	// 1/DataRate.
+	DataRate float64
+}
+
+// Typical termination values for a POD interface; CACTI-IO and published
+// GDDR5 IBIS models put the ODT pull-up near 60 ohm and the driver pull-down
+// near 40 ohm.
+const (
+	DefaultRpullup   = 60.0
+	DefaultRpulldown = 40.0
+)
+
+// PicoFarad is 1e-12 F, for readable Cload literals.
+const PicoFarad = 1e-12
+
+// Gbps is 1e9 bit/s, for readable DataRate literals.
+const Gbps = 1e9
+
+// POD135 returns a GDDR5X-style link (VDDQ = 1.35 V) at the given load and
+// data rate. This is the configuration behind the paper's Fig. 7.
+func POD135(cload, dataRate float64) Link {
+	return Link{VDDQ: 1.35, Rpullup: DefaultRpullup, Rpulldown: DefaultRpulldown,
+		Cload: cload, DataRate: dataRate}
+}
+
+// POD15 returns a POD15 (JESD8-20A, 1.5 V) link.
+func POD15(cload, dataRate float64) Link {
+	return Link{VDDQ: 1.5, Rpullup: DefaultRpullup, Rpulldown: DefaultRpulldown,
+		Cload: cload, DataRate: dataRate}
+}
+
+// POD12 returns a DDR4-style link (VDDQ = 1.2 V). The paper notes its
+// results for POD12 are almost identical to POD135.
+func POD12(cload, dataRate float64) Link {
+	return Link{VDDQ: 1.2, Rpullup: DefaultRpullup, Rpulldown: DefaultRpulldown,
+		Cload: cload, DataRate: dataRate}
+}
+
+// Validate reports an error if any parameter is non-physical.
+func (l Link) Validate() error {
+	switch {
+	case !(l.VDDQ > 0):
+		return fmt.Errorf("phy: VDDQ must be positive, got %g", l.VDDQ)
+	case !(l.Rpullup > 0) || !(l.Rpulldown > 0):
+		return fmt.Errorf("phy: termination resistances must be positive, got Rpullup=%g Rpulldown=%g",
+			l.Rpullup, l.Rpulldown)
+	case !(l.Cload >= 0):
+		return fmt.Errorf("phy: Cload must be non-negative, got %g", l.Cload)
+	case !(l.DataRate > 0):
+		return fmt.Errorf("phy: DataRate must be positive, got %g", l.DataRate)
+	}
+	return nil
+}
+
+// Vswing is the signal swing in volts (eq. 3): the voltage divider formed by
+// the pulldown driver against the pull-up termination.
+func (l Link) Vswing() float64 {
+	return l.VDDQ * l.Rpullup / (l.Rpullup + l.Rpulldown)
+}
+
+// Ezero is the energy in joules of transmitting a single zero for one unit
+// interval (eq. 1).
+func (l Link) Ezero() float64 {
+	return l.VDDQ * l.VDDQ / (l.Rpullup + l.Rpulldown) / l.DataRate
+}
+
+// Etransition is the energy in joules of one wire transition (eq. 2).
+func (l Link) Etransition() float64 {
+	return 0.5 * l.VDDQ * l.Vswing() * l.Cload
+}
+
+// BurstEnergy is the interface energy in joules of a transmission with the
+// given activity counts (eq. 4).
+func (l Link) BurstEnergy(c bus.Cost) float64 {
+	return float64(c.Zeros)*l.Ezero() + float64(c.Transitions)*l.Etransition()
+}
+
+// Weights converts the link's operating point into the (alpha, beta) weights
+// an optimal encoder should minimise: alpha = Etransition, beta = Ezero.
+// Scaling is irrelevant to the encoder, so the raw joule values are used.
+func (l Link) Weights() dbi.Weights {
+	return dbi.Weights{Alpha: l.Etransition(), Beta: l.Ezero()}
+}
+
+// NormalizedWeights returns the weights scaled so alpha + beta = 1, the
+// axis convention of the paper's Fig. 3 and 4 ("AC cost" alpha from 0 to 1,
+// "DC cost" beta = 1 - alpha).
+func (l Link) NormalizedWeights() dbi.Weights {
+	a, b := l.Etransition(), l.Ezero()
+	s := a + b
+	if s == 0 {
+		return dbi.Weights{}
+	}
+	return dbi.Weights{Alpha: a / s, Beta: b / s}
+}
+
+// CrossoverRate returns the data rate at which the AC cost share
+// Etransition/(Etransition+Ezero) reaches the given fraction in (0,1).
+// With the paper's parameters (POD135, 3 pF), fraction 0.56 — where DBI AC
+// overtakes DBI DC — lands near 14 Gbps, the paper's point of maximum gain.
+func (l Link) CrossoverRate(fraction float64) float64 {
+	if !(fraction > 0 && fraction < 1) {
+		return math.NaN()
+	}
+	et := l.Etransition()
+	if et == 0 {
+		return math.Inf(1)
+	}
+	// Etransition/(Etransition + Ezero(f)) = fraction
+	// => Ezero(f) = Etransition*(1-fraction)/fraction
+	// => f = VDDQ²/(R·EzeroTarget)
+	target := et * (1 - fraction) / fraction
+	return l.VDDQ * l.VDDQ / (l.Rpullup + l.Rpulldown) / target
+}
+
+// String summarises the operating point.
+func (l Link) String() string {
+	return fmt.Sprintf("POD %.2fV Rpu=%.0fΩ Rpd=%.0fΩ Cload=%.1fpF @%.1fGbps (Ezero=%.3gpJ Etrans=%.3gpJ)",
+		l.VDDQ, l.Rpullup, l.Rpulldown, l.Cload/PicoFarad, l.DataRate/Gbps,
+		l.Ezero()*1e12, l.Etransition()*1e12)
+}

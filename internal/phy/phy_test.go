@@ -1,0 +1,194 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dbiopt/internal/bus"
+)
+
+func TestPresets(t *testing.T) {
+	cases := []struct {
+		link Link
+		vddq float64
+	}{
+		{POD135(3*PicoFarad, 12*Gbps), 1.35},
+		{POD15(3*PicoFarad, 12*Gbps), 1.5},
+		{POD12(3*PicoFarad, 12*Gbps), 1.2},
+	}
+	for _, c := range cases {
+		if c.link.VDDQ != c.vddq {
+			t.Errorf("VDDQ = %g, want %g", c.link.VDDQ, c.vddq)
+		}
+		if err := c.link.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := POD135(3*PicoFarad, 12*Gbps)
+	bad := []Link{
+		{},
+		{VDDQ: -1, Rpullup: 60, Rpulldown: 40, Cload: 1e-12, DataRate: 1e9},
+		{VDDQ: 1.35, Rpullup: 0, Rpulldown: 40, Cload: 1e-12, DataRate: 1e9},
+		{VDDQ: 1.35, Rpullup: 60, Rpulldown: -40, Cload: 1e-12, DataRate: 1e9},
+		{VDDQ: 1.35, Rpullup: 60, Rpulldown: 40, Cload: -1e-12, DataRate: 1e9},
+		{VDDQ: 1.35, Rpullup: 60, Rpulldown: 40, Cload: 1e-12, DataRate: 0},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good link rejected: %v", err)
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad link accepted: %+v", l)
+		}
+	}
+}
+
+// TestEquations pins eq. 1-3 against hand-computed values for the paper's
+// POD135 / 60Ω / 40Ω operating point.
+func TestEquations(t *testing.T) {
+	l := POD135(3*PicoFarad, 4*Gbps)
+	// Vswing = 1.35 * 60/100 = 0.81 V
+	if got := l.Vswing(); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("Vswing = %g, want 0.81", got)
+	}
+	// Ezero = 1.35² / 100 / 4e9 = 4.556e-12 J
+	if got := l.Ezero(); math.Abs(got-1.35*1.35/100/4e9) > 1e-20 {
+		t.Errorf("Ezero = %g", got)
+	}
+	// Etransition = 0.5 * 1.35 * 0.81 * 3e-12 = 1.640e-12 J
+	if got := l.Etransition(); math.Abs(got-0.5*1.35*0.81*3e-12) > 1e-20 {
+		t.Errorf("Etransition = %g", got)
+	}
+}
+
+// TestBurstEnergyLinearity: eq. 4 is linear in the activity counts.
+func TestBurstEnergyLinearity(t *testing.T) {
+	l := POD135(3*PicoFarad, 12*Gbps)
+	f := func(z, tr uint8) bool {
+		c := bus.Cost{Zeros: int(z), Transitions: int(tr)}
+		want := float64(z)*l.Ezero() + float64(tr)*l.Etransition()
+		return math.Abs(l.BurstEnergy(c)-want) < 1e-24
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEzeroShrinksWithRate: the DC term is inversely proportional to the
+// data rate, the effect that moves the optimum from DC to AC coding.
+func TestEzeroShrinksWithRate(t *testing.T) {
+	slow := POD135(3*PicoFarad, 1*Gbps)
+	fast := POD135(3*PicoFarad, 16*Gbps)
+	if !(fast.Ezero() < slow.Ezero()) {
+		t.Error("Ezero should shrink with rate")
+	}
+	if math.Abs(fast.Ezero()*16-slow.Ezero()) > 1e-20 {
+		t.Error("Ezero not inversely proportional to rate")
+	}
+	if fast.Etransition() != slow.Etransition() {
+		t.Error("Etransition must be rate-independent")
+	}
+}
+
+// TestEtransitionGrowsWithLoad: the AC term is proportional to cload.
+func TestEtransitionGrowsWithLoad(t *testing.T) {
+	l1 := POD135(1*PicoFarad, 12*Gbps)
+	l8 := POD135(8*PicoFarad, 12*Gbps)
+	if math.Abs(l8.Etransition()-8*l1.Etransition()) > 1e-20 {
+		t.Error("Etransition not proportional to cload")
+	}
+}
+
+// TestWeightsNormalization: normalised weights sum to one and preserve the
+// alpha:beta ratio.
+func TestWeightsNormalization(t *testing.T) {
+	l := POD135(3*PicoFarad, 12*Gbps)
+	w := l.Weights()
+	nw := l.NormalizedWeights()
+	if math.Abs(nw.Alpha+nw.Beta-1) > 1e-12 {
+		t.Errorf("normalised weights sum to %g", nw.Alpha+nw.Beta)
+	}
+	if math.Abs(w.Alpha*nw.Beta-w.Beta*nw.Alpha) > 1e-24 {
+		t.Error("normalisation changed the ratio")
+	}
+	if w.Alpha != l.Etransition() || w.Beta != l.Ezero() {
+		t.Error("weights must be (Etransition, Ezero)")
+	}
+}
+
+// TestCrossoverRateMatchesPaper: with POD135 and 3 pF, the rate where the
+// AC share reaches 0.56 — where the paper says DBI AC overtakes DBI DC —
+// must land near 14 Gbps, the paper's point of maximum gain.
+func TestCrossoverRateMatchesPaper(t *testing.T) {
+	l := POD135(3*PicoFarad, 12*Gbps)
+	f := l.CrossoverRate(0.56)
+	if f < 12*Gbps || f > 16*Gbps {
+		t.Errorf("crossover rate = %.2f Gbps, paper's maximum gain sits near 14", f/Gbps)
+	}
+	// Consistency: at the returned rate the normalised alpha equals the
+	// requested fraction.
+	at := POD135(3*PicoFarad, f)
+	if got := at.NormalizedWeights().Alpha; math.Abs(got-0.56) > 1e-9 {
+		t.Errorf("alpha at crossover = %g, want 0.56", got)
+	}
+}
+
+// TestCrossoverRateEdges covers the degenerate fractions.
+func TestCrossoverRateEdges(t *testing.T) {
+	l := POD135(3*PicoFarad, 12*Gbps)
+	if !math.IsNaN(l.CrossoverRate(0)) || !math.IsNaN(l.CrossoverRate(1)) || !math.IsNaN(l.CrossoverRate(-0.5)) {
+		t.Error("out-of-range fraction should return NaN")
+	}
+	zeroLoad := POD135(0, 12*Gbps)
+	if !math.IsInf(zeroLoad.CrossoverRate(0.5), 1) {
+		t.Error("zero-load crossover should be +Inf")
+	}
+}
+
+// TestString smoke-tests the formatter.
+func TestString(t *testing.T) {
+	if s := POD135(3*PicoFarad, 12*Gbps).String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestSSTLModel: both levels cost the same DC energy, so bursts with equal
+// transition counts cost the same regardless of zero count — the property
+// that makes DBI pointless on SSTL.
+func TestSSTLModel(t *testing.T) {
+	s := SSTL15(3*PicoFarad, 1.6*Gbps)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	allZeros := bus.Cost{Zeros: 72, Transitions: 10}
+	allOnes := bus.Cost{Zeros: 0, Transitions: 10}
+	if s.BurstEnergy(allZeros, 8, 9) != s.BurstEnergy(allOnes, 8, 9) {
+		t.Error("SSTL energy must not depend on the zero count")
+	}
+	more := bus.Cost{Zeros: 0, Transitions: 20}
+	if !(s.BurstEnergy(more, 8, 9) > s.BurstEnergy(allOnes, 8, 9)) {
+		t.Error("transitions must still cost energy on SSTL")
+	}
+	if s.Vswing() <= 0 || s.Ebit() <= 0 || s.Etransition() <= 0 {
+		t.Error("non-positive SSTL characteristics")
+	}
+}
+
+// TestSSTLValidate covers the SSTL guard rails.
+func TestSSTLValidate(t *testing.T) {
+	bad := []SSTL{
+		{},
+		{VDDQ: 1.5, Rterm: 0, Rdriver: 34, Cload: 1e-12, DataRate: 1e9},
+		{VDDQ: 1.5, Rterm: 50, Rdriver: 34, Cload: -1, DataRate: 1e9},
+		{VDDQ: 1.5, Rterm: 50, Rdriver: 34, Cload: 1e-12, DataRate: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad SSTL accepted: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package phy
+
+import (
+	"fmt"
+
+	"dbiopt/internal/bus"
+)
+
+// SSOProfile summarises simultaneous switching output (SSO) activity across
+// a group of byte lanes: how many wires toggle on the same beat edge. SSO
+// drives the di/dt noise on the supply network (the SSN problem of Kim et
+// al. that DBI coding was partly introduced to tame — see the paper's
+// related work): the worst beat sets the noise budget, the mean sets the
+// average supply ripple.
+type SSOProfile struct {
+	// Beats is the number of beat edges profiled.
+	Beats int
+	// Max is the largest number of wires that switched on one edge.
+	Max int
+	// Hist[k] is the number of edges on which exactly k wires switched.
+	Hist []int
+	// Total is the total transition count (the same quantity the energy
+	// model charges).
+	Total int
+}
+
+// Mean returns the average simultaneous-switching count per edge.
+func (p SSOProfile) Mean() float64 {
+	if p.Beats == 0 {
+		return 0
+	}
+	return float64(p.Total) / float64(p.Beats)
+}
+
+// Exceeding returns the fraction of edges on which more than k wires
+// switched simultaneously.
+func (p SSOProfile) Exceeding(k int) float64 {
+	if p.Beats == 0 {
+		return 0
+	}
+	n := 0
+	for i := k + 1; i < len(p.Hist); i++ {
+		n += p.Hist[i]
+	}
+	return float64(n) / float64(p.Beats)
+}
+
+// MeasureSSO profiles the simultaneous switching of a group of lanes
+// transmitting in lockstep, starting from the given per-lane line states.
+// All wire images must have the same number of beats. DBI wires are
+// included, as they switch on the same edges.
+func MeasureSSO(prev []bus.LineState, wires []bus.Wire) (SSOProfile, error) {
+	if len(prev) != len(wires) {
+		return SSOProfile{}, fmt.Errorf("phy: %d states for %d lanes", len(prev), len(wires))
+	}
+	if len(wires) == 0 {
+		return SSOProfile{}, nil
+	}
+	beats := wires[0].Len()
+	for l, w := range wires {
+		if w.Len() != beats {
+			return SSOProfile{}, fmt.Errorf("phy: lane %d has %d beats, lane 0 has %d", l, w.Len(), beats)
+		}
+	}
+	p := SSOProfile{Beats: beats, Hist: make([]int, len(wires)*bus.WiresPerLane+1)}
+	states := append([]bus.LineState(nil), prev...)
+	for t := 0; t < beats; t++ {
+		switching := 0
+		for l, w := range wires {
+			s := states[l]
+			switching += bus.Transitions(s.Data, w.Data[t])
+			dbi := 0
+			if w.DBI[t] {
+				dbi = 1
+			}
+			prevDBI := 0
+			if s.DBI {
+				prevDBI = 1
+			}
+			if dbi != prevDBI {
+				switching++
+			}
+			states[l] = bus.LineState{Data: w.Data[t], DBI: w.DBI[t]}
+		}
+		p.Hist[switching]++
+		p.Total += switching
+		if switching > p.Max {
+			p.Max = switching
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,72 @@
+package phy
+
+import (
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+func TestMeasureSSOHandCase(t *testing.T) {
+	// One lane, two beats, from idle (all ones, DBI high):
+	// beat 0: 0x0F plain -> 4 data wires fall, DBI stays: 4 switching
+	// beat 1: 0xF0 plain -> all 8 data wires flip: 8 switching
+	w := bus.Apply(bus.Burst{0x0F, 0xF0}, []bool{false, false})
+	p, err := MeasureSSO([]bus.LineState{bus.InitialLineState}, []bus.Wire{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Beats != 2 || p.Max != 8 || p.Total != 12 {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.Hist[4] != 1 || p.Hist[8] != 1 {
+		t.Errorf("hist = %v", p.Hist)
+	}
+	if p.Mean() != 6 {
+		t.Errorf("mean = %g", p.Mean())
+	}
+	if p.Exceeding(4) != 0.5 || p.Exceeding(8) != 0 {
+		t.Errorf("exceeding = %g / %g", p.Exceeding(4), p.Exceeding(8))
+	}
+}
+
+func TestMeasureSSODBIWireCounts(t *testing.T) {
+	// An inverted beat from idle flips the DBI wire too.
+	w := bus.Apply(bus.Burst{0xFF}, []bool{true}) // wire 0x00, DBI falls
+	p, err := MeasureSSO([]bus.LineState{bus.InitialLineState}, []bus.Wire{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Max != 9 {
+		t.Errorf("max = %d, want 9 (8 data + DBI)", p.Max)
+	}
+}
+
+func TestMeasureSSOMultiLane(t *testing.T) {
+	// Two lanes switching everything at once add up.
+	w := bus.Apply(bus.Burst{0x00}, []bool{false})
+	p, err := MeasureSSO(
+		[]bus.LineState{bus.InitialLineState, bus.InitialLineState},
+		[]bus.Wire{w, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Max != 16 {
+		t.Errorf("max = %d, want 16", p.Max)
+	}
+}
+
+func TestMeasureSSOValidation(t *testing.T) {
+	w1 := bus.Apply(bus.Burst{0}, []bool{false})
+	w2 := bus.Apply(bus.Burst{0, 0}, []bool{false, false})
+	if _, err := MeasureSSO([]bus.LineState{bus.InitialLineState}, []bus.Wire{w1, w2}); err == nil {
+		t.Error("state/lane mismatch accepted")
+	}
+	if _, err := MeasureSSO([]bus.LineState{bus.InitialLineState, bus.InitialLineState},
+		[]bus.Wire{w1, w2}); err == nil {
+		t.Error("beat mismatch accepted")
+	}
+	p, err := MeasureSSO(nil, nil)
+	if err != nil || p.Beats != 0 || p.Mean() != 0 || p.Exceeding(0) != 0 {
+		t.Errorf("empty profile: %+v, %v", p, err)
+	}
+}

@@ -1,0 +1,68 @@
+package phy
+
+import (
+	"fmt"
+
+	"dbiopt/internal/bus"
+)
+
+// SSTL models the centre-tapped-termination interface used before POD
+// (DDR2/DDR3): the line terminates to VDDQ/2, so DC current flows whichever
+// level is driven — transmitting a one and transmitting a zero cost the
+// same. DBI coding therefore cannot save termination energy on SSTL; the
+// model exists to demonstrate exactly that contrast (as the paper's
+// introduction does) and to let workloads be compared across interface
+// generations.
+type SSTL struct {
+	VDDQ     float64 // supply voltage in volts (1.5 V for DDR3 SSTL-15)
+	Rterm    float64 // effective termination resistance to VDDQ/2, ohms
+	Rdriver  float64 // driver output resistance, ohms
+	Cload    float64 // lumped load capacitance, farads
+	DataRate float64 // per-pin data rate, bit/s
+}
+
+// SSTL15 returns a DDR3-style SSTL link at the given load and data rate.
+func SSTL15(cload, dataRate float64) SSTL {
+	return SSTL{VDDQ: 1.5, Rterm: 50, Rdriver: 34, Cload: cload, DataRate: dataRate}
+}
+
+// Validate reports an error if any parameter is non-physical.
+func (s SSTL) Validate() error {
+	switch {
+	case !(s.VDDQ > 0):
+		return fmt.Errorf("phy: SSTL VDDQ must be positive, got %g", s.VDDQ)
+	case !(s.Rterm > 0) || !(s.Rdriver > 0):
+		return fmt.Errorf("phy: SSTL resistances must be positive, got Rterm=%g Rdriver=%g", s.Rterm, s.Rdriver)
+	case !(s.Cload >= 0):
+		return fmt.Errorf("phy: SSTL Cload must be non-negative, got %g", s.Cload)
+	case !(s.DataRate > 0):
+		return fmt.Errorf("phy: SSTL DataRate must be positive, got %g", s.DataRate)
+	}
+	return nil
+}
+
+// Ebit is the DC termination energy of driving either level for one unit
+// interval: the line sits at VDDQ/2 ± swing/2, so a current of roughly
+// (VDDQ/2)/(Rterm+Rdriver) flows regardless of the level.
+func (s SSTL) Ebit() float64 {
+	v := s.VDDQ / 2
+	return v * v / (s.Rterm + s.Rdriver) / s.DataRate
+}
+
+// Vswing is the SSTL signal swing.
+func (s SSTL) Vswing() float64 {
+	return s.VDDQ * s.Rterm / (s.Rterm + s.Rdriver)
+}
+
+// Etransition is the dynamic energy of one wire transition.
+func (s SSTL) Etransition() float64 {
+	return 0.5 * s.VDDQ * s.Vswing() * s.Cload
+}
+
+// BurstEnergy charges every transmitted bit the same DC energy (zeros and
+// ones alike) plus the transition energy; beats is the number of beats and
+// wires the wire count, so beats*wires bits are paid for.
+func (s SSTL) BurstEnergy(c bus.Cost, beats, wires int) float64 {
+	bits := float64(beats * wires)
+	return bits*s.Ebit() + float64(c.Transitions)*s.Etransition()
+}

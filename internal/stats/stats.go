@@ -1,0 +1,112 @@
+// Package stats provides the small statistical and reporting toolkit the
+// experiments are built on: running summaries, Pareto fronts over activity
+// counts, and writers for gnuplot-style .dat files, CSV and Markdown tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dbiopt/internal/bus"
+)
+
+// Summary accumulates count, mean, variance (Welford), min and max of a
+// stream of observations. The zero value is ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or NaN if empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance, or NaN for fewer than two
+// observations.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or NaN if empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN if empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// String renders "mean ± stddev (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.Stddev(), s.n)
+}
+
+// Pareto returns the subset of points not dominated by any other point
+// (minimisation in both coordinates), sorted by ascending Zeros. Duplicate
+// points are collapsed.
+func Pareto(points []bus.Cost) []bus.Cost {
+	seen := make(map[bus.Cost]struct{}, len(points))
+	for _, p := range points {
+		seen[p] = struct{}{}
+	}
+	var front []bus.Cost
+	for p := range seen {
+		dominated := false
+		for q := range seen {
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Zeros != front[j].Zeros {
+			return front[i].Zeros < front[j].Zeros
+		}
+		return front[i].Transitions < front[j].Transitions
+	})
+	return front
+}

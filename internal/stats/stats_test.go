@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dbiopt/internal/bus"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) || !math.IsNaN(s.Var()) {
+		t.Error("empty summary should be NaN everywhere")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g", s.Mean())
+	}
+	// Sample variance of the classic dataset: 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %g", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	var one Summary
+	one.Add(3)
+	if !math.IsNaN(one.Var()) {
+		t.Error("single-sample variance should be NaN")
+	}
+}
+
+// TestSummaryMatchesNaive: Welford equals the two-pass formula.
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		var s Summary
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naive := ss / float64(len(xs)-1)
+		return math.Abs(s.Var()-naive) <= 1e-6*(1+naive)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	points := []bus.Cost{
+		{Zeros: 1, Transitions: 9},
+		{Zeros: 2, Transitions: 5},
+		{Zeros: 3, Transitions: 5}, // dominated by (2,5)
+		{Zeros: 5, Transitions: 2},
+		{Zeros: 5, Transitions: 2}, // duplicate
+		{Zeros: 9, Transitions: 9}, // dominated
+	}
+	front := Pareto(points)
+	want := []bus.Cost{{Zeros: 1, Transitions: 9}, {Zeros: 2, Transitions: 5}, {Zeros: 5, Transitions: 2}}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v", front)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Errorf("front[%d] = %+v, want %+v", i, front[i], want[i])
+		}
+	}
+	if got := Pareto(nil); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+}
+
+func TestPlotWriters(t *testing.T) {
+	p := &Plot{Title: "t", XLabel: "x, label", YLabel: "y", X: []float64{1, 2}}
+	if err := p.Add("a b", []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("c", []float64{5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	var dat strings.Builder
+	if err := p.WriteDat(&dat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dat.String(), "a_b") || !strings.Contains(dat.String(), "1\t3") {
+		t.Errorf("dat = %q", dat.String())
+	}
+	var csv strings.Builder
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.Contains(out, `"x, label"`) {
+		t.Errorf("csv header not quoted: %q", out)
+	}
+	if !strings.Contains(out, "2,4") {
+		t.Errorf("csv rows wrong: %q", out)
+	}
+}
+
+func TestCSVQuote(t *testing.T) {
+	cases := map[string]string{
+		"plain":    "plain",
+		"a,b":      `"a,b"`,
+		`say "hi"`: `"say ""hi"""`,
+		"nl\n":     "\"nl\n\"",
+	}
+	for in, want := range cases {
+		if got := csvQuote(in); got != want {
+			t.Errorf("csvQuote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableWriters(t *testing.T) {
+	tbl := &Table{Title: "T", Columns: []string{"A", "Bee"}}
+	if err := tbl.AddRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("only one"); err == nil {
+		t.Error("short row accepted")
+	}
+	var md strings.Builder
+	if err := tbl.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| A | Bee |") {
+		t.Errorf("markdown = %q", md.String())
+	}
+	var txt strings.Builder
+	if err := tbl.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "Bee") || !strings.Contains(txt.String(), "---") {
+		t.Errorf("text = %q", txt.String())
+	}
+}

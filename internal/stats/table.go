@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named curve of an experiment: x values shared with its
+// siblings and one y value per x.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Plot is a family of series over a common x axis — the in-memory form of
+// one paper figure.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Add appends a named series; its length must match X.
+func (p *Plot) Add(name string, y []float64) error {
+	if len(y) != len(p.X) {
+		return fmt.Errorf("stats: series %q has %d points, x axis has %d", name, len(y), len(p.X))
+	}
+	p.Series = append(p.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// WriteDat emits the plot in gnuplot-friendly whitespace-separated columns:
+// a comment header naming the columns, then one row per x value.
+func (p *Plot) WriteDat(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n# %s", p.Title, p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(&sb, "\t%s", strings.ReplaceAll(s.Name, " ", "_"))
+	}
+	sb.WriteByte('\n')
+	for i, x := range p.X {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range p.Series {
+			fmt.Fprintf(&sb, "\t%.6g", s.Y[i])
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV emits the plot as an RFC-4180-ish CSV with a header row.
+func (p *Plot) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(csvQuote(p.XLabel))
+	for _, s := range p.Series {
+		sb.WriteByte(',')
+		sb.WriteString(csvQuote(s.Name))
+	}
+	sb.WriteByte('\n')
+	for i, x := range p.X {
+		fmt.Fprintf(&sb, "%g", x)
+		for _, s := range p.Series {
+			fmt.Fprintf(&sb, ",%.6g", s.Y[i])
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table is a simple rectangular table for report output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; its width must match Columns.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("stats: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteText renders the table with aligned fixed-width columns for terminal
+// output.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes never crash the trace reader; they either
+// parse or fail cleanly.
+func FuzzReader(f *testing.F) {
+	// A valid two-burst trace as seed.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write([]byte{1, 2, 3, 4})
+	_ = w.Write([]byte{5, 6, 7, 8})
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("DBIT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Read(); err != nil {
+				if err != io.EOF {
+					// A hard error is fine; it must just not panic.
+					_ = err
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzHexBurst: the hex parser round-trips what it accepts.
+func FuzzHexBurst(f *testing.F) {
+	f.Add("8E 86 96 E9 7D B7 57 C4")
+	f.Add("00")
+	f.Add("not hex")
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseHexBurst(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseHexBurst(FormatHexBurst(b))
+		if err != nil {
+			t.Fatalf("formatted burst failed to parse: %v", err)
+		}
+		if !again.Equal(b) {
+			t.Fatalf("round trip changed the burst: %v vs %v", again, b)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package trace generates and serialises the data workloads the DBI
+// experiments run on.
+//
+// The paper evaluates coding schemes on uniformly random bursts; real memory
+// traffic is far from uniform, so the package also provides generators that
+// mimic the value statistics of common workload classes (sparse integer
+// data, ASCII text, pointer-heavy data, image-like smooth data, correlated
+// streams). Every generator is deterministic given its seed, so experiments
+// are exactly reproducible.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbiopt/internal/bus"
+)
+
+// Source produces an endless stream of payload bursts. Implementations are
+// deterministic: two sources constructed with identical parameters produce
+// identical streams.
+type Source interface {
+	// Name identifies the workload class for reports.
+	Name() string
+	// Next returns the next burst of the given length. The returned slice
+	// is owned by the caller.
+	Next(beats int) bus.Burst
+}
+
+// Uniform produces independent uniformly random bytes — the workload of the
+// paper's Fig. 3 and 4.
+type Uniform struct {
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform random source with the given seed.
+func NewUniform(seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Source.
+func (*Uniform) Name() string { return "uniform" }
+
+// Next implements Source.
+func (u *Uniform) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		b[i] = byte(u.rng.Intn(256))
+	}
+	return b
+}
+
+// Constant repeats a fixed byte forever; Constant{Value: 0} and
+// Constant{Value: 0xFF} are the extreme cases for DC-dominated links.
+type Constant struct {
+	Value byte
+}
+
+// Name implements Source.
+func (c Constant) Name() string { return fmt.Sprintf("constant-%02x", c.Value) }
+
+// Next implements Source.
+func (c Constant) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		b[i] = c.Value
+	}
+	return b
+}
+
+// Sparse produces bytes whose bits are one with probability p: small p
+// models zero-dominated small-integer data, large p models one-dominated
+// data; p = 0.5 recovers the uniform workload.
+type Sparse struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewSparse returns a source whose bits are one with probability p.
+func NewSparse(seed int64, p float64) *Sparse {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("trace: bit probability out of range: %g", p))
+	}
+	return &Sparse{rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// Name implements Source.
+func (s *Sparse) Name() string { return fmt.Sprintf("sparse-p%.2f", s.p) }
+
+// Next implements Source.
+func (s *Sparse) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		var v byte
+		for bit := 0; bit < 8; bit++ {
+			if s.rng.Float64() < s.p {
+				v |= 1 << bit
+			}
+		}
+		b[i] = v
+	}
+	return b
+}
+
+// Walking cycles a walking-one (or walking-zero) pattern across the byte:
+// the classic worst case for transition counts, every beat toggles two
+// wires of the raw bus but the pattern defeats per-byte inversion.
+type Walking struct {
+	Zero bool // walk a zero through ones instead of a one through zeros
+	pos  int
+}
+
+// Name implements Source.
+func (w *Walking) Name() string {
+	if w.Zero {
+		return "walking-zero"
+	}
+	return "walking-one"
+}
+
+// Next implements Source.
+func (w *Walking) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		v := byte(1) << (w.pos % 8)
+		if w.Zero {
+			v = ^v
+		}
+		b[i] = v
+		w.pos++
+	}
+	return b
+}
+
+// Text produces bytes following the value statistics of English ASCII text:
+// mostly lowercase letters and spaces, so the top bit is always zero and
+// bits 5..6 are heavily biased — a DC-unfriendly, transition-light workload.
+type Text struct {
+	rng *rand.Rand
+}
+
+// NewText returns a text-like source.
+func NewText(seed int64) *Text {
+	return &Text{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Source.
+func (*Text) Name() string { return "text" }
+
+// letters is weighted roughly by English letter frequency, with spaces
+// interleaved at word-length intervals.
+const letters = "etaoinshrdlcumwfgypbvkjxqz"
+
+// Next implements Source.
+func (t *Text) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		if t.rng.Intn(6) == 0 {
+			b[i] = ' '
+			continue
+		}
+		// Quadratic bias towards frequent letters.
+		idx := t.rng.Intn(len(letters) * len(letters))
+		b[i] = letters[intSqrt(idx)]
+	}
+	return b
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Pointers produces 64-bit little-endian pointer-like values: the high bytes
+// are nearly constant (heap base), the low bytes vary — the classic
+// upper-bits-redundant pattern of pointer-chasing workloads.
+type Pointers struct {
+	rng  *rand.Rand
+	base uint64
+	buf  []byte
+}
+
+// NewPointers returns a pointer-like source.
+func NewPointers(seed int64) *Pointers {
+	rng := rand.New(rand.NewSource(seed))
+	return &Pointers{rng: rng, base: 0x00007f0000000000 | uint64(rng.Intn(1<<20))<<20}
+}
+
+// Name implements Source.
+func (*Pointers) Name() string { return "pointers" }
+
+// Next implements Source.
+func (p *Pointers) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		if len(p.buf) == 0 {
+			v := p.base + uint64(p.rng.Intn(1<<24))&^7
+			p.buf = make([]byte, 8)
+			for j := 0; j < 8; j++ {
+				p.buf[j] = byte(v >> (8 * j))
+			}
+		}
+		b[i] = p.buf[0]
+		p.buf = p.buf[1:]
+	}
+	return b
+}
+
+// Image produces smoothly varying bytes, like uncompressed image rows or
+// sensor data: each byte is the previous one plus small Gaussian-ish noise,
+// so consecutive beats differ in few low-order bits.
+type Image struct {
+	rng *rand.Rand
+	cur int
+}
+
+// NewImage returns an image-like source.
+func NewImage(seed int64) *Image {
+	return &Image{rng: rand.New(rand.NewSource(seed)), cur: 128}
+}
+
+// Name implements Source.
+func (*Image) Name() string { return "image" }
+
+// Next implements Source.
+func (im *Image) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		step := im.rng.Intn(7) + im.rng.Intn(7) - 6 // triangular in [-6, 6]
+		im.cur += step
+		if im.cur < 0 {
+			im.cur = 0
+		}
+		if im.cur > 255 {
+			im.cur = 255
+		}
+		b[i] = byte(im.cur)
+	}
+	return b
+}
+
+// Markov produces a first-order bitwise-correlated stream: each byte equals
+// the previous one with some bits flipped, each bit flipping independently
+// with probability Flip. Flip 0.5 recovers uniform data; small Flip models
+// highly correlated traffic.
+type Markov struct {
+	rng  *rand.Rand
+	flip float64
+	cur  byte
+}
+
+// NewMarkov returns a correlated source with the given per-bit flip
+// probability.
+func NewMarkov(seed int64, flip float64) *Markov {
+	if flip < 0 || flip > 1 {
+		panic(fmt.Sprintf("trace: flip probability out of range: %g", flip))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Markov{rng: rng, flip: flip, cur: byte(rng.Intn(256))}
+}
+
+// Name implements Source.
+func (m *Markov) Name() string { return fmt.Sprintf("markov-f%.2f", m.flip) }
+
+// Next implements Source.
+func (m *Markov) Next(beats int) bus.Burst {
+	b := make(bus.Burst, beats)
+	for i := range b {
+		var mask byte
+		for bit := 0; bit < 8; bit++ {
+			if m.rng.Float64() < m.flip {
+				mask |= 1 << bit
+			}
+		}
+		m.cur ^= mask
+		b[i] = m.cur
+	}
+	return b
+}
+
+// Catalog returns one instance of every workload class with derived seeds,
+// for sweep-style experiments.
+func Catalog(seed int64) []Source {
+	return []Source{
+		NewUniform(seed),
+		NewSparse(seed+1, 0.2),
+		NewSparse(seed+2, 0.8),
+		NewText(seed + 3),
+		NewPointers(seed + 4),
+		NewImage(seed + 5),
+		NewMarkov(seed+6, 0.1),
+		&Walking{},
+		Constant{Value: 0x00},
+		Constant{Value: 0xFF},
+	}
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// TestDeterminism: every seeded source reproduces its stream exactly.
+func TestDeterminism(t *testing.T) {
+	makers := []func() Source{
+		func() Source { return NewUniform(7) },
+		func() Source { return NewSparse(7, 0.2) },
+		func() Source { return NewText(7) },
+		func() Source { return NewPointers(7) },
+		func() Source { return NewImage(7) },
+		func() Source { return NewMarkov(7, 0.1) },
+		func() Source { return &Walking{} },
+		func() Source { return &Walking{Zero: true} },
+		func() Source { return Constant{Value: 0x5A} },
+	}
+	for _, mk := range makers {
+		a, b := mk(), mk()
+		for i := 0; i < 20; i++ {
+			x, y := a.Next(8), b.Next(8)
+			if !x.Equal(y) {
+				t.Fatalf("%s: non-deterministic at burst %d: %v vs %v", a.Name(), i, x, y)
+			}
+		}
+	}
+}
+
+// TestBurstLengths: sources honour the requested beat count.
+func TestBurstLengths(t *testing.T) {
+	for _, src := range Catalog(1) {
+		for _, n := range []int{1, 4, 8, 32} {
+			if got := len(src.Next(n)); got != n {
+				t.Errorf("%s: Next(%d) returned %d beats", src.Name(), n, got)
+			}
+		}
+	}
+}
+
+// TestNames: every catalog source has a non-empty distinct name.
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, src := range Catalog(1) {
+		name := src.Name()
+		if name == "" {
+			t.Error("empty source name")
+		}
+		if seen[name] {
+			t.Errorf("duplicate source name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestConstant: payload is the fixed value.
+func TestConstant(t *testing.T) {
+	b := Constant{Value: 0xA7}.Next(8)
+	for _, v := range b {
+		if v != 0xA7 {
+			t.Fatalf("constant source produced %#02x", v)
+		}
+	}
+}
+
+// TestSparseBias: small p yields mostly-zero bytes, large p mostly-one.
+func TestSparseBias(t *testing.T) {
+	low := NewSparse(3, 0.1)
+	high := NewSparse(3, 0.9)
+	var lowOnes, highOnes int
+	for i := 0; i < 200; i++ {
+		for _, v := range low.Next(8) {
+			lowOnes += bus.Ones(v)
+		}
+		for _, v := range high.Next(8) {
+			highOnes += bus.Ones(v)
+		}
+	}
+	total := 200 * 8 * 8
+	if lowOnes > total/4 {
+		t.Errorf("p=0.1 produced %d/%d ones", lowOnes, total)
+	}
+	if highOnes < 3*total/4 {
+		t.Errorf("p=0.9 produced %d/%d ones", highOnes, total)
+	}
+}
+
+// TestSparsePanicsOnBadP guards the probability range.
+func TestSparsePanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSparse(1, 1.5)
+}
+
+// TestMarkovPanicsOnBadFlip guards the probability range.
+func TestMarkovPanicsOnBadFlip(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMarkov(1, -0.1)
+}
+
+// TestWalkingPattern: walking-one produces single-bit bytes that rotate.
+func TestWalkingPattern(t *testing.T) {
+	w := &Walking{}
+	b := w.Next(16)
+	for i, v := range b {
+		if bus.Ones(v) != 1 {
+			t.Fatalf("beat %d: %08b has %d ones", i, v, bus.Ones(v))
+		}
+		if v != byte(1)<<(i%8) {
+			t.Fatalf("beat %d: got %08b", i, v)
+		}
+	}
+	wz := &Walking{Zero: true}
+	for i, v := range wz.Next(8) {
+		if bus.Zeros(v) != 1 {
+			t.Fatalf("walking-zero beat %d: %08b", i, v)
+		}
+	}
+}
+
+// TestTextIsASCII: the text source stays within printable ASCII, so the top
+// bit is always zero.
+func TestTextIsASCII(t *testing.T) {
+	src := NewText(5)
+	for i := 0; i < 50; i++ {
+		for _, v := range src.Next(8) {
+			if v&0x80 != 0 {
+				t.Fatalf("text byte %#02x has the top bit set", v)
+			}
+			if v != ' ' && (v < 'a' || v > 'z') {
+				t.Fatalf("unexpected text byte %q", v)
+			}
+		}
+	}
+}
+
+// TestPointersShareHighBytes: consecutive pointer values share their upper
+// bytes — the redundancy the source exists to model.
+func TestPointersShareHighBytes(t *testing.T) {
+	src := NewPointers(6)
+	a := src.Next(8) // one full 64-bit pointer
+	b := src.Next(8)
+	// The top two bytes (little-endian positions 6, 7) must match.
+	if a[6] != b[6] || a[7] != b[7] {
+		t.Errorf("pointer high bytes differ: %v vs %v", a, b)
+	}
+}
+
+// TestImageSmoothness: consecutive image bytes differ by at most the step
+// bound.
+func TestImageSmoothness(t *testing.T) {
+	src := NewImage(8)
+	prev := -1
+	for i := 0; i < 100; i++ {
+		for _, v := range src.Next(8) {
+			if prev >= 0 {
+				d := int(v) - prev
+				if d < -6 || d > 6 {
+					t.Fatalf("image step %d exceeds bound", d)
+				}
+			}
+			prev = int(v)
+		}
+	}
+}
+
+// TestMarkovFlipZeroIsConstant: with flip probability 0 the stream repeats
+// its first byte forever.
+func TestMarkovFlipZeroIsConstant(t *testing.T) {
+	src := NewMarkov(9, 0)
+	b := src.Next(16)
+	for _, v := range b[1:] {
+		if v != b[0] {
+			t.Fatalf("flip=0 stream changed: %v", b)
+		}
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for n := 0; n < 700; n++ {
+		r := intSqrt(n)
+		if r*r > n || (r+1)*(r+1) <= n {
+			t.Fatalf("intSqrt(%d) = %d", n, r)
+		}
+	}
+}
