@@ -7,6 +7,7 @@
 package dbiopt_test
 
 import (
+	"fmt"
 	"testing"
 
 	"dbiopt"
@@ -193,6 +194,71 @@ func BenchmarkStream(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.Transmit(workload[i%len(workload)])
+	}
+}
+
+// pipelineWorkload synthesises a fixed multi-lane trace for the pipeline
+// benchmarks: enough frames that sharding overhead amortises, deterministic
+// so serial and parallel runs see identical work.
+func pipelineWorkload(lanes, frames int) []dbiopt.Frame {
+	src := trace.NewUniform(5)
+	out := make([]dbiopt.Frame, frames)
+	for i := range out {
+		f := make(dbiopt.Frame, lanes)
+		for l := range f {
+			f[l] = dbiopt.Burst(src.Next(dbiopt.BurstLength))
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// BenchmarkLaneSet is the serial baseline the pipeline benchmarks compare
+// against: one LaneSet replaying the same synthetic traces.
+func BenchmarkLaneSet(b *testing.B) {
+	for _, lanes := range []int{8, 16, 32} {
+		const frames = 512
+		workload := pipelineWorkload(lanes, frames)
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			b.SetBytes(int64(lanes * dbiopt.BurstLength * frames))
+			for i := 0; i < b.N; i++ {
+				ls := dbiopt.NewLaneSet(dbiopt.OptFixed(), lanes)
+				for _, f := range workload {
+					ls.Transmit(f)
+				}
+				if ls.TotalCost() == (dbiopt.Cost{}) {
+					b.Fatal("no activity")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline measures the sharded streaming pipeline across lane and
+// worker counts on the same workloads as BenchmarkLaneSet. With idle cores
+// available, throughput scales near-linearly in workers until workers
+// reaches the lane count (lanes are the sharding unit); compare
+// lanes=32/workers=8 against BenchmarkLaneSet/lanes=32 for the headline
+// speedup.
+func BenchmarkPipeline(b *testing.B) {
+	for _, lanes := range []int{8, 16, 32} {
+		const frames = 512
+		workload := pipelineWorkload(lanes, frames)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("lanes=%d/workers=%d", lanes, workers), func(b *testing.B) {
+				p := dbiopt.NewPipeline(dbiopt.OptFixed(), lanes, dbiopt.WithWorkers(workers))
+				b.SetBytes(int64(lanes * dbiopt.BurstLength * frames))
+				for i := 0; i < b.N; i++ {
+					res, err := p.Run(dbiopt.FramesOf(workload))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Total == (dbiopt.Cost{}) {
+						b.Fatal("no activity")
+					}
+				}
+			})
+		}
 	}
 }
 

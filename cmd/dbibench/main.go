@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dbibench [-out results] [-bursts 10000] [-seed 2018] [-quick]
+//	dbibench [-out results] [-bursts 10000] [-seed 2018] [-quick] [-workers n]
 //
 // Outputs (in -out):
 //
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"dbiopt/internal/experiments"
 	"dbiopt/internal/hw"
@@ -39,10 +40,14 @@ func run() error {
 	seed := flag.Int64("seed", 2018, "workload seed")
 	quick := flag.Bool("quick", false, "use 1000 bursts for a fast smoke run")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablation studies")
+	workers := flag.Int("workers", 1, "goroutines for per-burst cost evaluation; 0 = all cores (results are identical for any value)")
 	flag.Parse()
 
 	if *quick {
 		*bursts = 1000
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
@@ -51,6 +56,7 @@ func run() error {
 	cfg := experiments.DefaultConfig()
 	cfg.Bursts = *bursts
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	// Fig. 2 — the worked example.
 	fig2 := experiments.Fig2()

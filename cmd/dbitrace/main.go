@@ -8,6 +8,13 @@
 //	dbitrace info -in text.dbit                            # header + stats
 //	dbitrace dump -in text.dbit -n 4                       # hex dump bursts
 //	dbitrace fromfile -in data.bin -out data.dbit          # wrap raw bytes
+//	dbitrace cost -in text.dbit -scheme OPT-FIXED \
+//	    -lanes 4 -workers 8                                # encoded energy
+//
+// cost replays the trace onto a multi-lane bus (burst i lands on lane
+// i%lanes) through the sharded streaming pipeline, carrying per-lane wire
+// state across bursts; -workers > 1 encodes lanes concurrently with
+// bit-identical totals.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 
 	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
 	"dbiopt/internal/stats"
 	"dbiopt/internal/trace"
 )
@@ -30,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dbitrace {gen|info|dump|fromfile} [flags]")
+		return fmt.Errorf("usage: dbitrace {gen|info|dump|fromfile|cost} [flags]")
 	}
 	switch args[0] {
 	case "gen":
@@ -41,6 +49,8 @@ func run(args []string) error {
 		return dumpCmd(args[1:])
 	case "fromfile":
 		return fromFileCmd(args[1:])
+	case "cost":
+		return costCmd(args[1:])
 	}
 	return fmt.Errorf("unknown subcommand %q", args[0])
 }
@@ -177,6 +187,57 @@ func dumpCmd(args []string) error {
 			return err
 		}
 		fmt.Printf("%6d: %s\n", i, trace.FormatHexBurst(b))
+	}
+	return nil
+}
+
+func costCmd(args []string) error {
+	fs := flag.NewFlagSet("cost", flag.ContinueOnError)
+	in := fs.String("in", "", "trace file (required)")
+	scheme := fs.String("scheme", "OPT-FIXED", "coding scheme (see SchemeNames)")
+	alpha := fs.Float64("alpha", 1, "transition weight for weighted schemes")
+	beta := fs.Float64("beta", 1, "zero weight for weighted schemes")
+	lanes := fs.Int("lanes", 1, "byte lanes of the replay bus (burst i lands on lane i%lanes)")
+	workers := fs.Int("workers", 0, "encoding goroutines; 0 = all cores (totals are identical for any value)")
+	chunk := fs.Int("chunk", 0, "frames per pipeline batch; 0 = default")
+	perLane := fs.Bool("perlane", false, "also print the per-lane breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("cost: -in is required")
+	}
+	enc, err := dbi.New(*scheme, dbi.Weights{Alpha: *alpha, Beta: *beta})
+	if err != nil {
+		return err
+	}
+	r, f, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := trace.NewFrameReader(r, *lanes)
+	if err != nil {
+		return err
+	}
+	p := dbi.NewPipeline(enc, *lanes, dbi.WithWorkers(*workers), dbi.WithChunkFrames(*chunk))
+	res, err := p.Run(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s over %d lanes (%d workers)\n", *in, enc.Name(), *lanes, p.Workers())
+	fmt.Printf("  frames:        %d (%d beats across all lanes)\n", res.Frames, res.Beats)
+	fmt.Printf("  zeros:         %d\n", res.Total.Zeros)
+	fmt.Printf("  transitions:   %d\n", res.Total.Transitions)
+	if res.Frames > 0 {
+		perFrame := float64(res.Frames)
+		fmt.Printf("  per frame:     %.3f zeros, %.3f transitions\n",
+			float64(res.Total.Zeros)/perFrame, float64(res.Total.Transitions)/perFrame)
+	}
+	if *perLane {
+		for i, c := range res.PerLane {
+			fmt.Printf("  lane %2d:       %d zeros, %d transitions\n", i, c.Zeros, c.Transitions)
+		}
 	}
 	return nil
 }

@@ -12,6 +12,9 @@
 //     fixed-coefficient and 3-bit-integer variants (NewEncoder, Opt,
 //     OptFixed, ...);
 //   - exact wire-level accounting (Encode, CostOf, Stream);
+//   - a sharded streaming pipeline for multi-lane trace workloads
+//     (NewPipeline), encoding lanes concurrently with totals bit-identical
+//     to the serial path;
 //   - the CACTI-IO-derived POD link energy model (POD135, POD12, POD15);
 //   - the experiment runners reproducing every figure and table of the
 //     paper (see package internal/experiments, surfaced through the
@@ -56,6 +59,17 @@ type (
 	Stream = dbi.Stream
 	// LaneSet runs one Stream per lane of a wide bus.
 	LaneSet = dbi.LaneSet
+	// Pipeline encodes multi-lane streaming workloads concurrently, sharded
+	// by lane, with totals bit-identical to a serial LaneSet replay.
+	Pipeline = dbi.Pipeline
+	// PipelineOption configures a Pipeline (see WithWorkers,
+	// WithChunkFrames).
+	PipelineOption = dbi.PipelineOption
+	// PipelineResult is the exact activity accounting of a pipeline run.
+	PipelineResult = dbi.PipelineResult
+	// FrameSource yields successive frames of a streaming workload; it ends
+	// with io.EOF.
+	FrameSource = dbi.FrameSource
 	// Link is the POD interface energy model.
 	Link = phy.Link
 )
@@ -124,6 +138,32 @@ func NewStream(enc Encoder) *Stream { return dbi.NewStream(enc) }
 
 // NewLaneSet returns n independent per-lane streams sharing one policy.
 func NewLaneSet(enc Encoder, n int) *LaneSet { return dbi.NewLaneSet(enc, n) }
+
+// NewPipeline returns a sharded streaming encoder for frames of the given
+// lane count. Lanes are independent Markov chains over LineState, so they
+// are encoded concurrently with per-lane state continuity preserved; totals
+// are bit-identical to the serial LaneSet path. Stateful encoders (such as
+// noisy analog models) are detected and run serially, so the pipeline is
+// safe for every encoder.
+func NewPipeline(enc Encoder, lanes int, opts ...PipelineOption) *Pipeline {
+	return dbi.NewPipeline(enc, lanes, opts...)
+}
+
+// WithWorkers sets the pipeline's worker goroutine count; n <= 0 selects
+// GOMAXPROCS.
+func WithWorkers(n int) PipelineOption { return dbi.WithWorkers(n) }
+
+// WithChunkFrames sets how many frames the pipeline batches per shard
+// hand-off; n <= 0 selects dbi.DefaultChunkFrames. Throughput tuning only —
+// results never depend on it.
+func WithChunkFrames(n int) PipelineOption { return dbi.WithChunkFrames(n) }
+
+// FramesOf adapts an in-memory frame sequence to a FrameSource.
+func FramesOf(frames []Frame) FrameSource { return dbi.FramesOf(frames) }
+
+// StatelessEncoder reports whether enc is safe for concurrent use; the
+// parallel drivers fall back to serial evaluation when it returns false.
+func StatelessEncoder(enc Encoder) bool { return dbi.Stateless(enc) }
 
 // ParetoFront enumerates the Pareto-optimal (zeros, transitions) outcomes
 // of a burst over all inversion patterns (bursts of at most 24 beats).

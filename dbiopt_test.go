@@ -83,6 +83,45 @@ func TestFacadeRegistry(t *testing.T) {
 	}
 }
 
+// TestFacadePipeline: the sharded pipeline through the facade matches a
+// serial LaneSet replay for every named scheme.
+func TestFacadePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const lanes, frames = 5, 8
+	fs := make([]Frame, frames)
+	for i := range fs {
+		f := make(Frame, lanes)
+		for l := range f {
+			f[l] = make(Burst, BurstLength)
+			for j := range f[l] {
+				f[l][j] = byte(rng.Intn(256))
+			}
+		}
+		fs[i] = f
+	}
+	for _, name := range SchemeNames() {
+		enc, err := NewEncoder(name, Weights{Alpha: 1, Beta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !StatelessEncoder(enc) {
+			t.Errorf("%s unexpectedly stateful", name)
+		}
+		ls := NewLaneSet(enc, lanes)
+		for _, f := range fs {
+			ls.Transmit(f)
+		}
+		p := NewPipeline(enc, lanes, WithWorkers(3), WithChunkFrames(2))
+		res, err := p.Run(FramesOf(fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != ls.TotalCost() {
+			t.Errorf("%s: pipeline %+v != laneset %+v", name, res.Total, ls.TotalCost())
+		}
+	}
+}
+
 // TestFacadeLaneSet: multi-lane transmission through the facade.
 func TestFacadeLaneSet(t *testing.T) {
 	ls := NewLaneSet(OptFixed(), 4)

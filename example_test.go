@@ -53,6 +53,26 @@ func ExampleParetoFront() {
 	// Output: (26,42) (27,28) (28,24) (29,23) (43,22)
 }
 
+// ExampleNewPipeline encodes a multi-lane workload concurrently; the totals
+// are bit-identical to replaying the frames through a serial LaneSet.
+func ExampleNewPipeline() {
+	frames := []dbiopt.Frame{
+		{dbiopt.Burst{0x8E, 0x86}, dbiopt.Burst{0x96, 0xE9}},
+		{dbiopt.Burst{0x7D, 0xB7}, dbiopt.Burst{0x57, 0xC4}},
+	}
+	serial := dbiopt.NewLaneSet(dbiopt.OptFixed(), 2)
+	for _, f := range frames {
+		serial.Transmit(f)
+	}
+	p := dbiopt.NewPipeline(dbiopt.OptFixed(), 2, dbiopt.WithWorkers(2))
+	res, err := p.Run(dbiopt.FramesOf(frames))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Total == serial.TotalCost())
+	// Output: true
+}
+
 // ExampleNewStream carries wire state across consecutive bursts, as the
 // PHY of a real memory controller does.
 func ExampleNewStream() {

@@ -1,0 +1,3 @@
+module dbiopt
+
+go 1.24

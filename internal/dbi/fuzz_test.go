@@ -52,6 +52,50 @@ func FuzzOptMatchesExhaustive(f *testing.F) {
 	})
 }
 
+// FuzzPipelineEquivalence: for arbitrary payload bytes and arbitrary (odd)
+// lane/chunk/worker geometry, the sharded pipeline total is bit-identical
+// to a serial LaneSet replay of the same frames. The seeds pin the
+// boundaries that bite: a single lane, lanes not divisible by workers, a
+// chunk size that leaves a short final batch, and a payload that does not
+// fill the last frame.
+func FuzzPipelineEquivalence(f *testing.F) {
+	f.Add([]byte{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}, uint8(1), uint8(1), uint8(2))
+	f.Add([]byte{0x00, 0xFF, 0x55, 0xAA, 0x0F, 0xF0, 0x3C}, uint8(3), uint8(2), uint8(7))
+	f.Add(make([]byte, 97), uint8(5), uint8(3), uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, uint8(16), uint8(5), uint8(3))
+	f.Fuzz(func(t *testing.T, payload []byte, rawLanes, rawWorkers, rawChunk uint8) {
+		lanes := int(rawLanes)%16 + 1
+		workers := int(rawWorkers) % (lanes + 2) // includes 0 (= GOMAXPROCS) and > lanes
+		chunk := int(rawChunk) % 9               // includes 0 (= default)
+		const beats = 4
+		frameBytes := lanes * beats
+		var frames []bus.Frame
+		for off := 0; off < len(payload); off += frameBytes {
+			chunkBytes := make([]byte, frameBytes)
+			copy(chunkBytes, payload[off:])
+			fr, err := bus.SplitLanes(chunkBytes, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, fr)
+		}
+		enc := OptFixed()
+		ls := NewLaneSet(enc, lanes)
+		for _, fr := range frames {
+			ls.Transmit(fr)
+		}
+		p := NewPipeline(enc, lanes, WithWorkers(workers), WithChunkFrames(chunk))
+		res, err := p.Run(FramesOf(frames))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != ls.TotalCost() {
+			t.Fatalf("lanes=%d workers=%d chunk=%d: pipeline %+v != serial %+v",
+				lanes, workers, chunk, res.Total, ls.TotalCost())
+		}
+	})
+}
+
 // FuzzOptNeverWorseThanBaselines: optimality against the per-byte schemes
 // for arbitrary payloads.
 func FuzzOptNeverWorseThanBaselines(f *testing.F) {

@@ -35,6 +35,11 @@ func NewNoisy(inner Encoder, p float64, seed int64) (*Noisy, error) {
 	return &Noisy{inner: inner, p: p, rng: rand.New(rand.NewSource(seed))}, nil
 }
 
+// Stateful reports that Noisy mutates internal state (its RNG) on every
+// Encode, so parallel drivers (ParallelTotalCost, Pipeline) must fall back
+// to serial evaluation.
+func (n *Noisy) Stateful() bool { return true }
+
 // Name implements Encoder.
 func (n *Noisy) Name() string {
 	return fmt.Sprintf("%s + analog noise p=%g", n.inner.Name(), n.p)

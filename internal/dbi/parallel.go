@@ -7,6 +7,24 @@ import (
 	"dbiopt/internal/bus"
 )
 
+// statefulEncoder is implemented by encoders whose Encode mutates internal
+// state (for example *Noisy's RNG), making them unsafe to share across
+// goroutines and order-sensitive even on a single one.
+type statefulEncoder interface {
+	Stateful() bool
+}
+
+// Stateless reports whether enc can safely be shared by concurrent
+// goroutines. Encoders carrying mutable state declare themselves via the
+// Stateful method; every other encoder in this package is a pure value and
+// is stateless by construction.
+func Stateless(enc Encoder) bool {
+	if s, ok := enc.(statefulEncoder); ok {
+		return !s.Stateful()
+	}
+	return true
+}
+
 // TotalCost sums the exact wire activity of encoding every burst
 // independently from the idle state — the aggregation all per-burst
 // experiments reduce to. Because the counts are integers, the result is
@@ -19,45 +37,74 @@ func TotalCost(enc Encoder, bursts []bus.Burst) bus.Cost {
 	return total
 }
 
-// ParallelTotalCost is TotalCost fanned out over worker goroutines. All
-// encoders in this package except *Noisy are stateless values and safe for
-// concurrent use; passing a *Noisy here would race on its RNG and is the
-// caller's responsibility to avoid. workers <= 0 selects GOMAXPROCS.
+// parallelRanges splits [0, n) into one contiguous range per worker and
+// runs fn on each from its own goroutine, returning after all complete.
+// workers <= 0 selects GOMAXPROCS; a single effective worker runs fn
+// inline. Both parallel drivers below share this split so their range
+// arithmetic cannot drift apart.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelTotalCost is TotalCost fanned out over worker goroutines.
+// Stateful encoders (see Stateless) are detected and evaluated serially, so
+// the call is safe — and deterministic — by construction for every encoder
+// in this package. workers <= 0 selects GOMAXPROCS.
 //
 // Integer accumulation makes the result bit-identical to the serial
 // version, so experiments stay deterministic when parallelised.
 func ParallelTotalCost(enc Encoder, bursts []bus.Burst, workers int) bus.Cost {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(bursts) {
-		workers = len(bursts)
-	}
-	if workers <= 1 {
-		return TotalCost(enc, bursts)
-	}
-	partial := make([]bus.Cost, workers)
-	var wg sync.WaitGroup
-	chunk := (len(bursts) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(bursts) {
-			hi = len(bursts)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(idx int, part []bus.Burst) {
-			defer wg.Done()
-			partial[idx] = TotalCost(enc, part)
-		}(w, bursts[lo:hi])
-	}
-	wg.Wait()
 	var total bus.Cost
-	for _, p := range partial {
-		total = total.Add(p)
+	// Summed in index order; integer adds make any order equivalent.
+	for _, c := range ParallelCosts(enc, bursts, workers) {
+		total = total.Add(c)
 	}
 	return total
+}
+
+// ParallelCosts computes the per-burst from-idle cost of every burst, fanned
+// out over worker goroutines. Results are positional — out[i] is the cost of
+// bursts[i] — so any downstream reduction (including order-sensitive float
+// sums) sees exactly the sequence the serial loop would produce. Stateful
+// encoders are evaluated serially, as in ParallelTotalCost; workers <= 0
+// selects GOMAXPROCS.
+func ParallelCosts(enc Encoder, bursts []bus.Burst, workers int) []bus.Cost {
+	out := make([]bus.Cost, len(bursts))
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = CostOf(enc, bus.InitialLineState, bursts[i])
+		}
+	}
+	if !Stateless(enc) {
+		fill(0, len(bursts))
+		return out
+	}
+	parallelRanges(len(bursts), workers, fill)
+	return out
 }

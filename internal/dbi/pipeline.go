@@ -1,0 +1,272 @@
+package dbi
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"dbiopt/internal/bus"
+)
+
+// FrameSource yields the successive frames of a multi-lane streaming
+// workload. NextFrame returns io.EOF after the last frame. Implementations
+// need not be safe for concurrent use: the pipeline pulls frames from a
+// single goroutine, in order. The returned frame must not be mutated or
+// recycled by the source until the pipeline run completes.
+type FrameSource interface {
+	NextFrame() (bus.Frame, error)
+}
+
+// frameSlice adapts an in-memory frame sequence to a FrameSource.
+type frameSlice struct {
+	frames []bus.Frame
+	next   int
+}
+
+// FramesOf returns a FrameSource replaying the given frames in order.
+func FramesOf(frames []bus.Frame) FrameSource {
+	return &frameSlice{frames: frames}
+}
+
+// NextFrame implements FrameSource.
+func (s *frameSlice) NextFrame() (bus.Frame, error) {
+	if s.next >= len(s.frames) {
+		return nil, io.EOF
+	}
+	f := s.frames[s.next]
+	s.next++
+	return f, nil
+}
+
+// DefaultChunkFrames is the number of frames batched per shard hand-off when
+// WithChunkFrames is not given: large enough to amortise channel traffic,
+// small enough to keep only a few chunks in flight.
+const DefaultChunkFrames = 64
+
+// Pipeline encodes a multi-lane streaming workload concurrently while
+// reproducing the serial LaneSet semantics exactly. Each lane's burst
+// sequence is an independent Markov chain over the lane's LineState — lane
+// i's encoding never observes lane j — so the pipeline shards lanes across
+// workers with zero coordination: every worker owns a contiguous lane range
+// and drives one persistent Stream per owned lane. Frames are pulled from a
+// FrameSource in chunks, so whole traces never need to be materialised, and
+// all accounting is integer Cost, which makes the totals bit-identical to a
+// serial LaneSet replay of the same source regardless of scheduling.
+//
+// Stateful encoders (see Stateless) degrade to the serial path
+// automatically, preserving the exact frame-major, lane-minor evaluation
+// order a LaneSet would use; the pipeline is therefore safe by construction
+// for every encoder in this package, *Noisy included.
+type Pipeline struct {
+	enc     Encoder
+	lanes   int
+	workers int
+	chunk   int
+}
+
+// PipelineOption configures a Pipeline at construction.
+type PipelineOption func(*Pipeline)
+
+// WithWorkers sets the number of encoding goroutines. n <= 0 (the default)
+// selects GOMAXPROCS. The effective count never exceeds the lane count,
+// since lanes are the unit of sharding.
+func WithWorkers(n int) PipelineOption {
+	return func(p *Pipeline) { p.workers = n }
+}
+
+// WithChunkFrames sets how many frames are batched per shard hand-off.
+// n <= 0 selects DefaultChunkFrames. Smaller chunks reduce memory in
+// flight; larger chunks reduce synchronisation overhead. The choice never
+// affects results, only throughput.
+func WithChunkFrames(n int) PipelineOption {
+	return func(p *Pipeline) { p.chunk = n }
+}
+
+// NewPipeline returns a pipeline encoding frames of the given lane count
+// with enc. Like NewLaneSet it panics on a non-positive lane count; the
+// encoder value is shared across workers, which Run makes safe by falling
+// back to serial evaluation for stateful encoders.
+func NewPipeline(enc Encoder, lanes int, opts ...PipelineOption) *Pipeline {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", lanes))
+	}
+	p := &Pipeline{enc: enc, lanes: lanes}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Encoder returns the coding policy the pipeline applies.
+func (p *Pipeline) Encoder() Encoder { return p.enc }
+
+// Lanes returns the lane count the pipeline expects of every frame.
+func (p *Pipeline) Lanes() int { return p.lanes }
+
+// Workers returns the effective worker count Run will use for a stateless
+// encoder.
+func (p *Pipeline) Workers() int {
+	w := p.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > p.lanes {
+		w = p.lanes
+	}
+	return w
+}
+
+// ChunkFrames returns the effective frames-per-chunk batch size.
+func (p *Pipeline) ChunkFrames() int {
+	if p.chunk <= 0 {
+		return DefaultChunkFrames
+	}
+	return p.chunk
+}
+
+// PipelineResult is the exact activity accounting of one pipeline run.
+type PipelineResult struct {
+	// Frames is the number of frames consumed from the source.
+	Frames int
+	// Beats is the total number of beats transmitted, summed over all
+	// lanes. Lanes need not transmit equally many beats (a frame source may
+	// pad a short final frame with zero-beat bursts), so a per-lane figure
+	// would be ill-defined.
+	Beats int
+	// PerLane holds each lane's accumulated cost, in lane order.
+	PerLane []bus.Cost
+	// Total is the sum over PerLane, accumulated in lane order exactly as
+	// LaneSet.TotalCost does.
+	Total bus.Cost
+}
+
+// Run consumes src to io.EOF, encoding every frame, and returns the
+// accumulated activity counts. The totals are bit-identical to replaying
+// the same frames through a serial LaneSet. On a source error, or on a
+// frame whose lane count does not match the pipeline's, the run stops and
+// the error is returned; partial counts are discarded.
+func (p *Pipeline) Run(src FrameSource) (*PipelineResult, error) {
+	streams := make([]*Stream, p.lanes)
+	for i := range streams {
+		streams[i] = NewStream(p.enc)
+	}
+	var frames int
+	var err error
+	if workers := p.Workers(); workers <= 1 || !Stateless(p.enc) {
+		frames, err = p.runSerial(src, streams)
+	} else {
+		frames, err = p.runSharded(src, streams, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{Frames: frames, PerLane: make([]bus.Cost, p.lanes)}
+	for i, s := range streams {
+		res.PerLane[i] = s.TotalCost()
+		res.Total = res.Total.Add(res.PerLane[i])
+		res.Beats += s.Beats()
+	}
+	return res, nil
+}
+
+// checkFrame validates one frame's geometry against the pipeline.
+func (p *Pipeline) checkFrame(n int, f bus.Frame) error {
+	if f.Lanes() != p.lanes {
+		return fmt.Errorf("dbi: frame %d has %d lanes, pipeline has %d", n, f.Lanes(), p.lanes)
+	}
+	return nil
+}
+
+// runSerial is the single-goroutine path: frame-major, lane-minor, the
+// exact evaluation order of LaneSet.Transmit. Stateful encoders rely on
+// this order for determinism.
+func (p *Pipeline) runSerial(src FrameSource, streams []*Stream) (int, error) {
+	frames := 0
+	for {
+		f, err := src.NextFrame()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		if err := p.checkFrame(frames, f); err != nil {
+			return frames, err
+		}
+		for i, b := range f {
+			streams[i].Transmit(b)
+		}
+		frames++
+	}
+}
+
+// runSharded fans chunks of frames out to workers, each owning a contiguous
+// lane range. Every worker receives every chunk, in order, through its own
+// channel, so each lane's stream still sees its bursts in source order.
+func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (int, error) {
+	chunkFrames := p.ChunkFrames()
+	chans := make([]chan []bus.Frame, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Balanced contiguous lane ranges: the first (lanes % workers)
+		// shards take one extra lane.
+		lo := w * p.lanes / workers
+		hi := (w + 1) * p.lanes / workers
+		ch := make(chan []bus.Frame, 2)
+		chans[w] = ch
+		wg.Add(1)
+		go func(lo, hi int, ch <-chan []bus.Frame) {
+			defer wg.Done()
+			for chunk := range ch {
+				for _, f := range chunk {
+					for i := lo; i < hi; i++ {
+						streams[i].Transmit(f[i])
+					}
+				}
+			}
+		}(lo, hi, ch)
+	}
+
+	stop := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}
+
+	frames := 0
+	batch := make([]bus.Frame, 0, chunkFrames)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		for _, ch := range chans {
+			ch <- batch
+		}
+		// Workers hold references to the sent chunk; start a fresh one.
+		batch = make([]bus.Frame, 0, chunkFrames)
+	}
+	for {
+		f, err := src.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			stop()
+			return frames, err
+		}
+		if err := p.checkFrame(frames, f); err != nil {
+			stop()
+			return frames, err
+		}
+		batch = append(batch, f)
+		frames++
+		if len(batch) >= chunkFrames {
+			flush()
+		}
+	}
+	flush()
+	stop()
+	return frames, nil
+}

@@ -55,7 +55,7 @@ func CoefficientBitsAblation(cfg Config, maxBits int) (CoeffBitsResult, error) {
 			if err != nil {
 				return CoeffBitsResult{}, err
 			}
-			exact := optMean(bc.bursts, w.Alpha, w.Beta)
+			exact := optMean(bc.bursts, w.Alpha, w.Beta, cfg.costWorkers())
 			// Encode with the quantised weights, but charge the true
 			// weights: this is exactly the hardware's situation.
 			quant := crossMean(bc.bursts, dbi.Opt{Weights: qw}, w)
@@ -113,7 +113,7 @@ func GreedyGapAblation(cfg Config) (GreedyGapResult, error) {
 	for i := 0; i <= cfg.Steps; i++ {
 		alpha := float64(i) / float64(cfg.Steps)
 		w := dbi.Weights{Alpha: alpha, Beta: 1 - alpha}
-		opt := optMean(bc.bursts, alpha, 1-alpha)
+		opt := optMean(bc.bursts, alpha, 1-alpha, cfg.costWorkers())
 		greedy := crossMean(bc.bursts, dbi.Greedy{Weights: w}, w)
 		out.Alphas = append(out.Alphas, alpha)
 		if opt > 0 {

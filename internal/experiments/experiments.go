@@ -36,6 +36,20 @@ type Config struct {
 	Seed int64
 	// Steps is the number of sweep points on the alpha axis of Fig. 3/4.
 	Steps int
+	// Workers caps the goroutines used to evaluate per-burst costs; 0 or 1
+	// selects the serial path. Costs are integers computed positionally, so
+	// every worker count produces bit-identical results.
+	Workers int
+}
+
+// costWorkers returns the worker count to hand the dbi parallel drivers:
+// the config's cap, with the zero value meaning serial (never GOMAXPROCS,
+// so the zero Config stays the historical single-threaded run).
+func (c Config) costWorkers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -107,21 +121,18 @@ type burstCosts struct {
 
 func collect(cfg Config) burstCosts {
 	src := trace.NewUniform(cfg.Seed)
-	bc := burstCosts{
-		bursts: make([]bus.Burst, cfg.Bursts),
-		raw:    make([]bus.Cost, cfg.Bursts),
-		dc:     make([]bus.Cost, cfg.Bursts),
-		ac:     make([]bus.Cost, cfg.Bursts),
-		fixed:  make([]bus.Cost, cfg.Bursts),
-	}
+	bc := burstCosts{bursts: make([]bus.Burst, cfg.Bursts)}
 	for i := range bc.bursts {
-		b := src.Next(cfg.Beats)
-		bc.bursts[i] = b
-		bc.raw[i] = dbi.CostOf(dbi.Raw{}, bus.InitialLineState, b)
-		bc.dc[i] = dbi.CostOf(dbi.DC{}, bus.InitialLineState, b)
-		bc.ac[i] = dbi.CostOf(dbi.AC{}, bus.InitialLineState, b)
-		bc.fixed[i] = dbi.CostOf(dbi.OptFixed(), bus.InitialLineState, b)
+		bc.bursts[i] = src.Next(cfg.Beats)
 	}
+	// The generator is stateful and runs serially above; the per-burst
+	// costs are pure and fan out. ParallelCosts is positional, so the
+	// slices are identical to the historical serial fill.
+	w := cfg.costWorkers()
+	bc.raw = dbi.ParallelCosts(dbi.Raw{}, bc.bursts, w)
+	bc.dc = dbi.ParallelCosts(dbi.DC{}, bc.bursts, w)
+	bc.ac = dbi.ParallelCosts(dbi.AC{}, bc.bursts, w)
+	bc.fixed = dbi.ParallelCosts(dbi.OptFixed(), bc.bursts, w)
 	return bc
 }
 
@@ -159,7 +170,7 @@ func Fig3(cfg Config) (SweepResult, error) {
 		r.Raw[i] = meanWeighted(bc.raw, alpha, beta)
 		r.DC[i] = meanWeighted(bc.dc, alpha, beta)
 		r.AC[i] = meanWeighted(bc.ac, alpha, beta)
-		r.Opt[i] = optMean(bc.bursts, alpha, beta)
+		r.Opt[i] = optMean(bc.bursts, alpha, beta, cfg.costWorkers())
 	}
 	return r, nil
 }
@@ -192,11 +203,13 @@ func newSweep(steps int) SweepResult {
 	return r
 }
 
-func optMean(bursts []bus.Burst, alpha, beta float64) float64 {
+func optMean(bursts []bus.Burst, alpha, beta float64, workers int) float64 {
 	enc := dbi.Opt{Weights: dbi.Weights{Alpha: alpha, Beta: beta}}
 	var sum float64
-	for _, b := range bursts {
-		sum += dbi.CostOf(enc, bus.InitialLineState, b).Weighted(alpha, beta)
+	// Integer costs in parallel, float reduction serial and in index order:
+	// the mean is bit-identical for every worker count.
+	for _, c := range dbi.ParallelCosts(enc, bursts, workers) {
+		sum += c.Weighted(alpha, beta)
 	}
 	return sum / float64(len(bursts))
 }

@@ -80,7 +80,7 @@ func Fig7(cfg RateSweepConfig) (RateResult, error) {
 		r.DC = append(r.DC, meanEnergy(bc.dc, link)/raw)
 		r.AC = append(r.AC, meanEnergy(bc.ac, link)/raw)
 		r.OptFixed = append(r.OptFixed, meanEnergy(bc.fixed, link)/raw)
-		r.Opt = append(r.Opt, optMeanEnergy(bc.bursts, link)/raw)
+		r.Opt = append(r.Opt, optMeanEnergy(bc.bursts, link, cfg.costWorkers())/raw)
 	}
 	return r, nil
 }
@@ -93,11 +93,12 @@ func meanEnergy(costs []bus.Cost, link phy.Link) float64 {
 	return sum / float64(len(costs))
 }
 
-func optMeanEnergy(bursts []bus.Burst, link phy.Link) float64 {
+func optMeanEnergy(bursts []bus.Burst, link phy.Link, workers int) float64 {
 	enc := dbi.Opt{Weights: link.Weights()}
 	var sum float64
-	for _, b := range bursts {
-		sum += link.BurstEnergy(dbi.CostOf(enc, bus.InitialLineState, b))
+	// As in optMean: parallel integer costs, serial in-order float sum.
+	for _, c := range dbi.ParallelCosts(enc, bursts, workers) {
+		sum += link.BurstEnergy(c)
 	}
 	return sum / float64(len(bursts))
 }
