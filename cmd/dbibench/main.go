@@ -46,6 +46,10 @@ func run() error {
 	if *quick {
 		*bursts = 1000
 	}
+	// Resolve the CLI's "0 = all cores" convention here, before Config is
+	// built: experiments.Config.Workers treats 0 (and 1) as the serial path
+	// (the canonical contract, see its doc comment and DESIGN.md §5), so
+	// the flag-level default must never leak into the Config.
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}

@@ -7,9 +7,11 @@
 //	dbienc -in data.bin [-scheme OPT] [-rate 12]   # whole file, summary
 //	dbienc -gen text -bursts 10000                 # synthetic workload
 //
-// Flags select the scheme (-scheme, with -alpha/-beta for the weighted
-// ones), the link operating point (-rate in Gbps, -cload in pF, -vddq) and
-// the workload (-hex, -in, or -gen with one of the generator names).
+// Flags select the scheme (-scheme, resolved through the dbi registry,
+// with -alpha/-beta for the weighted ones; -scheme help lists the
+// registered names), the link operating point (-rate in Gbps, -cload in
+// pF, -vddq) and the workload (-hex, -in, or -gen with one of the
+// generator names).
 package main
 
 import (
@@ -34,7 +36,7 @@ func main() {
 }
 
 func run() error {
-	scheme := flag.String("scheme", "", "scheme to report in detail (default: compare all)")
+	scheme := flag.String("scheme", "", "scheme to report in detail, from the dbi registry; 'help' lists names (default: compare all)")
 	alpha := flag.Float64("alpha", 1, "transition cost for weighted schemes")
 	beta := flag.Float64("beta", 1, "zero cost for weighted schemes")
 	hexBurst := flag.String("hex", "", "encode a single burst given as hex bytes")
@@ -47,6 +49,11 @@ func run() error {
 	cloadPF := flag.Float64("cload", 3, "load capacitance in pF")
 	vddq := flag.Float64("vddq", 1.35, "supply voltage (1.35=GDDR5X, 1.2=DDR4)")
 	flag.Parse()
+
+	if *scheme == "help" {
+		fmt.Println("registered schemes:", strings.Join(dbi.Names(), " "))
+		return nil
+	}
 
 	link := phy.Link{VDDQ: *vddq, Rpullup: phy.DefaultRpullup, Rpulldown: phy.DefaultRpulldown,
 		Cload: *cloadPF * phy.PicoFarad, DataRate: *rateGbps * phy.Gbps}
@@ -103,7 +110,7 @@ func run() error {
 		if name == "EXHAUSTIVE" && *beats > dbi.MaxExhaustiveBeats {
 			continue
 		}
-		enc, err := dbi.New(name, w)
+		enc, err := dbi.Lookup(name, w)
 		if err != nil {
 			return err
 		}
@@ -135,7 +142,7 @@ func encodeVerbose(b bus.Burst, link phy.Link, alpha, beta float64) error {
 		if name == "EXHAUSTIVE" && len(b) > dbi.MaxExhaustiveBeats {
 			continue
 		}
-		enc, err := dbi.New(name, w)
+		enc, err := dbi.Lookup(name, w)
 		if err != nil {
 			return err
 		}

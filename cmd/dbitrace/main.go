@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
@@ -194,7 +195,7 @@ func dumpCmd(args []string) error {
 func costCmd(args []string) error {
 	fs := flag.NewFlagSet("cost", flag.ContinueOnError)
 	in := fs.String("in", "", "trace file (required)")
-	scheme := fs.String("scheme", "OPT-FIXED", "coding scheme (see SchemeNames)")
+	scheme := fs.String("scheme", "OPT-FIXED", "coding scheme from the dbi registry; 'help' lists names")
 	alpha := fs.Float64("alpha", 1, "transition weight for weighted schemes")
 	beta := fs.Float64("beta", 1, "zero weight for weighted schemes")
 	lanes := fs.Int("lanes", 1, "byte lanes of the replay bus (burst i lands on lane i%lanes)")
@@ -204,10 +205,14 @@ func costCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *scheme == "help" {
+		fmt.Println("registered schemes:", strings.Join(dbi.Names(), " "))
+		return nil
+	}
 	if *in == "" {
 		return fmt.Errorf("cost: -in is required")
 	}
-	enc, err := dbi.New(*scheme, dbi.Weights{Alpha: *alpha, Beta: *beta})
+	enc, err := dbi.Lookup(*scheme, dbi.Weights{Alpha: *alpha, Beta: *beta})
 	if err != nil {
 		return err
 	}

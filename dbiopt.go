@@ -30,6 +30,8 @@
 package dbiopt
 
 import (
+	"fmt"
+
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
 	"dbiopt/internal/phy"
@@ -87,39 +89,64 @@ const (
 	Gbps      = phy.Gbps
 )
 
+// SchemeFactory constructs a scheme instance for given weights; see
+// RegisterScheme.
+type SchemeFactory = dbi.Factory
+
+// mustScheme fetches a weight-free scheme from the registry. The built-in
+// weight-free factories never fail, so an error here is a programming
+// error in this package.
+func mustScheme(name string) Encoder {
+	enc, err := dbi.Lookup(name, dbi.FixedWeights)
+	if err != nil {
+		panic(fmt.Sprintf("dbiopt: built-in scheme %q missing from registry: %v", name, err))
+	}
+	return enc
+}
+
 // Raw returns the unencoded baseline scheme.
-func Raw() Encoder { return dbi.Raw{} }
+func Raw() Encoder { return mustScheme("RAW") }
 
 // DC returns the JEDEC DBI DC scheme (invert iff ≥ 5 zeros in the byte).
-func DC() Encoder { return dbi.DC{} }
+func DC() Encoder { return mustScheme("DC") }
 
 // AC returns the JEDEC DBI AC scheme (greedy transition minimisation).
-func AC() Encoder { return dbi.AC{} }
+func AC() Encoder { return mustScheme("AC") }
 
 // ACDC returns Hollis' hybrid scheme (first byte DC, rest AC).
-func ACDC() Encoder { return dbi.ACDC{} }
+func ACDC() Encoder { return mustScheme("ACDC") }
 
 // Greedy returns the per-byte weighted heuristic (locally optimal only).
-func Greedy(w Weights) Encoder { return dbi.Greedy{Weights: w} }
+// Weights are not validated; use NewEncoder("GREEDY", w) for validation.
+func Greedy(w Weights) Encoder { return dbi.NewGreedy(w) }
 
 // Opt returns the paper's optimal trellis encoder for the given weights.
-func Opt(w Weights) Encoder { return dbi.Opt{Weights: w} }
+// Weights are not validated; use NewEncoder("OPT", w) for validation.
+func Opt(w Weights) Encoder { return dbi.NewOpt(w) }
 
 // OptFixed returns the fixed-coefficient optimal encoder (alpha = beta =
 // 1), the hardware-friendly variant the paper recommends.
-func OptFixed() Encoder { return dbi.OptFixed() }
+func OptFixed() Encoder { return mustScheme("OPT-FIXED") }
 
 // OptQuantized returns the optimal encoder with 3-bit integer coefficients,
 // mirroring the configurable hardware design. Coefficients must fit 0..7
 // and not both be zero.
 func OptQuantized(alpha, beta uint8) (Encoder, error) { return dbi.NewQuantized(alpha, beta) }
 
-// NewEncoder returns a scheme by conventional name ("RAW", "DC", "AC",
-// "ACDC", "GREEDY", "OPT", "OPT-FIXED", "EXHAUSTIVE"); weighted schemes use
-// w.
-func NewEncoder(name string, w Weights) (Encoder, error) { return dbi.New(name, w) }
+// NewEncoder returns a scheme by registered name; the built-ins are "RAW",
+// "DC", "AC", "ACDC", "GREEDY", "OPT", "OPT-FIXED", "QUANTISED" and
+// "EXHAUSTIVE", and RegisterScheme can add more. Weighted schemes validate
+// and use w; the others ignore it.
+func NewEncoder(name string, w Weights) (Encoder, error) { return dbi.Lookup(name, w) }
 
-// SchemeNames lists the names NewEncoder accepts.
+// RegisterScheme adds a named scheme factory to the registry, making it
+// constructible through NewEncoder and selectable via the CLIs' -scheme
+// flag without touching this package. It panics on duplicate or empty
+// names.
+func RegisterScheme(name string, f SchemeFactory) { dbi.Register(name, f) }
+
+// SchemeNames lists the names NewEncoder accepts, built-ins first in
+// presentation order, then custom registrations in registration order.
 func SchemeNames() []string { return dbi.Names() }
 
 // Encode runs enc on one burst from the given line state and returns the
@@ -134,9 +161,14 @@ func CostOf(enc Encoder, prev LineState, b Burst) Cost { return dbi.CostOf(enc, 
 func Decode(w Wire) Burst { return w.Decode() }
 
 // NewStream returns a streaming encoder starting from the idle line state.
+// Steady-state Transmit performs zero heap allocations; the returned Wire
+// aliases the stream's scratch and is valid until the next Transmit (Clone
+// it to retain it longer).
 func NewStream(enc Encoder) *Stream { return dbi.NewStream(enc) }
 
 // NewLaneSet returns n independent per-lane streams sharing one policy.
+// Like Stream, LaneSet.Transmit reuses internal scratch: the returned wire
+// images are valid until the next Transmit.
 func NewLaneSet(enc Encoder, n int) *LaneSet { return dbi.NewLaneSet(enc, n) }
 
 // NewPipeline returns a sharded streaming encoder for frames of the given

@@ -25,9 +25,14 @@ func main() {
 	pipe := hw.Pipeline{Stages: 8, Registers: design.PipelineRegisters}
 	fmt.Printf("8-stage pipelined fmax: %.2f GHz (12 Gbps needs 1.50)\n\n", pipe.MaxFrequency(tm, lib)/1e9)
 
-	// Bit-exact equivalence against the software shortest-path encoder.
+	// Bit-exact equivalence against the software shortest-path encoder,
+	// fetched from the dbi registry by name.
 	sim := hw.NewSimulator(design.Netlist)
-	sw := dbi.OptFixed()
+	sw, err := dbi.Lookup("OPT-FIXED", dbi.FixedWeights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	rng := rand.New(rand.NewSource(1))
 	const trials = 10000
 	for i := 0; i < trials; i++ {

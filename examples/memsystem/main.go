@@ -22,7 +22,17 @@ func main() {
 	fmt.Println("link:", link)
 	fmt.Printf("channel: %d byte lanes, %d banks, BL%d\n\n", geom.Lanes, geom.Banks, timing.BL)
 
-	schemes := []dbi.Encoder{dbi.Raw{}, dbi.DC{}, dbi.Opt{Weights: link.Weights()}}
+	// Schemes come from the dbi registry by name; OPT is weight-matched to
+	// this exact link operating point.
+	var schemes []dbi.Encoder
+	for _, name := range []string{"RAW", "DC", "OPT"} {
+		enc, err := dbi.Lookup(name, link.Weights())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		schemes = append(schemes, enc)
+	}
 	var rawEnergy float64
 	for _, enc := range schemes {
 		ctl, err := memctrl.NewController(geom, timing, link, enc)

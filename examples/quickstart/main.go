@@ -21,14 +21,15 @@ func main() {
 	fmt.Println("burst:", burst)
 	fmt.Println()
 
-	schemes := []dbiopt.Encoder{
-		dbiopt.Raw(),
-		dbiopt.DC(),
-		dbiopt.AC(),
-		dbiopt.OptFixed(),
-		dbiopt.Opt(link.Weights()), // optimal for this exact link
-	}
-	for _, enc := range schemes {
+	// Schemes are selected by registered name — the same vocabulary the
+	// CLIs' -scheme flag uses (dbiopt.SchemeNames lists all of them). "OPT"
+	// takes weights, here matched to this exact link; the others ignore
+	// them.
+	for _, name := range []string{"RAW", "DC", "AC", "OPT-FIXED", "OPT"} {
+		enc, err := dbiopt.NewEncoder(name, link.Weights())
+		if err != nil {
+			panic(err)
+		}
 		cost := dbiopt.CostOf(enc, dbiopt.InitialLineState, burst)
 		energy := link.BurstEnergy(cost)
 		fmt.Printf("%-18s zeros=%2d transitions=%2d energy=%6.2f pJ\n",

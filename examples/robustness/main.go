@@ -24,9 +24,19 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
 
+	// Schemes are fetched from the dbi registry by name throughout.
+	scheme := func(name string) dbi.Encoder {
+		enc, err := dbi.Lookup(name, dbi.FixedWeights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return enc
+	}
+
 	// 1. Analog-style decision noise: energy degrades, data never does.
 	fmt.Println("1. noisy (analog-style) encoding decisions:")
-	exact := dbi.OptFixed()
+	exact := scheme("OPT-FIXED")
 	for _, p := range []float64{0, 0.001, 0.01, 0.1} {
 		noisy, err := dbi.NewNoisy(exact, p, 1)
 		if err != nil {
@@ -55,7 +65,7 @@ func main() {
 	// 2. Single-wire error containment.
 	fmt.Println("\n2. single sampling errors are contained to one beat:")
 	b := bus.Burst{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}
-	w := dbi.EncodeWire(dbi.OptFixed(), bus.InitialLineState, b)
+	w := dbi.EncodeWire(exact, bus.InitialLineState, b)
 	for _, e := range []bus.WireError{{Beat: 3, Wire: 5}, {Beat: 3, Wire: bus.DBIWire}} {
 		corrupted, err := w.Inject(e)
 		if err != nil {
@@ -76,7 +86,7 @@ func main() {
 
 	// 3. SSO bounds per lane.
 	fmt.Println("\n3. worst simultaneous switching on one lane over 20000 random bursts:")
-	for _, enc := range []dbi.Encoder{dbi.Raw{}, dbi.DC{}, dbi.AC{}, dbi.OptFixed()} {
+	for _, enc := range []dbi.Encoder{scheme("RAW"), scheme("DC"), scheme("AC"), scheme("OPT-FIXED")} {
 		st := dbi.NewStream(enc)
 		worst := 0
 		for i := 0; i < 20000; i++ {

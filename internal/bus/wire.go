@@ -17,20 +17,41 @@ type Wire struct {
 // Apply produces the wire-level image of transmitting burst b with the given
 // per-beat inversion pattern. inverted must have the same length as b.
 func Apply(b Burst, inverted []bool) Wire {
+	w := Wire{Data: make([]byte, 0, len(b)), DBI: make([]bool, 0, len(b))}
+	w.Fill(b, inverted)
+	return w
+}
+
+// Fill rebuilds the wire image in place from burst b and the given per-beat
+// inversion pattern, reusing the Wire's existing backing arrays. Once the
+// arrays have grown to the burst length, repeated Fills allocate nothing —
+// this is the in-place counterpart of Apply the streaming hot paths use.
+// inverted must have the same length as b.
+func (w *Wire) Fill(b Burst, inverted []bool) {
 	if len(inverted) != len(b) {
 		panic(fmt.Sprintf("bus: inversion pattern length %d != burst length %d", len(inverted), len(b)))
 	}
-	w := Wire{Data: make([]byte, len(b)), DBI: make([]bool, len(b))}
+	w.Data = w.Data[:0]
+	w.DBI = w.DBI[:0]
 	for i, v := range b {
 		if inverted[i] {
-			w.Data[i] = ^v
-			w.DBI[i] = false
+			w.Data = append(w.Data, ^v)
+			w.DBI = append(w.DBI, false)
 		} else {
-			w.Data[i] = v
-			w.DBI[i] = true
+			w.Data = append(w.Data, v)
+			w.DBI = append(w.DBI, true)
 		}
 	}
-	return w
+}
+
+// Clone returns a Wire with its own backing arrays. Callers that retain a
+// wire image past the next Transmit on the Stream that produced it must
+// clone it first.
+func (w Wire) Clone() Wire {
+	c := Wire{Data: make([]byte, len(w.Data)), DBI: make([]bool, len(w.DBI))}
+	copy(c.Data, w.Data)
+	copy(c.DBI, w.DBI)
+	return c
 }
 
 // Len returns the number of beats.

@@ -68,14 +68,29 @@ func (w Weights) Cost(c bus.Cost) float64 { return c.Weighted(w.Alpha, w.Beta) }
 // "DBI OPT (Fixed)" scheme.
 var FixedWeights = Weights{Alpha: 1, Beta: 1}
 
-// Encoder is a DBI coding policy. Encode returns the per-beat inversion
-// pattern for transmitting burst b on a lane whose wires currently hold
-// prev. Implementations must be deterministic and must not retain b.
+// Encoder is a DBI coding policy. Both methods compute the per-beat
+// inversion pattern for transmitting burst b on a lane whose wires
+// currently hold prev. Implementations must be deterministic and must not
+// retain b or dst.
 type Encoder interface {
 	// Name returns the scheme's conventional name, e.g. "DBI DC".
 	Name() string
-	// Encode returns one inversion flag per beat of b.
+	// Encode returns one inversion flag per beat of b in a freshly
+	// allocated slice. It is a convenience wrapper around EncodeInto.
 	Encode(prev bus.LineState, b bus.Burst) []bool
+	// EncodeInto appends one inversion flag per beat of b to dst and
+	// returns the extended slice, allocating only when dst lacks capacity.
+	// Callers that reuse the returned slice as the next call's dst (after
+	// re-slicing to its previous length) encode with zero steady-state heap
+	// allocations; this is the hot path Stream, the parallel drivers and
+	// the pipeline run on.
+	EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool
+}
+
+// encodeAlloc implements the Encode convenience wrapper shared by every
+// scheme: EncodeInto into a fresh slice of exactly the right capacity.
+func encodeAlloc(enc Encoder, prev bus.LineState, b bus.Burst) []bool {
+	return enc.EncodeInto(make([]bool, 0, len(b)), prev, b)
 }
 
 // EncodeWire runs enc on b and returns the resulting wire-level image.
@@ -90,41 +105,6 @@ func CostOf(enc Encoder, prev bus.LineState, b bus.Burst) bus.Cost {
 	return EncodeWire(enc, prev, b).Cost(prev)
 }
 
-// New returns an encoder by conventional name. Recognised names (case
-// sensitive): "RAW", "DC", "AC", "ACDC", "GREEDY", "OPT", "OPT-FIXED",
-// "EXHAUSTIVE". Schemes that take weights use w; the others ignore it.
-func New(name string, w Weights) (Encoder, error) {
-	switch name {
-	case "RAW":
-		return Raw{}, nil
-	case "DC":
-		return DC{}, nil
-	case "AC":
-		return AC{}, nil
-	case "ACDC":
-		return ACDC{}, nil
-	case "GREEDY":
-		if err := w.Validate(); err != nil {
-			return nil, err
-		}
-		return Greedy{Weights: w}, nil
-	case "OPT":
-		if err := w.Validate(); err != nil {
-			return nil, err
-		}
-		return Opt{Weights: w}, nil
-	case "OPT-FIXED":
-		return OptFixed(), nil
-	case "EXHAUSTIVE":
-		if err := w.Validate(); err != nil {
-			return nil, err
-		}
-		return Exhaustive{Weights: w}, nil
-	}
-	return nil, fmt.Errorf("dbi: unknown scheme %q", name)
-}
-
-// Names lists the scheme names accepted by New, in presentation order.
-func Names() []string {
-	return []string{"RAW", "DC", "AC", "ACDC", "GREEDY", "OPT", "OPT-FIXED", "EXHAUSTIVE"}
-}
+// New returns an encoder by registered name; it is a thin wrapper kept for
+// compatibility with pre-registry callers. See Lookup.
+func New(name string, w Weights) (Encoder, error) { return Lookup(name, w) }

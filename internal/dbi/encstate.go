@@ -1,0 +1,67 @@
+package dbi
+
+import "sync"
+
+// maxStackBeats is the longest burst whose trellis backpointer table the
+// optimal encoders keep on the stack. BL8/BL16 and every windowed-encoding
+// configuration in the repo fit comfortably; longer bursts fall back to a
+// pooled encoderState so even they allocate only until the pool is warm.
+const maxStackBeats = 64
+
+// encoderState is the reusable trellis scratch of the optimal encoders: the
+// per-beat backpointer table the Viterbi backward pass walks. It is recycled
+// through statePool so steady-state encoding of arbitrarily long bursts
+// performs no heap allocation once the pool is warm.
+type encoderState struct {
+	fromInv [][2]bool
+}
+
+var statePool = sync.Pool{New: func() any { return new(encoderState) }}
+
+// backpointers returns an n-element backpointer table backed by the state's
+// buffer, growing it when a longer burst arrives. Entries are not cleared:
+// the dynamic programs assign every entry on the forward pass.
+func (st *encoderState) backpointers(n int) [][2]bool {
+	if cap(st.fromInv) < n {
+		st.fromInv = make([][2]bool, n)
+	}
+	return st.fromInv[:n]
+}
+
+// acquireBackpointers hands out an n-entry backpointer table: a view of the
+// caller's stack buffer for bursts within the stack bound, else a pooled
+// encoderState's buffer. The returned state (nil for the stack case) must
+// go back through releaseBackpointers once the backward pass is done. Both
+// optimal encoders share this pair so their scratch discipline cannot
+// drift apart.
+func acquireBackpointers(stack *[maxStackBeats][2]bool, n int) ([][2]bool, *encoderState) {
+	if n <= maxStackBeats {
+		return stack[:n], nil
+	}
+	st := statePool.Get().(*encoderState)
+	return st.backpointers(n), st
+}
+
+// releaseBackpointers recycles a pooled state; a nil state (stack scratch)
+// is a no-op.
+func releaseBackpointers(st *encoderState) {
+	if st != nil {
+		statePool.Put(st)
+	}
+}
+
+// backtrack walks the trellis decisions backwards into out, starting from
+// the cheaper final node (invCheaper) and following the recorded
+// predecessors — the backtracking mux chain at the bottom of the paper's
+// Fig. 5. len(out) must equal len(fromInv).
+func backtrack(out []bool, fromInv [][2]bool, invCheaper bool) {
+	state := invCheaper
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = state
+		if state {
+			state = fromInv[i][1]
+		} else {
+			state = fromInv[i][0]
+		}
+	}
+}

@@ -22,27 +22,30 @@ func (Exhaustive) Name() string { return "DBI EXHAUSTIVE" }
 
 // Encode implements Encoder.
 func (e Exhaustive) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(e, prev, b)
+}
+
+// EncodeInto implements Encoder. The winning pattern is tracked as a bit
+// mask and decoded once at the end, so the search itself needs no scratch.
+func (e Exhaustive) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n > MaxExhaustiveBeats {
 		panic(fmt.Sprintf("dbi: exhaustive search over %d beats (max %d)", n, MaxExhaustiveBeats))
 	}
-	best := make([]bool, n)
 	if n == 0 {
-		return best
+		return dst
 	}
+	bestMask := uint32(0)
 	bestCost := e.patternCost(prev, b, 0)
-	pattern := make([]bool, n)
 	for mask := uint32(1); mask < uint32(1)<<n; mask++ {
-		c := e.patternCost(prev, b, mask)
-		if c < bestCost {
-			bestCost = c
-			for i := range pattern {
-				pattern[i] = mask&(1<<i) != 0
-			}
-			copy(best, pattern)
+		if c := e.patternCost(prev, b, mask); c < bestCost {
+			bestCost, bestMask = c, mask
 		}
 	}
-	return best
+	for i := 0; i < n; i++ {
+		dst = append(dst, bestMask&(1<<i) != 0)
+	}
+	return dst
 }
 
 func (e Exhaustive) patternCost(prev bus.LineState, b bus.Burst, mask uint32) float64 {

@@ -47,11 +47,19 @@ func (n *Noisy) Name() string {
 
 // Encode implements Encoder: the inner decision, occasionally flipped.
 func (n *Noisy) Encode(prev bus.LineState, b bus.Burst) []bool {
-	inv := n.inner.Encode(prev, b)
-	for i := range inv {
+	return encodeAlloc(n, prev, b)
+}
+
+// EncodeInto implements Encoder. The RNG is consumed once per beat, in beat
+// order, so a fixed seed reproduces the same error pattern regardless of
+// which entry point the caller uses.
+func (n *Noisy) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
+	base := len(dst)
+	dst = n.inner.EncodeInto(dst, prev, b)
+	for i := base; i < len(dst); i++ {
 		if n.rng.Float64() < n.p {
-			inv[i] = !inv[i]
+			dst[i] = !dst[i]
 		}
 	}
-	return inv
+	return dst
 }

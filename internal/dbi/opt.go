@@ -15,6 +15,11 @@ type Opt struct {
 	Weights Weights
 }
 
+// NewOpt returns the optimal encoder for the given weights. Weights are not
+// validated here (construction mirrors the composite literal it replaces);
+// use Lookup("OPT", w) for validated construction.
+func NewOpt(w Weights) Opt { return Opt{Weights: w} }
+
 // OptFixed returns the paper's "DBI OPT (Fixed)" scheme: the optimal
 // encoder with alpha = beta = 1, the coefficient choice that removes all
 // multipliers from the hardware implementation and, per the paper's Fig. 4,
@@ -29,28 +34,37 @@ func (o Opt) Name() string {
 	return "DBI OPT"
 }
 
-// Encode implements Encoder. It runs the forward dynamic program, recording
-// for every trellis node which predecessor achieved its minimum, then walks
-// the decisions backwards from the cheaper final node, exactly like the
-// backtracking mux chain at the bottom of the paper's Fig. 5.
+// Encode implements Encoder.
 func (o Opt) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(o, prev, b)
+}
+
+// EncodeInto implements Encoder. It runs the forward dynamic program,
+// recording for every trellis node which predecessor achieved its minimum,
+// then walks the decisions backwards from the cheaper final node, exactly
+// like the backtracking mux chain at the bottom of the paper's Fig. 5. The
+// backpointer table lives on the stack for bursts up to maxStackBeats and
+// in a pooled encoderState beyond, so the only allocation EncodeInto can
+// perform is growing dst.
+func (o Opt) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
-	inv := make([]bool, n)
 	if n == 0 {
-		return inv
+		return dst
 	}
+	base := len(dst)
+	dst = append(dst, make([]bool, n)...)
+	out := dst[base:]
 
 	// fromInv[i][s] records whether the cheapest path into beat i's state s
 	// (s=0 plain, s=1 inverted) came from the inverted state of beat i-1.
-	fromInv := make([][2]bool, n)
+	var stack [maxStackBeats][2]bool
+	fromInv, st := acquireBackpointers(&stack, n)
 
 	// Path costs up to and including the current beat, for the two possible
-	// states of the current beat.
-	var costPlain, costInv float64
-
-	// First beat: both nodes are entered from the fixed prior line state.
-	costPlain = o.Weights.Cost(bus.BeatCost(prev, b[0], false))
-	costInv = o.Weights.Cost(bus.BeatCost(prev, b[0], true))
+	// states of the current beat. The first beat's nodes are entered from
+	// the fixed prior line state.
+	costPlain := o.Weights.Cost(bus.BeatCost(prev, b[0], false))
+	costInv := o.Weights.Cost(bus.BeatCost(prev, b[0], true))
 
 	for i := 1; i < n; i++ {
 		v := b[i]
@@ -64,31 +78,23 @@ func (o Opt) Encode(prev bus.LineState, b bus.Burst) []bool {
 		ePlainInv := o.Weights.Cost(bus.BeatCost(plainState, v, true))
 		eInvInv := o.Weights.Cost(bus.BeatCost(invState, v, true))
 
-		nextPlain := costPlain + ePlainPlain
+		nextPlain, fromPlain := costPlain+ePlainPlain, false
 		if c := costInv + eInvPlain; c < nextPlain {
-			nextPlain = c
-			fromInv[i][0] = true
+			nextPlain, fromPlain = c, true
 		}
-		nextInv := costPlain + ePlainInv
+		nextInv, fromInverted := costPlain+ePlainInv, false
 		if c := costInv + eInvInv; c < nextInv {
-			nextInv = c
-			fromInv[i][1] = true
+			nextInv, fromInverted = c, true
 		}
+		fromInv[i] = [2]bool{fromPlain, fromInverted}
 		costPlain, costInv = nextPlain, nextInv
 	}
 
 	// Pick the cheaper final node; ties prefer non-inverted, matching the
 	// tie-breaking of the per-byte schemes.
-	state := costInv < costPlain
-	for i := n - 1; i >= 0; i-- {
-		inv[i] = state
-		if state {
-			state = fromInv[i][1]
-		} else {
-			state = fromInv[i][0]
-		}
-	}
-	return inv
+	backtrack(out, fromInv, costInv < costPlain)
+	releaseBackpointers(st)
+	return dst
 }
 
 // Note: bus.Advance ignores everything about prev except via the byte

@@ -25,14 +25,32 @@ func Stateless(enc Encoder) bool {
 	return true
 }
 
+// encodeScratch is the reusable per-goroutine encode state of the parallel
+// drivers: one inversion-pattern buffer and one wire image, recycled across
+// bursts so the per-burst cost evaluation performs zero heap allocations in
+// steady state.
+type encodeScratch struct {
+	inv  []bool
+	wire bus.Wire
+}
+
+// costOf computes the exact from-prev activity counts of encoding b with
+// enc, reusing the scratch buffers.
+func (sc *encodeScratch) costOf(enc Encoder, prev bus.LineState, b bus.Burst) bus.Cost {
+	sc.inv = enc.EncodeInto(sc.inv[:0], prev, b)
+	sc.wire.Fill(b, sc.inv)
+	return sc.wire.Cost(prev)
+}
+
 // TotalCost sums the exact wire activity of encoding every burst
 // independently from the idle state — the aggregation all per-burst
 // experiments reduce to. Because the counts are integers, the result is
 // identical regardless of evaluation order.
 func TotalCost(enc Encoder, bursts []bus.Burst) bus.Cost {
+	var sc encodeScratch
 	var total bus.Cost
 	for _, b := range bursts {
-		total = total.Add(CostOf(enc, bus.InitialLineState, b))
+		total = total.Add(sc.costOf(enc, bus.InitialLineState, b))
 	}
 	return total
 }
@@ -96,9 +114,12 @@ func ParallelTotalCost(enc Encoder, bursts []bus.Burst, workers int) bus.Cost {
 // selects GOMAXPROCS.
 func ParallelCosts(enc Encoder, bursts []bus.Burst, workers int) []bus.Cost {
 	out := make([]bus.Cost, len(bursts))
+	// Each contiguous range gets its own encode scratch, so workers never
+	// contend and the per-burst evaluation stays allocation-free.
 	fill := func(lo, hi int) {
+		var sc encodeScratch
 		for i := lo; i < hi; i++ {
-			out[i] = CostOf(enc, bus.InitialLineState, bursts[i])
+			out[i] = sc.costOf(enc, bus.InitialLineState, bursts[i])
 		}
 	}
 	if !Stateless(enc) {

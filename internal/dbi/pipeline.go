@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dbiopt/internal/bus"
 )
@@ -201,27 +202,51 @@ func (p *Pipeline) runSerial(src FrameSource, streams []*Stream) (int, error) {
 	}
 }
 
+// frameBatch is one chunk of frames in flight, shared by every worker. refs
+// counts the workers still reading it; the last one done returns the batch
+// to the free list so the producer can refill it instead of allocating.
+type frameBatch struct {
+	frames []bus.Frame
+	refs   atomic.Int32
+}
+
 // runSharded fans chunks of frames out to workers, each owning a contiguous
 // lane range. Every worker receives every chunk, in order, through its own
 // channel, so each lane's stream still sees its bursts in source order.
+// Chunk buffers are recycled through a refcounted free list, so a
+// steady-state run allocates nothing per chunk.
 func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (int, error) {
 	chunkFrames := p.ChunkFrames()
-	chans := make([]chan []bus.Frame, workers)
+	chans := make([]chan *frameBatch, workers)
+	// At most workers*(cap+1)+1 batches can be in flight (queued, being
+	// processed, or being filled); the free list only ever needs a few
+	// slots, and a full list simply drops the batch for GC.
+	free := make(chan *frameBatch, 4)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		// Balanced contiguous lane ranges: the first (lanes % workers)
 		// shards take one extra lane.
 		lo := w * p.lanes / workers
 		hi := (w + 1) * p.lanes / workers
-		ch := make(chan []bus.Frame, 2)
+		ch := make(chan *frameBatch, 2)
 		chans[w] = ch
 		wg.Add(1)
-		go func(lo, hi int, ch <-chan []bus.Frame) {
+		go func(lo, hi int, ch <-chan *frameBatch) {
 			defer wg.Done()
-			for chunk := range ch {
-				for _, f := range chunk {
+			for batch := range ch {
+				for _, f := range batch.frames {
 					for i := lo; i < hi; i++ {
 						streams[i].Transmit(f[i])
+					}
+				}
+				if batch.refs.Add(-1) == 0 {
+					// Drop the frame references before recycling so the
+					// batch does not pin source frames past their chunk.
+					clear(batch.frames)
+					batch.frames = batch.frames[:0]
+					select {
+					case free <- batch:
+					default:
 					}
 				}
 			}
@@ -235,17 +260,28 @@ func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (
 		wg.Wait()
 	}
 
+	newBatch := func() *frameBatch {
+		select {
+		case b := <-free:
+			return b
+		default:
+			return &frameBatch{frames: make([]bus.Frame, 0, chunkFrames)}
+		}
+	}
+
 	frames := 0
-	batch := make([]bus.Frame, 0, chunkFrames)
+	batch := newBatch()
 	flush := func() {
-		if len(batch) == 0 {
+		if len(batch.frames) == 0 {
 			return
 		}
+		// The refcount must cover every worker before the first send: a
+		// fast worker may finish the batch while we are still fanning out.
+		batch.refs.Store(int32(workers))
 		for _, ch := range chans {
 			ch <- batch
 		}
-		// Workers hold references to the sent chunk; start a fresh one.
-		batch = make([]bus.Frame, 0, chunkFrames)
+		batch = newBatch()
 	}
 	for {
 		f, err := src.NextFrame()
@@ -260,9 +296,9 @@ func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (
 			stop()
 			return frames, err
 		}
-		batch = append(batch, f)
+		batch.frames = append(batch.frames, f)
 		frames++
-		if len(batch) >= chunkFrames {
+		if len(batch.frames) >= chunkFrames {
 			flush()
 		}
 	}

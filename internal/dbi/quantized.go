@@ -96,15 +96,25 @@ func quantizePair(w Weights, maxCoef int) (int, int, error) {
 // Name implements Encoder.
 func (q Quantized) Name() string { return "DBI OPT (3-Bit Coeff.)" }
 
-// Encode implements Encoder. The dynamic program is identical in structure
-// to Opt.Encode but works in exact integer arithmetic, as the hardware does.
+// Encode implements Encoder.
 func (q Quantized) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(q, prev, b)
+}
+
+// EncodeInto implements Encoder. The dynamic program is identical in
+// structure to Opt.EncodeInto but works in exact integer arithmetic, as the
+// hardware does, and shares the same stack/pooled backpointer scratch.
+func (q Quantized) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
-	inv := make([]bool, n)
 	if n == 0 {
-		return inv
+		return dst
 	}
-	fromInv := make([][2]bool, n)
+	base := len(dst)
+	dst = append(dst, make([]bool, n)...)
+	out := dst[base:]
+
+	var stack [maxStackBeats][2]bool
+	fromInv, st := acquireBackpointers(&stack, n)
 
 	cost := func(s bus.LineState, v byte, inverted bool) int {
 		c := bus.BeatCost(s, v, inverted)
@@ -119,27 +129,19 @@ func (q Quantized) Encode(prev bus.LineState, b bus.Burst) []bool {
 		plainState := bus.Advance(prev, b[i-1], false)
 		invState := bus.Advance(prev, b[i-1], true)
 
-		nextPlain := costPlain + cost(plainState, v, false)
+		nextPlain, fromPlain := costPlain+cost(plainState, v, false), false
 		if c := costInv + cost(invState, v, false); c < nextPlain {
-			nextPlain = c
-			fromInv[i][0] = true
+			nextPlain, fromPlain = c, true
 		}
-		nextInv := costPlain + cost(plainState, v, true)
+		nextInv, fromInverted := costPlain+cost(plainState, v, true), false
 		if c := costInv + cost(invState, v, true); c < nextInv {
-			nextInv = c
-			fromInv[i][1] = true
+			nextInv, fromInverted = c, true
 		}
+		fromInv[i] = [2]bool{fromPlain, fromInverted}
 		costPlain, costInv = nextPlain, nextInv
 	}
 
-	state := costInv < costPlain
-	for i := n - 1; i >= 0; i-- {
-		inv[i] = state
-		if state {
-			state = fromInv[i][1]
-		} else {
-			state = fromInv[i][0]
-		}
-	}
-	return inv
+	backtrack(out, fromInv, costInv < costPlain)
+	releaseBackpointers(st)
+	return dst
 }

@@ -10,8 +10,13 @@ type Raw struct{}
 func (Raw) Name() string { return "RAW" }
 
 // Encode implements Encoder.
-func (Raw) Encode(_ bus.LineState, b bus.Burst) []bool {
-	return make([]bool, len(b))
+func (r Raw) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(r, prev, b)
+}
+
+// EncodeInto implements Encoder.
+func (Raw) EncodeInto(dst []bool, _ bus.LineState, b bus.Burst) []bool {
+	return append(dst, make([]bool, len(b))...)
 }
 
 // DC is the JEDEC DBI DC scheme: each byte is considered in isolation and
@@ -23,12 +28,16 @@ type DC struct{}
 func (DC) Name() string { return "DBI DC" }
 
 // Encode implements Encoder.
-func (DC) Encode(_ bus.LineState, b bus.Burst) []bool {
-	inv := make([]bool, len(b))
-	for i, v := range b {
-		inv[i] = bus.Zeros(v) >= 5
+func (d DC) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(d, prev, b)
+}
+
+// EncodeInto implements Encoder.
+func (DC) EncodeInto(dst []bool, _ bus.LineState, b bus.Burst) []bool {
+	for _, v := range b {
+		dst = append(dst, bus.Zeros(v) >= 5)
 	}
-	return inv
+	return dst
 }
 
 // AC is the JEDEC DBI AC scheme: each byte is inverted iff inversion yields
@@ -41,16 +50,21 @@ type AC struct{}
 func (AC) Name() string { return "DBI AC" }
 
 // Encode implements Encoder.
-func (AC) Encode(prev bus.LineState, b bus.Burst) []bool {
-	inv := make([]bool, len(b))
+func (a AC) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(a, prev, b)
+}
+
+// EncodeInto implements Encoder.
+func (AC) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	s := prev
-	for i, v := range b {
+	for _, v := range b {
 		plain := bus.BeatCost(s, v, false).Transitions
 		flipped := bus.BeatCost(s, v, true).Transitions
-		inv[i] = flipped < plain
-		s = bus.Advance(s, v, inv[i])
+		f := flipped < plain
+		dst = append(dst, f)
+		s = bus.Advance(s, v, f)
 	}
-	return inv
+	return dst
 }
 
 // ACDC is Hollis' hybrid scheme: the first byte of each burst is encoded
@@ -64,21 +78,26 @@ type ACDC struct{}
 func (ACDC) Name() string { return "DBI ACDC" }
 
 // Encode implements Encoder.
-func (ACDC) Encode(prev bus.LineState, b bus.Burst) []bool {
-	inv := make([]bool, len(b))
+func (a ACDC) Encode(prev bus.LineState, b bus.Burst) []bool {
+	return encodeAlloc(a, prev, b)
+}
+
+// EncodeInto implements Encoder.
+func (ACDC) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	if len(b) == 0 {
-		return inv
+		return dst
 	}
-	inv[0] = bus.Zeros(b[0]) >= 5
-	s := bus.Advance(prev, b[0], inv[0])
-	for i := 1; i < len(b); i++ {
-		v := b[i]
+	first := bus.Zeros(b[0]) >= 5
+	dst = append(dst, first)
+	s := bus.Advance(prev, b[0], first)
+	for _, v := range b[1:] {
 		plain := bus.BeatCost(s, v, false).Transitions
 		flipped := bus.BeatCost(s, v, true).Transitions
-		inv[i] = flipped < plain
-		s = bus.Advance(s, v, inv[i])
+		f := flipped < plain
+		dst = append(dst, f)
+		s = bus.Advance(s, v, f)
 	}
-	return inv
+	return dst
 }
 
 // Greedy minimises the weighted cost alpha*transitions + beta*zeros one byte
@@ -90,18 +109,28 @@ type Greedy struct {
 	Weights Weights
 }
 
+// NewGreedy returns the per-byte weighted heuristic. Weights are not
+// validated here (construction mirrors the composite literal it replaces);
+// use Lookup("GREEDY", w) for validated construction.
+func NewGreedy(w Weights) Greedy { return Greedy{Weights: w} }
+
 // Name implements Encoder.
 func (g Greedy) Name() string { return "DBI GREEDY" }
 
 // Encode implements Encoder.
 func (g Greedy) Encode(prev bus.LineState, b bus.Burst) []bool {
-	inv := make([]bool, len(b))
+	return encodeAlloc(g, prev, b)
+}
+
+// EncodeInto implements Encoder.
+func (g Greedy) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	s := prev
-	for i, v := range b {
+	for _, v := range b {
 		plain := g.Weights.Cost(bus.BeatCost(s, v, false))
 		flipped := g.Weights.Cost(bus.BeatCost(s, v, true))
-		inv[i] = flipped < plain
-		s = bus.Advance(s, v, inv[i])
+		f := flipped < plain
+		dst = append(dst, f)
+		s = bus.Advance(s, v, f)
 	}
-	return inv
+	return dst
 }

@@ -11,11 +11,19 @@ import (
 // each burst starts from the final wire state of the previous one. Stream
 // also accumulates the exact activity counts of everything it has
 // transmitted, which is what the energy models consume.
+//
+// Stream owns reusable encode scratch, so steady-state Transmit performs
+// zero heap allocations for every stateless scheme.
 type Stream struct {
 	enc   Encoder
 	state bus.LineState
 	total bus.Cost
 	beats int
+	// inv and wire are reusable scratch: the inversion pattern of the
+	// current burst and the wire image built from it. They grow to the
+	// largest burst seen and are then recycled on every Transmit.
+	inv  []bool
+	wire bus.Wire
 }
 
 // NewStream returns a streaming encoder starting from the idle (all-ones)
@@ -38,8 +46,14 @@ func (s *Stream) State() bus.LineState { return s.state }
 
 // Transmit encodes one burst against the current line state, advances the
 // state past it, accumulates its activity counts and returns the wire image.
+//
+// The returned Wire aliases the stream's internal scratch: it is valid until
+// the next Transmit or Reset on this stream. Callers that retain it longer
+// must Clone it.
 func (s *Stream) Transmit(b bus.Burst) bus.Wire {
-	w := EncodeWire(s.enc, s.state, b)
+	s.inv = s.enc.EncodeInto(s.inv[:0], s.state, b)
+	s.wire.Fill(b, s.inv)
+	w := s.wire
 	s.total = s.total.Add(w.Cost(s.state))
 	s.state = w.FinalState(s.state)
 	s.beats += w.Len()
@@ -54,6 +68,7 @@ func (s *Stream) TotalCost() bus.Cost { return s.total }
 func (s *Stream) Beats() int { return s.beats }
 
 // Reset returns the stream to the idle state and clears the accumulators.
+// The encode scratch is kept, so a reset stream stays allocation-free.
 func (s *Stream) Reset() {
 	s.state = bus.InitialLineState
 	s.total = bus.Cost{}
@@ -71,6 +86,8 @@ func (s *Stream) String() string {
 // x16/x32 device do.
 type LaneSet struct {
 	lanes []*Stream
+	// wires is the reusable per-frame result slice handed out by Transmit.
+	wires []bus.Wire
 }
 
 // NewLaneSet creates n independent streams sharing one policy. The policy
@@ -79,7 +96,7 @@ func NewLaneSet(enc Encoder, n int) *LaneSet {
 	if n <= 0 {
 		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", n))
 	}
-	ls := &LaneSet{lanes: make([]*Stream, n)}
+	ls := &LaneSet{lanes: make([]*Stream, n), wires: make([]bus.Wire, n)}
 	for i := range ls.lanes {
 		ls.lanes[i] = NewStream(enc)
 	}
@@ -94,15 +111,18 @@ func (ls *LaneSet) Lane(i int) *Stream { return ls.lanes[i] }
 
 // Transmit encodes one frame, lane by lane, and returns the per-lane wire
 // images.
+//
+// The returned slice and the Wires in it alias the lane set's internal
+// scratch: both are valid until the next Transmit or Reset. Callers that
+// retain them longer must copy the slice and Clone the wires.
 func (ls *LaneSet) Transmit(f bus.Frame) []bus.Wire {
 	if f.Lanes() != len(ls.lanes) {
 		panic(fmt.Sprintf("dbi: frame has %d lanes, lane set has %d", f.Lanes(), len(ls.lanes)))
 	}
-	ws := make([]bus.Wire, len(ls.lanes))
 	for i, b := range f {
-		ws[i] = ls.lanes[i].Transmit(b)
+		ls.wires[i] = ls.lanes[i].Transmit(b)
 	}
-	return ws
+	return ls.wires
 }
 
 // TotalCost sums the activity counts over all lanes.

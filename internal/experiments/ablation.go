@@ -58,7 +58,7 @@ func CoefficientBitsAblation(cfg Config, maxBits int) (CoeffBitsResult, error) {
 			exact := optMean(bc.bursts, w.Alpha, w.Beta, cfg.costWorkers())
 			// Encode with the quantised weights, but charge the true
 			// weights: this is exactly the hardware's situation.
-			quant := crossMean(bc.bursts, dbi.Opt{Weights: qw}, w)
+			quant := crossMean(bc.bursts, scheme("OPT", qw), w)
 			loss := quant/exact - 1
 			sum += loss
 			if loss > worst {
@@ -114,7 +114,7 @@ func GreedyGapAblation(cfg Config) (GreedyGapResult, error) {
 		alpha := float64(i) / float64(cfg.Steps)
 		w := dbi.Weights{Alpha: alpha, Beta: 1 - alpha}
 		opt := optMean(bc.bursts, alpha, 1-alpha, cfg.costWorkers())
-		greedy := crossMean(bc.bursts, dbi.Greedy{Weights: w}, w)
+		greedy := crossMean(bc.bursts, scheme("GREEDY", w), w)
 		out.Alphas = append(out.Alphas, alpha)
 		if opt > 0 {
 			out.Gap = append(out.Gap, greedy/opt-1)
@@ -159,12 +159,13 @@ func BurstLengthAblation(cfg Config, lengths []int) (BurstLenResult, error) {
 			return BurstLenResult{}, fmt.Errorf("experiments: burst length must be positive, got %d", n)
 		}
 		src := trace.NewUniform(cfg.Seed)
+		opt, dc, ac := scheme("OPT", w), scheme("DC", w), scheme("AC", w)
 		var optSum, dcSum, acSum float64
 		for i := 0; i < cfg.Bursts; i++ {
 			b := src.Next(n)
-			optSum += w.Cost(dbi.CostOf(dbi.Opt{Weights: w}, bus.InitialLineState, b))
-			dcSum += w.Cost(dbi.CostOf(dbi.DC{}, bus.InitialLineState, b))
-			acSum += w.Cost(dbi.CostOf(dbi.AC{}, bus.InitialLineState, b))
+			optSum += w.Cost(dbi.CostOf(opt, bus.InitialLineState, b))
+			dcSum += w.Cost(dbi.CostOf(dc, bus.InitialLineState, b))
+			acSum += w.Cost(dbi.CostOf(ac, bus.InitialLineState, b))
 		}
 		best := dcSum
 		if acSum < best {
@@ -195,7 +196,7 @@ func WindowAblation(cfg Config, windows []int) (WindowResult, error) {
 	}
 	const alpha, beta = 0.5, 0.5
 	w := dbi.Weights{Alpha: alpha, Beta: beta}
-	enc := dbi.Opt{Weights: w}
+	enc := scheme("OPT", w)
 	var out WindowResult
 	for _, win := range windows {
 		if win <= 0 {

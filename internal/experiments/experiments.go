@@ -36,10 +36,27 @@ type Config struct {
 	Seed int64
 	// Steps is the number of sweep points on the alpha axis of Fig. 3/4.
 	Steps int
-	// Workers caps the goroutines used to evaluate per-burst costs; 0 or 1
-	// selects the serial path. Costs are integers computed positionally, so
-	// every worker count produces bit-identical results.
+	// Workers caps the goroutines used to evaluate per-burst costs. This is
+	// the canonical contract (see DESIGN.md §5): 0 or 1 selects the serial
+	// path — the zero value of Config stays the historical single-threaded
+	// run and never silently fans out. CLIs that advertise "0 = all cores"
+	// (dbibench -workers, dbitrace cost -workers) resolve 0 to
+	// runtime.GOMAXPROCS(0) *before* building a Config, so the package-level
+	// meaning of 0 is unambiguous. Costs are integers computed
+	// positionally, so every worker count produces bit-identical results.
 	Workers int
+}
+
+// scheme fetches a registered coding scheme. Every name used inside this
+// package is a built-in registered at init, so a lookup failure is a
+// programming error and panics rather than threading an impossible error
+// through every runner.
+func scheme(name string, w dbi.Weights) dbi.Encoder {
+	enc, err := dbi.Lookup(name, w)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return enc
 }
 
 // costWorkers returns the worker count to hand the dbi parallel drivers:
@@ -83,9 +100,9 @@ func Fig2() Fig2Result {
 	b := Fig2Burst.Clone()
 	return Fig2Result{
 		Burst:  b,
-		DC:     dbi.CostOf(dbi.DC{}, bus.InitialLineState, b),
-		AC:     dbi.CostOf(dbi.AC{}, bus.InitialLineState, b),
-		Opt:    dbi.CostOf(dbi.OptFixed(), bus.InitialLineState, b),
+		DC:     dbi.CostOf(scheme("DC", dbi.FixedWeights), bus.InitialLineState, b),
+		AC:     dbi.CostOf(scheme("AC", dbi.FixedWeights), bus.InitialLineState, b),
+		Opt:    dbi.CostOf(scheme("OPT-FIXED", dbi.FixedWeights), bus.InitialLineState, b),
 		Pareto: dbi.ParetoFront(bus.InitialLineState, b),
 	}
 }
@@ -129,10 +146,10 @@ func collect(cfg Config) burstCosts {
 	// costs are pure and fan out. ParallelCosts is positional, so the
 	// slices are identical to the historical serial fill.
 	w := cfg.costWorkers()
-	bc.raw = dbi.ParallelCosts(dbi.Raw{}, bc.bursts, w)
-	bc.dc = dbi.ParallelCosts(dbi.DC{}, bc.bursts, w)
-	bc.ac = dbi.ParallelCosts(dbi.AC{}, bc.bursts, w)
-	bc.fixed = dbi.ParallelCosts(dbi.OptFixed(), bc.bursts, w)
+	bc.raw = dbi.ParallelCosts(scheme("RAW", dbi.FixedWeights), bc.bursts, w)
+	bc.dc = dbi.ParallelCosts(scheme("DC", dbi.FixedWeights), bc.bursts, w)
+	bc.ac = dbi.ParallelCosts(scheme("AC", dbi.FixedWeights), bc.bursts, w)
+	bc.fixed = dbi.ParallelCosts(scheme("OPT-FIXED", dbi.FixedWeights), bc.bursts, w)
 	return bc
 }
 
@@ -204,7 +221,7 @@ func newSweep(steps int) SweepResult {
 }
 
 func optMean(bursts []bus.Burst, alpha, beta float64, workers int) float64 {
-	enc := dbi.Opt{Weights: dbi.Weights{Alpha: alpha, Beta: beta}}
+	enc := scheme("OPT", dbi.Weights{Alpha: alpha, Beta: beta})
 	var sum float64
 	// Integer costs in parallel, float reduction serial and in index order:
 	// the mean is bit-identical for every worker count.

@@ -94,7 +94,7 @@ func meanEnergy(costs []bus.Cost, link phy.Link) float64 {
 }
 
 func optMeanEnergy(bursts []bus.Burst, link phy.Link, workers int) float64 {
-	enc := dbi.Opt{Weights: link.Weights()}
+	enc := scheme("OPT", link.Weights())
 	var sum float64
 	// As in optMean: parallel integer costs, serial in-order float sum.
 	for _, c := range dbi.ParallelCosts(enc, bursts, workers) {

@@ -32,7 +32,10 @@ func SSOStudy(cfg Config, lanes int) (SSOResult, error) {
 	if lanes <= 0 {
 		return SSOResult{}, fmt.Errorf("experiments: lanes must be positive, got %d", lanes)
 	}
-	schemes := []dbi.Encoder{dbi.Raw{}, dbi.DC{}, dbi.AC{}, dbi.OptFixed()}
+	schemes := []dbi.Encoder{
+		scheme("RAW", dbi.FixedWeights), scheme("DC", dbi.FixedWeights),
+		scheme("AC", dbi.FixedWeights), scheme("OPT-FIXED", dbi.FixedWeights),
+	}
 	var out SSOResult
 	out.Lanes = lanes
 	half := lanes * bus.WiresPerLane / 2

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestWorkersContract pins the canonical Config.Workers semantics (see the
+// field's doc comment and DESIGN.md §5): at the package level, 0 and 1 both
+// select the serial path — the zero Config never silently fans out — and
+// any higher value is passed through unchanged. CLIs that advertise "0 =
+// all cores" must resolve that convention to a concrete count before
+// building a Config; this test is what keeps the two vocabularies from
+// drifting apart again.
+func TestWorkersContract(t *testing.T) {
+	cases := []struct {
+		workers int
+		want    int
+	}{
+		{-3, 1}, // nonsense caps clamp to serial, never to all cores
+		{0, 1},  // the zero value is the historical single-threaded run
+		{1, 1},
+		{2, 2},
+		{16, 16},
+	}
+	for _, c := range cases {
+		cfg := Config{Workers: c.workers}
+		if got := cfg.costWorkers(); got != c.want {
+			t.Errorf("Config{Workers: %d}.costWorkers() = %d, want %d", c.workers, got, c.want)
+		}
+	}
+}
+
+// TestWorkersBitIdentical asserts the contract's payoff: every worker count
+// produces bit-identical sweep results, so parallelism is purely a
+// throughput knob.
+func TestWorkersBitIdentical(t *testing.T) {
+	base := Config{Bursts: 200, Beats: 8, Seed: 7, Steps: 6}
+	serial, err := Fig3(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		parallel, err := Fig3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Alphas {
+			if serial.Raw[i] != parallel.Raw[i] || serial.DC[i] != parallel.DC[i] ||
+				serial.AC[i] != parallel.AC[i] || serial.Opt[i] != parallel.Opt[i] {
+				t.Fatalf("workers=%d: sweep point %d differs from serial run", workers, i)
+			}
+		}
+	}
+}

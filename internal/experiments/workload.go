@@ -33,8 +33,8 @@ func WorkloadStudy(cfg Config, link phy.Link) (WorkloadResult, error) {
 		return WorkloadResult{}, err
 	}
 	schemes := []dbi.Encoder{
-		dbi.DC{}, dbi.AC{}, dbi.OptFixed(),
-		dbi.Opt{Weights: link.Weights()},
+		scheme("DC", dbi.FixedWeights), scheme("AC", dbi.FixedWeights),
+		scheme("OPT-FIXED", dbi.FixedWeights), scheme("OPT", link.Weights()),
 	}
 	var out WorkloadResult
 	out.Link = link
@@ -46,7 +46,7 @@ func WorkloadStudy(cfg Config, link phy.Link) (WorkloadResult, error) {
 		// stateful, so each scheme gets a fresh source via the catalog.
 		name := mk.Name()
 		out.Workloads = append(out.Workloads, name)
-		raw := runWorkload(cfg, name, dbi.Raw{}, link)
+		raw := runWorkload(cfg, name, scheme("RAW", dbi.FixedWeights), link)
 		row := make([]float64, 0, len(schemes))
 		for _, enc := range schemes {
 			e := runWorkload(cfg, name, enc, link)

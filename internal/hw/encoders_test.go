@@ -17,12 +17,23 @@ func randomBurst(rng *rand.Rand, n int) bus.Burst {
 	return b
 }
 
+// swScheme fetches the software reference encoder for a hardware design
+// from the dbi registry, the same way production callers construct schemes.
+func swScheme(t *testing.T, name string) dbi.Encoder {
+	t.Helper()
+	enc, err := dbi.Lookup(name, dbi.FixedWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
 // TestDCDesignMatchesSoftware: the DC netlist must agree bit-for-bit with
 // the software DBI DC encoder on every byte value.
 func TestDCDesignMatchesSoftware(t *testing.T) {
 	d := BuildDC(1)
 	sim := NewSimulator(d.Netlist)
-	sw := dbi.DC{}
+	sw := swScheme(t, "DC")
 	for v := 0; v < 256; v++ {
 		b := bus.Burst{byte(v)}
 		got := d.Encode(sim, bus.InitialLineState, b)
@@ -37,7 +48,7 @@ func TestDCDesignMatchesSoftware(t *testing.T) {
 func TestDCDesignBurst(t *testing.T) {
 	d := BuildDC(8)
 	sim := NewSimulator(d.Netlist)
-	sw := dbi.DC{}
+	sw := swScheme(t, "DC")
 	rng := rand.New(rand.NewSource(40))
 	for trial := 0; trial < 300; trial++ {
 		b := randomBurst(rng, 8)
@@ -56,7 +67,7 @@ func TestDCDesignBurst(t *testing.T) {
 func TestACDesignMatchesSoftware(t *testing.T) {
 	d := BuildAC(8)
 	sim := NewSimulator(d.Netlist)
-	sw := dbi.AC{}
+	sw := swScheme(t, "AC")
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 500; trial++ {
 		b := randomBurst(rng, 8)
@@ -78,7 +89,7 @@ func TestACDesignMatchesSoftware(t *testing.T) {
 func TestOptFixedDesignMatchesSoftware(t *testing.T) {
 	d := BuildOptFixed(8)
 	sim := NewSimulator(d.Netlist)
-	sw := dbi.OptFixed()
+	sw := swScheme(t, "OPT-FIXED")
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 500; trial++ {
 		b := randomBurst(rng, 8)
@@ -118,7 +129,13 @@ func TestOpt3BitDesignMatchesSoftware(t *testing.T) {
 		if alpha == 0 && beta == 0 {
 			alpha = 1
 		}
-		sw := dbi.Quantized{Alpha: alpha, Beta: beta}
+		// The hardware is driven with the raw coefficients, so the software
+		// twin uses the exact-coefficient constructor rather than the
+		// ratio-snapping QUANTISED registry entry.
+		sw, err := dbi.NewQuantized(alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
 		b := randomBurst(rng, 8)
 		got := d.EncodeCoef(sim, bus.InitialLineState, b, alpha, beta)
 		want := sw.Encode(bus.InitialLineState, b)

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"dbiopt/internal/bus"
-	"dbiopt/internal/dbi"
 )
 
 // TestAddFastMatchesAdd: carry-select equals ripple for every block size.
@@ -112,7 +111,7 @@ func TestAdderAblation(t *testing.T) {
 
 	// Functional equivalence against software.
 	sim := NewSimulator(fast.Netlist)
-	sw := dbi.OptFixed()
+	sw := swScheme(t, "OPT-FIXED")
 	rng := rand.New(rand.NewSource(92))
 	for trial := 0; trial < 300; trial++ {
 		b := make(bus.Burst, 8)

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"dbiopt/internal/bus"
-	"dbiopt/internal/dbi"
 )
 
 // randomVectors drives both netlists with identical random inputs and
@@ -160,7 +159,7 @@ func TestOptimizedDesignStillMatchesSoftware(t *testing.T) {
 	raw := BuildOptFixed(8)
 	d := &Design{Netlist: Optimize(raw.Netlist), Beats: raw.Beats, PipelineRegisters: raw.PipelineRegisters}
 	sim := NewSimulator(d.Netlist)
-	sw := dbi.OptFixed()
+	sw := swScheme(t, "OPT-FIXED")
 	rng := rand.New(rand.NewSource(75))
 	for trial := 0; trial < 300; trial++ {
 		b := make(bus.Burst, 8)

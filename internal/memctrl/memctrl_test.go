@@ -18,13 +18,26 @@ func testController(t *testing.T, enc dbi.Encoder) *Controller {
 	return c
 }
 
+// scheme fetches a registered coding scheme by name; memctrl is
+// policy-agnostic, so its tests select schemes through the dbi registry
+// exactly as production callers do.
+func scheme(t *testing.T, name string, w dbi.Weights) dbi.Encoder {
+	t.Helper()
+	enc, err := dbi.Lookup(name, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
 // TestWriteReadIntegrity is the end-to-end property: whatever coding scheme
 // the PHY uses, data written must read back identically.
 func TestWriteReadIntegrity(t *testing.T) {
 	encoders := []dbi.Encoder{
-		dbi.Raw{}, dbi.DC{}, dbi.AC{}, dbi.ACDC{}, dbi.OptFixed(),
-		dbi.Opt{Weights: dbi.Weights{Alpha: 0.3, Beta: 0.7}},
-		dbi.Quantized{Alpha: 2, Beta: 5},
+		scheme(t, "RAW", dbi.FixedWeights), scheme(t, "DC", dbi.FixedWeights), scheme(t, "AC", dbi.FixedWeights), scheme(t, "ACDC", dbi.FixedWeights),
+		scheme(t, "OPT-FIXED", dbi.FixedWeights),
+		scheme(t, "OPT", dbi.Weights{Alpha: 0.3, Beta: 0.7}),
+		scheme(t, "QUANTISED", dbi.Weights{Alpha: 2, Beta: 5}),
 	}
 	for _, enc := range encoders {
 		c := testController(t, enc)
@@ -69,7 +82,7 @@ func TestWriteReadIntegrity(t *testing.T) {
 
 // TestUnwrittenReadsZero: reads of untouched locations return zeros.
 func TestUnwrittenReadsZero(t *testing.T) {
-	c := testController(t, dbi.DC{})
+	c := testController(t, scheme(t, "DC", dbi.FixedWeights))
 	r, err := c.Submit(Request{Addr: 0x1000})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +98,7 @@ func TestUnwrittenReadsZero(t *testing.T) {
 // TestRowHitAccounting: consecutive accesses to the same row hit after the
 // first miss; a different row in the same bank misses.
 func TestRowHitAccounting(t *testing.T) {
-	c := testController(t, dbi.Raw{})
+	c := testController(t, scheme(t, "RAW", dbi.FixedWeights))
 	size := uint64(c.geom.BurstBytes(c.timing))
 	// Two bursts in the same row (consecutive columns), then a far address
 	// in the same bank but different row.
@@ -116,7 +129,7 @@ func TestRowHitAccounting(t *testing.T) {
 // TestFRFCFSPrefersRowHits: with an open row, a younger row-hit request is
 // served before an older row-miss one.
 func TestFRFCFSPrefersRowHits(t *testing.T) {
-	c := testController(t, dbi.Raw{})
+	c := testController(t, scheme(t, "RAW", dbi.FixedWeights))
 	size := uint64(c.geom.BurstBytes(c.timing))
 	rowStride := size * uint64(c.geom.Cols) * uint64(c.geom.Banks)
 
@@ -144,7 +157,7 @@ func TestFRFCFSPrefersRowHits(t *testing.T) {
 // TestTimingOrdering: a row miss with an open row pays tRP + tRCD and
 // always takes longer than a row hit.
 func TestTimingOrdering(t *testing.T) {
-	c := testController(t, dbi.Raw{})
+	c := testController(t, scheme(t, "RAW", dbi.FixedWeights))
 	size := uint64(c.geom.BurstBytes(c.timing))
 	r1, _ := c.Submit(Request{Addr: 0})
 	c.Drain()
@@ -165,14 +178,14 @@ func TestTimingOrdering(t *testing.T) {
 // same traffic.
 func TestEnergyMatchesStandaloneStreams(t *testing.T) {
 	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
-	c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, dbi.OptFixed())
+	c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, scheme(t, "OPT-FIXED", dbi.FixedWeights))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(51))
 	size := c.geom.BurstBytes(c.timing)
 
-	ref := dbi.NewLaneSet(dbi.OptFixed(), c.geom.Lanes)
+	ref := dbi.NewLaneSet(scheme(t, "OPT-FIXED", dbi.FixedWeights), c.geom.Lanes)
 	var refEnergy float64
 	for i := 0; i < 40; i++ {
 		data := make([]byte, size)
@@ -222,8 +235,8 @@ func TestOptBeatsRawOnWriteEnergy(t *testing.T) {
 		c.Drain()
 		return c.Stats().WriteEnergy
 	}
-	raw := run(dbi.Raw{})
-	opt := run(dbi.Opt{Weights: link.Weights()})
+	raw := run(scheme(t, "RAW", dbi.FixedWeights))
+	opt := run(scheme(t, "OPT", link.Weights()))
 	if opt >= raw {
 		t.Errorf("OPT energy %g >= RAW energy %g", opt, raw)
 	}
@@ -231,7 +244,7 @@ func TestOptBeatsRawOnWriteEnergy(t *testing.T) {
 
 // TestSubmitValidation covers the request sanity checks.
 func TestSubmitValidation(t *testing.T) {
-	c := testController(t, dbi.Raw{})
+	c := testController(t, scheme(t, "RAW", dbi.FixedWeights))
 	if _, err := c.Submit(Request{Addr: 0, Write: true, Data: []byte{1}}); err == nil {
 		t.Error("short write accepted")
 	}
@@ -243,13 +256,13 @@ func TestSubmitValidation(t *testing.T) {
 // TestNewControllerValidation covers constructor validation.
 func TestNewControllerValidation(t *testing.T) {
 	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
-	if _, err := NewController(Geometry{}, GDDR5Timing(), link, dbi.Raw{}); err == nil {
+	if _, err := NewController(Geometry{}, GDDR5Timing(), link, scheme(t, "RAW", dbi.FixedWeights)); err == nil {
 		t.Error("bad geometry accepted")
 	}
-	if _, err := NewController(DefaultGeometry(), Timing{}, link, dbi.Raw{}); err == nil {
+	if _, err := NewController(DefaultGeometry(), Timing{}, link, scheme(t, "RAW", dbi.FixedWeights)); err == nil {
 		t.Error("bad timing accepted")
 	}
-	if _, err := NewController(DefaultGeometry(), GDDR5Timing(), phy.Link{}, dbi.Raw{}); err == nil {
+	if _, err := NewController(DefaultGeometry(), GDDR5Timing(), phy.Link{}, scheme(t, "RAW", dbi.FixedWeights)); err == nil {
 		t.Error("bad link accepted")
 	}
 }
@@ -260,7 +273,7 @@ func TestNewControllerValidation(t *testing.T) {
 func TestClosedPagePolicy(t *testing.T) {
 	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
 	run := func(policy PagePolicy) (Stats, []byte) {
-		c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, dbi.DC{})
+		c, err := NewController(DefaultGeometry(), GDDR5Timing(), link, scheme(t, "DC", dbi.FixedWeights))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -314,7 +327,7 @@ func TestPagePolicyStrings(t *testing.T) {
 
 // TestSetPagePolicyAfterTrafficPanics guards the configuration window.
 func TestSetPagePolicyAfterTrafficPanics(t *testing.T) {
-	c := testController(t, dbi.Raw{})
+	c := testController(t, scheme(t, "RAW", dbi.FixedWeights))
 	if _, err := c.Submit(Request{Addr: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +346,7 @@ func TestRefresh(t *testing.T) {
 	timing := GDDR5Timing()
 	timing.TREFI = 200 // absurdly frequent, to force many refreshes
 	timing.TRFC = 50
-	c, err := NewController(DefaultGeometry(), timing, link, dbi.DC{})
+	c, err := NewController(DefaultGeometry(), timing, link, scheme(t, "DC", dbi.FixedWeights))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +379,7 @@ func TestRefresh(t *testing.T) {
 	// Identical traffic without refresh finishes sooner.
 	timing.TREFI = 0
 	timing.TRFC = 0
-	c2, err := NewController(DefaultGeometry(), timing, link, dbi.DC{})
+	c2, err := NewController(DefaultGeometry(), timing, link, scheme(t, "DC", dbi.FixedWeights))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,19 +403,19 @@ func TestRefreshTimingValidation(t *testing.T) {
 	link := phy.POD135(3*phy.PicoFarad, 12*phy.Gbps)
 	timing := GDDR5Timing()
 	timing.TRFC = 0
-	if _, err := NewController(DefaultGeometry(), timing, link, dbi.Raw{}); err == nil {
+	if _, err := NewController(DefaultGeometry(), timing, link, scheme(t, "RAW", dbi.FixedWeights)); err == nil {
 		t.Error("tREFI>0 with tRFC=0 accepted")
 	}
 	timing = GDDR5Timing()
 	timing.TREFI = -1
-	if _, err := NewController(DefaultGeometry(), timing, link, dbi.Raw{}); err == nil {
+	if _, err := NewController(DefaultGeometry(), timing, link, scheme(t, "RAW", dbi.FixedWeights)); err == nil {
 		t.Error("negative tREFI accepted")
 	}
 }
 
 // TestStatsCounters checks read/write counting and cycle progression.
 func TestStatsCounters(t *testing.T) {
-	c := testController(t, dbi.DC{})
+	c := testController(t, scheme(t, "DC", dbi.FixedWeights))
 	size := c.geom.BurstBytes(c.timing)
 	data := make([]byte, size)
 	for i := 0; i < 5; i++ {

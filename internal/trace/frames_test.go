@@ -145,10 +145,15 @@ func TestFrameReaderPaddingIsCostFree(t *testing.T) {
 	for i := range bursts {
 		bursts[i] = src.Next(beats)
 	}
-	// Reference: one stream per lane, fed only the bursts that exist.
+	// Reference: one stream per lane, fed only the bursts that exist. The
+	// scheme comes from the registry, as production replay callers get it.
+	enc, err := dbi.Lookup("OPT-FIXED", dbi.FixedWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref := make([]*dbi.Stream, lanes)
 	for l := range ref {
-		ref[l] = dbi.NewStream(dbi.OptFixed())
+		ref[l] = dbi.NewStream(enc)
 	}
 	var want bus.Cost
 	for i, b := range bursts {
@@ -161,7 +166,7 @@ func TestFrameReaderPaddingIsCostFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dbi.NewPipeline(dbi.OptFixed(), lanes, dbi.WithWorkers(2)).Run(fr)
+	res, err := dbi.NewPipeline(enc, lanes, dbi.WithWorkers(2)).Run(fr)
 	if err != nil {
 		t.Fatal(err)
 	}
