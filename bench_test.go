@@ -168,7 +168,11 @@ func BenchmarkEncoders(b *testing.B) {
 	for i := range workload {
 		workload[i] = src.Next(bus.BurstLength)
 	}
-	for _, name := range dbi.Names() {
+	// The built-in schemes, pinned by name: dbi.Names() would also pick up
+	// whatever the tests registered earlier in the same process (CI runs
+	// tests and benchmarks in one `go test -bench` invocation).
+	builtins := []string{"RAW", "DC", "AC", "ACDC", "GREEDY", "OPT", "OPT-FIXED", "QUANTISED", "EXHAUSTIVE"}
+	for _, name := range builtins {
 		w := dbi.FixedWeights
 		if name == "QUANTISED" {
 			w = dbi.Weights{Alpha: 3, Beta: 5}
@@ -265,6 +269,81 @@ func BenchmarkPipeline(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// startLoopbackServer boots a dbiserve instance on an ephemeral loopback
+// port for the serving benchmarks.
+func startLoopbackServer(b *testing.B, workers int) *dbiopt.Server {
+	b.Helper()
+	srv, err := dbiopt.Serve(dbiopt.ServerConfig{Addr: "127.0.0.1:0", Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// BenchmarkServeFrame is the loopback load generator for the single-frame
+// serving path: one session streaming frames over TCP and reading back the
+// inversion masks. The round trip includes both sides of the protocol, so
+// B/op covers client serialisation, kernel crossings, and the server's
+// steady-state encode (which itself allocates nothing per burst — pinned by
+// TestServeFrameZeroAlloc in internal/server). ns_per_burst is the serving
+// cost to compare against BenchmarkStream's offline number.
+func BenchmarkServeFrame(b *testing.B) {
+	for _, lanes := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			srv := startLoopbackServer(b, 0)
+			c, err := dbiopt.Dial(srv.Addr().String(), dbiopt.SessionConfig{
+				Scheme: "OPT-FIXED", Lanes: lanes, Beats: dbiopt.BurstLength,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			workload := pipelineWorkload(lanes, 256)
+			b.SetBytes(int64(lanes * dbiopt.BurstLength))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.EncodeFrame(workload[i%len(workload)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/burst")
+		})
+	}
+}
+
+// BenchmarkServeBatch measures the batched serving path: whole traces per
+// message, encoded through the server's lane-sharded pipeline. This is the
+// throughput shape a memory-trace processing service would run.
+func BenchmarkServeBatch(b *testing.B) {
+	const lanes, frames = 8, 256
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv := startLoopbackServer(b, workers)
+			c, err := dbiopt.Dial(srv.Addr().String(), dbiopt.SessionConfig{
+				Scheme: "OPT-FIXED", Lanes: lanes, Beats: dbiopt.BurstLength,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			workload := pipelineWorkload(lanes, frames)
+			b.SetBytes(int64(lanes * dbiopt.BurstLength * frames))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.EncodeBatch(workload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes*frames), "ns/burst")
+		})
 	}
 }
 

@@ -1,0 +1,121 @@
+// Command dbiserve runs the batched streaming encode service: a long-lived
+// TCP server that encodes framed bursts with any registered DBI scheme,
+// keeping per-session wire state so results are bit-identical to the
+// offline Stream/LaneSet path.
+//
+// Usage:
+//
+//	dbiserve [-addr 127.0.0.1:8421] [-scheme OPT-FIXED] [-workers 0]
+//	         [-max-conns 64] [-metrics-every 0]
+//
+// Clients pick their own scheme, weights and bus geometry per session at
+// handshake time (see DESIGN.md §6 for the protocol); -scheme and
+// -alpha/-beta only set the defaults used when a session requests none.
+// -scheme help lists the registered names. Batch messages fan out across
+// -workers goroutines through the lane-sharded pipeline; -max-conns bounds
+// the concurrently served sessions (excess connections queue in the kernel
+// backlog — the connection-level backpressure contract).
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting, waits
+// up to -drain for in-flight sessions to finish, then prints the final
+// metrics. A second signal (or the -drain deadline) forces the remaining
+// connections closed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbiserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", server.DefaultAddr, "TCP listen address")
+	scheme := flag.String("scheme", server.DefaultScheme, "default scheme for sessions that request none, from the dbi registry; 'help' lists names")
+	alpha := flag.Float64("alpha", 1, "default transition weight for weighted schemes")
+	beta := flag.Float64("beta", 1, "default zero weight for weighted schemes")
+	workers := flag.Int("workers", 0, "encoding goroutines per batch message; 0 = all cores (results are identical for any value)")
+	chunk := flag.Int("chunk", 0, "frames per pipeline batch hand-off; 0 = default")
+	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "maximum concurrently served sessions")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
+	metricsEvery := flag.Duration("metrics-every", 0, "periodically print the metrics table (0 = only at shutdown)")
+	flag.Parse()
+
+	if *scheme == "help" {
+		fmt.Println("registered schemes:", strings.Join(dbi.Names(), " "))
+		return nil
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:        *addr,
+		Scheme:      *scheme,
+		Alpha:       *alpha,
+		Beta:        *beta,
+		Workers:     *workers,
+		ChunkFrames: *chunk,
+		MaxConns:    *maxConns,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("dbiserve: listening on %s (default scheme %s, max %d sessions)\n",
+		srv.Addr(), *scheme, *maxConns)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *metricsEvery > 0 {
+		ticker = time.NewTicker(*metricsEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			printMetrics(srv)
+		case s := <-sig:
+			fmt.Printf("dbiserve: %v — draining (deadline %s; signal again to force)\n", s, *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			go func() {
+				<-sig
+				cancel()
+			}()
+			err := srv.Shutdown(ctx)
+			cancel()
+			printMetrics(srv)
+			if err != nil {
+				return fmt.Errorf("drain incomplete: %w", err)
+			}
+			return nil
+		}
+	}
+}
+
+func printMetrics(srv *server.Server) {
+	var buf bytes.Buffer
+	if err := srv.Metrics().Snapshot().WriteText(&buf); err != nil {
+		fmt.Fprintln(os.Stderr, "dbiserve: rendering metrics:", err)
+		return
+	}
+	fmt.Print(buf.String())
+}

@@ -1,6 +1,7 @@
 package dbiopt
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -68,7 +69,10 @@ func TestFacadeLinkAndStream(t *testing.T) {
 	}
 }
 
-// TestFacadeRegistry: names round-trip through NewEncoder.
+// TestFacadeRegistry: names round-trip through NewEncoder, and the error
+// paths — unknown names, invalid weights, out-of-range coefficients,
+// duplicate registration — surface through the facade exactly as the
+// internal registry reports them.
 func TestFacadeRegistry(t *testing.T) {
 	for _, name := range SchemeNames() {
 		if _, err := NewEncoder(name, Weights{Alpha: 1, Beta: 1}); err != nil {
@@ -78,9 +82,31 @@ func TestFacadeRegistry(t *testing.T) {
 	if _, err := NewEncoder("NOPE", Weights{}); err == nil {
 		t.Error("bogus name accepted")
 	}
+	for _, name := range []string{"GREEDY", "OPT", "QUANTISED"} {
+		if _, err := NewEncoder(name, Weights{}); err == nil {
+			t.Errorf("NewEncoder(%q) accepted zero weights", name)
+		}
+		if _, err := NewEncoder(name, Weights{Alpha: -1, Beta: 1}); err == nil {
+			t.Errorf("NewEncoder(%q) accepted negative weights", name)
+		}
+	}
 	if _, err := OptQuantized(9, 1); err == nil {
 		t.Error("out-of-range coefficient accepted")
 	}
+	if _, err := OptQuantized(0, 0); err == nil {
+		t.Error("all-zero coefficients accepted")
+	}
+	// Duplicate registration is a programming error and panics, also
+	// through the facade wrapper. The name is derived from the registry
+	// size so repeated runs of the test binary (-count > 1) stay unique.
+	name := fmt.Sprintf("TEST-FACADE-DUP-%d", len(SchemeNames()))
+	RegisterScheme(name, func(w Weights) (Encoder, error) { return Raw(), nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterScheme did not panic")
+		}
+	}()
+	RegisterScheme(name, func(w Weights) (Encoder, error) { return Raw(), nil })
 }
 
 // TestFacadePipeline: the sharded pipeline through the facade matches a
@@ -119,6 +145,68 @@ func TestFacadePipeline(t *testing.T) {
 		if res.Total != ls.TotalCost() {
 			t.Errorf("%s: pipeline %+v != laneset %+v", name, res.Total, ls.TotalCost())
 		}
+	}
+}
+
+// TestFacadeServe: the serving layer through the facade — Serve a loopback
+// instance, Dial a session, and check the served wire images and totals
+// against a local LaneSet with the same scheme.
+func TestFacadeServe(t *testing.T) {
+	srv, err := Serve(ServerConfig{Addr: "127.0.0.1:0", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const lanes, frames = 2, 12
+	c, err := Dial(srv.Addr().String(), SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: BurstLength})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheme() != "OPT-FIXED" {
+		t.Fatalf("resolved scheme %q", c.Scheme())
+	}
+
+	rng := rand.New(rand.NewSource(63))
+	fs := make([]Frame, frames)
+	for i := range fs {
+		f := make(Frame, lanes)
+		for l := range f {
+			f[l] = make(Burst, BurstLength)
+			for j := range f[l] {
+				f[l][j] = byte(rng.Intn(256))
+			}
+		}
+		fs[i] = f
+	}
+	ls := NewLaneSet(OptFixed(), lanes)
+	for _, f := range fs[:4] {
+		wires, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ls.Transmit(f)
+		for l := range want {
+			if wires[l].String() != want[l].String() {
+				t.Fatalf("lane %d: served %s != local %s", l, wires[l], want[l])
+			}
+		}
+	}
+	if _, err := c.EncodeBatch(fs[4:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs[4:] {
+		ls.Transmit(f)
+	}
+	totals, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Coded != ls.TotalCost() {
+		t.Fatalf("served totals %+v != local LaneSet %+v", totals.Coded, ls.TotalCost())
+	}
+	if totals.Frames != frames {
+		t.Fatalf("frames = %d, want %d", totals.Frames, frames)
 	}
 }
 

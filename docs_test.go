@@ -1,0 +1,71 @@
+package dbiopt_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// readDoc loads a repo-level document for the freshness checks.
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	return string(data)
+}
+
+// cmdBinaries lists the binaries under cmd/.
+func cmdBinaries(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no binaries under cmd/")
+	}
+	return names
+}
+
+// TestDesignLayeringMentionsAllBinaries is the docs-freshness gate: adding
+// a binary under cmd/ without teaching DESIGN.md's §1 layering section
+// about it fails here (and in CI). The layering diagram is the map a new
+// reader orients by, so it must never silently fall behind the tree.
+func TestDesignLayeringMentionsAllBinaries(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	start := strings.Index(design, "## 1. Layering")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no '## 1. Layering' section")
+	}
+	end := strings.Index(design[start+1:], "\n## ")
+	if end < 0 {
+		end = len(design)
+	} else {
+		end += start + 1
+	}
+	layering := design[start:end]
+	for _, bin := range cmdBinaries(t) {
+		if !strings.Contains(layering, bin) {
+			t.Errorf("DESIGN.md §1 layering does not mention cmd/%s", bin)
+		}
+	}
+}
+
+// TestReadmeMentionsAllBinaries keeps the README's tool and flag tables in
+// step with the tree the same way.
+func TestReadmeMentionsAllBinaries(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, bin := range cmdBinaries(t) {
+		if !strings.Contains(readme, bin) {
+			t.Errorf("README.md does not mention cmd/%s", bin)
+		}
+	}
+}

@@ -91,7 +91,9 @@ func (s LineState) dbiWire() int {
 // transitions, both summed over all beats (and, for transitions, including
 // the transition from the pre-burst line state into the first beat).
 type Cost struct {
-	Zeros       int
+	// Zeros is the number of zero bits driven, DBI wire included.
+	Zeros int
+	// Transitions is the number of wire toggles, DBI wire included.
 	Transitions int
 }
 

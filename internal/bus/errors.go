@@ -6,8 +6,10 @@ import "fmt"
 // wire index, where wires 0..7 are the DQ lines (bit position within the
 // byte) and wire 8 is the DBI line.
 type WireError struct {
+	// Beat is the beat index the error strikes.
 	Beat int
-	Wire int // 0..7 = DQ bit, 8 = DBI
+	// Wire is the wire index: 0..7 = DQ bit position, 8 (DBIWire) = DBI.
+	Wire int
 }
 
 // DBIWire is the wire index of the DBI line in a WireError.

@@ -171,6 +171,29 @@ func (p *Pipeline) Run(src FrameSource) (*PipelineResult, error) {
 	return res, nil
 }
 
+// RunLanes consumes src to io.EOF, encoding every frame into the per-lane
+// streams of an existing LaneSet instead of fresh ones. The lane set keeps
+// its wire state and accumulated totals across calls, so successive batches
+// encode exactly as one long serial LaneSet replay would — this is what lets
+// a long-lived serving session interleave single-frame transmits
+// (LaneSet.Transmit) with pipelined batches over one continuous per-lane
+// state. The number of frames consumed from src is returned.
+//
+// The lane set's own policy decides the path: stateful encoders (and
+// single-worker pipelines) run serially in LaneSet evaluation order. On an
+// error the lane set must be discarded: some lanes may have advanced past
+// the failing frame while others have not.
+func (p *Pipeline) RunLanes(src FrameSource, ls *LaneSet) (int, error) {
+	if ls.Lanes() != p.lanes {
+		return 0, fmt.Errorf("dbi: lane set has %d lanes, pipeline has %d", ls.Lanes(), p.lanes)
+	}
+	workers := p.Workers()
+	if workers <= 1 || !Stateless(ls.lanes[0].enc) {
+		return p.runSerial(src, ls.lanes)
+	}
+	return p.runSharded(src, ls.lanes, workers)
+}
+
 // checkFrame validates one frame's geometry against the pipeline.
 func (p *Pipeline) checkFrame(n int, f bus.Frame) error {
 	if f.Lanes() != p.lanes {

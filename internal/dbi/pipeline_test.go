@@ -143,6 +143,69 @@ func TestPipelineStatefulEncoderSerialFallback(t *testing.T) {
 	}
 }
 
+// TestPipelineRunLanes: RunLanes must continue an existing LaneSet exactly —
+// interleaving single Transmits with pipelined batches over the same lane
+// set is bit-identical to one long serial replay, for any worker count.
+func TestPipelineRunLanes(t *testing.T) {
+	const frames, lanes = 40, 6
+	fs := randomFrames(13, frames, lanes, bus.BurstLength)
+	enc := OptFixed()
+	want := replaySerial(enc, fs, lanes)
+	for _, workers := range []int{1, 3, lanes} {
+		p := NewPipeline(enc, lanes, WithWorkers(workers), WithChunkFrames(4))
+		ls := NewLaneSet(enc, lanes)
+		// Singles, a batch, more singles, another batch — one continuous
+		// per-lane state throughout.
+		for _, f := range fs[:5] {
+			ls.Transmit(f)
+		}
+		if n, err := p.RunLanes(FramesOf(fs[5:25]), ls); err != nil || n != 20 {
+			t.Fatalf("workers=%d: RunLanes = %d, %v", workers, n, err)
+		}
+		for _, f := range fs[25:30] {
+			ls.Transmit(f)
+		}
+		if n, err := p.RunLanes(FramesOf(fs[30:]), ls); err != nil || n != 10 {
+			t.Fatalf("workers=%d: RunLanes = %d, %v", workers, n, err)
+		}
+		if got := ls.TotalCost(); got != want {
+			t.Fatalf("workers=%d: interleaved total %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestPipelineRunLanesMismatch: a lane set of the wrong width is an error.
+func TestPipelineRunLanesMismatch(t *testing.T) {
+	p := NewPipeline(DC{}, 4)
+	if _, err := p.RunLanes(FramesOf(nil), NewLaneSet(DC{}, 3)); err == nil {
+		t.Fatal("lane-set width mismatch not reported")
+	}
+}
+
+// TestPipelineRunLanesStatefulFallback: RunLanes consults the lane set's own
+// policy for the serial fallback, so stateful encoders stay deterministic.
+func TestPipelineRunLanesStatefulFallback(t *testing.T) {
+	const frames, lanes = 12, 4
+	fs := randomFrames(17, frames, lanes, bus.BurstLength)
+	mk := func() Encoder {
+		n, err := NewNoisy(DC{}, 0.25, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	want := replaySerial(mk(), fs, lanes)
+	enc := mk()
+	p := NewPipeline(enc, lanes, WithWorkers(8))
+	ls := NewLaneSet(enc, lanes)
+	if _, err := p.RunLanes(FramesOf(fs), ls); err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.TotalCost(); got != want {
+		t.Fatalf("stateful RunLanes %+v != serial replay %+v", got, want)
+	}
+}
+
 // TestPipelineEmptySource: zero frames is a valid, empty run.
 func TestPipelineEmptySource(t *testing.T) {
 	p := NewPipeline(DC{}, 4)

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+)
+
+// newLoopSession builds a session the way newSession does, but wired to an
+// in-memory reader/writer so the encode path can be exercised without a
+// network (and therefore measured by AllocsPerRun deterministically).
+func newLoopSession(t testing.TB, srv *Server, cfg SessionConfig, w io.Writer) *session {
+	t.Helper()
+	enc, err := dbi.Lookup(cfg.Scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &session{
+		srv:       srv,
+		w:         bufio.NewWriter(w),
+		cfg:       cfg,
+		scheme:    cfg.Scheme,
+		ls:        dbi.NewLaneSet(enc, cfg.Lanes),
+		pipe:      dbi.NewPipeline(enc, cfg.Lanes),
+		frameBuf:  make([]byte, cfg.Lanes*cfg.Beats),
+		frame:     make(bus.Frame, cfg.Lanes),
+		maskBuf:   make([]byte, cfg.Lanes*maskBytes(cfg.Beats)),
+		rawStates: make([]bus.LineState, cfg.Lanes),
+	}
+	for l := range sess.frame {
+		sess.frame[l] = bus.Burst(sess.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
+	}
+	for l := range sess.rawStates {
+		sess.rawStates[l] = bus.InitialLineState
+	}
+	return sess
+}
+
+// frameMessage serialises one msgFrame for the given workload frame.
+func frameMessage(t testing.TB, f bus.Frame, lanes, beats int) []byte {
+	t.Helper()
+	var hdr [5]byte
+	putHeader(&hdr, msgFrame, lanes*beats)
+	msg := append([]byte(nil), hdr[:]...)
+	for _, b := range f {
+		msg = append(msg, b...)
+	}
+	return msg
+}
+
+// TestServeFrameZeroAlloc pins the serving property the acceptance criteria
+// ask for: the steady-state single-frame path — payload read, raw baseline,
+// LaneSet encode, mask packing, reply write, metrics — performs zero heap
+// allocations per frame.
+func TestServeFrameZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by -race instrumentation")
+	}
+	const lanes, beats = 8, bus.BurstLength
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := newLoopSession(t, srv, SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: beats}, io.Discard)
+
+	fs := randomFrames(21, 16, lanes, beats)
+	msgs := make([][]byte, len(fs))
+	for i, f := range fs {
+		msgs[i] = frameMessage(t, f, lanes, beats)
+	}
+	br := bytes.NewReader(nil)
+	sess.r = bufio.NewReader(br)
+	i := 0
+	allocs := testing.AllocsPerRun(400, func() {
+		br.Reset(msgs[i%len(msgs)])
+		sess.r.Reset(br)
+		typ, n, err := readHeader(sess.r, &sess.hdr)
+		if err != nil || typ != msgFrame {
+			t.Fatalf("header: %q %v", typ, err)
+		}
+		if err := sess.handleFrame(n); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state frame path allocates %.1f times per frame, want 0", allocs)
+	}
+	if sess.totals.Frames == 0 || sess.ls.TotalCost() == (Cost{}) {
+		t.Fatal("no work was actually done")
+	}
+}

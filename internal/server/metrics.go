@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dbiopt/internal/stats"
+)
+
+// Metrics aggregates the server-wide counters a /metrics endpoint would
+// export: connection and session lifecycle, work volume, the activity
+// savings achieved, and encode timing. All counters are monotonic atomics,
+// so the frame hot path records into them without locks or allocations;
+// derived rates (toggles saved, ns/burst) are computed at snapshot time.
+type Metrics struct {
+	accepted atomic.Int64 // connections accepted
+	rejected atomic.Int64 // sessions refused at handshake
+	active   atomic.Int64 // sessions currently open
+	frames   atomic.Int64 // frames encoded (single-frame messages)
+	batches  atomic.Int64 // batch messages encoded
+	bursts   atomic.Int64 // bursts encoded, over all lanes and messages
+	beats    atomic.Int64 // beats encoded, over all lanes
+
+	codedZeros  atomic.Int64
+	codedToggle atomic.Int64
+	rawZeros    atomic.Int64
+	rawToggle   atomic.Int64
+
+	encodeNs atomic.Int64 // wall time spent in encode handlers
+}
+
+// noteSession records one accepted or rejected handshake.
+func (m *Metrics) noteSession(ok bool) {
+	m.accepted.Add(1)
+	if ok {
+		m.active.Add(1)
+	} else {
+		m.rejected.Add(1)
+	}
+}
+
+// noteClose records the end of an accepted session.
+func (m *Metrics) noteClose() { m.active.Add(-1) }
+
+// noteEncode records one encode handler invocation: frames and bursts
+// processed, the activity deltas, and the time spent. batch distinguishes
+// pipelined batches from single-frame messages.
+func (m *Metrics) noteEncode(batch bool, frames, bursts, beats int, coded, raw Cost, d time.Duration) {
+	if batch {
+		m.batches.Add(1)
+	}
+	m.frames.Add(int64(frames))
+	m.bursts.Add(int64(bursts))
+	m.beats.Add(int64(beats))
+	m.codedZeros.Add(int64(coded.Zeros))
+	m.codedToggle.Add(int64(coded.Transitions))
+	m.rawZeros.Add(int64(raw.Zeros))
+	m.rawToggle.Add(int64(raw.Transitions))
+	m.encodeNs.Add(int64(d))
+}
+
+// MetricsSnapshot is a consistent-enough point-in-time copy of the counters
+// (each counter is read atomically; the set is not read under one lock,
+// which is the usual contract of scrape-style metrics).
+type MetricsSnapshot struct {
+	// Accepted, Rejected and Active count session lifecycle events:
+	// handshakes taken, handshakes refused, and sessions currently open.
+	Accepted, Rejected, Active int64
+	// Frames, Batches and Bursts count encode volume: frames encoded
+	// (batch contents included), batch messages, and per-lane bursts.
+	Frames, Batches, Bursts int64
+	// Beats is the total beat count over all lanes and sessions.
+	Beats int64
+	// Coded and Raw accumulate the activity of the encoded transmissions
+	// and of their uncoded baseline, over all sessions.
+	Coded, Raw Cost
+	// EncodeTime is the wall time spent inside encode handlers.
+	EncodeTime time.Duration
+	// TogglesSaved and ZerosSaved are Raw minus Coded, per component.
+	TogglesSaved, ZerosSaved int64
+	// NsPerBurst is EncodeTime divided by Bursts; TogglesSavedRatio is
+	// TogglesSaved over the raw transition count.
+	NsPerBurst, TogglesSavedRatio float64
+}
+
+// Snapshot reads every counter and derives the rates.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Accepted: m.accepted.Load(),
+		Rejected: m.rejected.Load(),
+		Active:   m.active.Load(),
+		Frames:   m.frames.Load(),
+		Batches:  m.batches.Load(),
+		Bursts:   m.bursts.Load(),
+		Beats:    m.beats.Load(),
+		Coded: Cost{
+			Zeros:       int(m.codedZeros.Load()),
+			Transitions: int(m.codedToggle.Load()),
+		},
+		Raw: Cost{
+			Zeros:       int(m.rawZeros.Load()),
+			Transitions: int(m.rawToggle.Load()),
+		},
+		EncodeTime: time.Duration(m.encodeNs.Load()),
+	}
+	s.TogglesSaved = int64(s.Raw.Transitions - s.Coded.Transitions)
+	s.ZerosSaved = int64(s.Raw.Zeros - s.Coded.Zeros)
+	if s.Bursts > 0 {
+		s.NsPerBurst = float64(s.EncodeTime.Nanoseconds()) / float64(s.Bursts)
+	}
+	if s.Raw.Transitions > 0 {
+		s.TogglesSavedRatio = float64(s.TogglesSaved) / float64(s.Raw.Transitions)
+	}
+	return s
+}
+
+// WriteText renders the snapshot as an aligned counter table (via
+// stats.Table), the textual /metrics-style export the msgMetrics message
+// and dbiserve's shutdown summary print.
+func (s MetricsSnapshot) WriteText(buf *bytes.Buffer) error {
+	tbl := &stats.Table{Title: "dbiserve metrics", Columns: []string{"counter", "value"}}
+	rows := []struct {
+		name  string
+		value string
+	}{
+		{"sessions_accepted", fmt.Sprint(s.Accepted)},
+		{"sessions_rejected", fmt.Sprint(s.Rejected)},
+		{"sessions_active", fmt.Sprint(s.Active)},
+		{"frames_encoded", fmt.Sprint(s.Frames)},
+		{"batches_encoded", fmt.Sprint(s.Batches)},
+		{"bursts_encoded", fmt.Sprint(s.Bursts)},
+		{"beats_encoded", fmt.Sprint(s.Beats)},
+		{"coded_zeros", fmt.Sprint(s.Coded.Zeros)},
+		{"coded_transitions", fmt.Sprint(s.Coded.Transitions)},
+		{"raw_zeros", fmt.Sprint(s.Raw.Zeros)},
+		{"raw_transitions", fmt.Sprint(s.Raw.Transitions)},
+		{"toggles_saved", fmt.Sprint(s.TogglesSaved)},
+		{"toggles_saved_ratio", fmt.Sprintf("%.4f", s.TogglesSavedRatio)},
+		{"zeros_saved", fmt.Sprint(s.ZerosSaved)},
+		{"encode_ns_total", fmt.Sprint(s.EncodeTime.Nanoseconds())},
+		{"encode_ns_per_burst", fmt.Sprintf("%.1f", s.NsPerBurst)},
+	}
+	for _, r := range rows {
+		if err := tbl.AddRow(r.name, r.value); err != nil {
+			return err
+		}
+	}
+	return tbl.WriteText(buf)
+}

@@ -1,0 +1,300 @@
+// Package server implements dbiserve, a long-lived batched streaming encode
+// service over TCP: clients open a session, pick a coding scheme by registry
+// name, and stream framed bursts that the server encodes through persistent
+// per-lane wire state — the serving-side counterpart of the offline
+// Stream/LaneSet/Pipeline drivers, with bit-identical results.
+//
+// The wire protocol (DESIGN.md §6) deliberately reuses the vocabulary the
+// offline tools already speak:
+//
+//   - a session opens with a fixed handshake naming the scheme, the weights
+//     and the bus geometry (lanes × beats);
+//   - single frames travel as the raw lanes×beats payload bytes, answered
+//     with the per-beat DBI inversion masks — payload plus mask is the whole
+//     wire image, exactly as bus.Wire defines it;
+//   - batches travel as a complete binary trace blob (the internal/trace
+//     "DBIT" container, burst i → lane i%lanes exactly like
+//     trace.FrameReader), answered with cumulative activity totals; batches
+//     are encoded through the lane-sharded pipeline.
+//
+// Per-session state lives in one LaneSet, so interleaved frames and batches
+// see one continuous per-lane Markov chain, and the steady-state frame path
+// performs zero heap allocations per burst (the PR 2 EncodeInto property,
+// carried over the network).
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants. All integers are little-endian.
+const (
+	// helloMagic opens every client handshake.
+	helloMagic = "DBIS"
+	// replyMagic opens the server's handshake response.
+	replyMagic = "DBIO"
+	// protocolVersion is the current protocol revision.
+	protocolVersion = 1
+
+	// MaxLanes bounds the per-session lane count a handshake may request.
+	MaxLanes = 4096
+	// MaxPayload bounds a single message payload (64 MiB), the batch-size
+	// half of the backpressure contract: a client cannot buffer more than
+	// one payload of work ahead of the encoder on a single session.
+	MaxPayload = 64 << 20
+)
+
+// Message types, client to server.
+const (
+	// msgFrame carries one frame as lanes×beats raw payload bytes; the
+	// server answers msgMasks.
+	msgFrame = 'F'
+	// msgBatch carries a complete "DBIT" trace blob (internal/trace binary
+	// format); the server pipelines it and answers msgTotals.
+	msgBatch = 'B'
+	// msgTotals requests the session's cumulative totals; answered with
+	// msgTotalsReply.
+	msgTotals = 'T'
+	// msgMetrics requests the server-wide metrics text; answered with
+	// msgMetricsReply.
+	msgMetrics = 'S'
+	// msgQuit ends the session: the server answers msgTotalsReply with the
+	// final totals and closes the connection.
+	msgQuit = 'Q'
+)
+
+// Message types, server to client.
+const (
+	// msgMasks carries the per-lane inversion masks of one encoded frame:
+	// lanes × ⌈beats/8⌉ bytes, lane-major, bit t (LSB first) set when beat
+	// t transmits inverted.
+	msgMasks = 'M'
+	// msgTotalsReply carries the session's cumulative Totals.
+	msgTotalsReply = 'C'
+	// msgMetricsReply carries the server-wide metrics rendered as text.
+	msgMetricsReply = 'X'
+	// msgError carries an error description; the server closes the
+	// connection after sending it.
+	msgError = 'E'
+)
+
+// SessionConfig is what a client asks of the server at handshake time.
+type SessionConfig struct {
+	// Scheme is the registered scheme name ("OPT-FIXED", "DC", ...); empty
+	// selects the server's default scheme.
+	Scheme string
+	// Alpha and Beta are the weights for weighted schemes. Both zero
+	// selects the server's default weights; weight-free schemes ignore
+	// them either way.
+	Alpha, Beta float64
+	// Lanes is the byte-lane count of the session's bus (1..MaxLanes).
+	Lanes int
+	// Beats is the burst length in beats (1..255, matching the trace
+	// format's range).
+	Beats int
+}
+
+// Validate reports an error for out-of-range session geometry.
+func (c SessionConfig) Validate() error {
+	if c.Lanes < 1 || c.Lanes > MaxLanes {
+		return fmt.Errorf("server: lanes must be in 1..%d, got %d", MaxLanes, c.Lanes)
+	}
+	if c.Beats < 1 || c.Beats > 255 {
+		return fmt.Errorf("server: beats must be in 1..255, got %d", c.Beats)
+	}
+	if len(c.Scheme) > 255 {
+		return fmt.Errorf("server: scheme name longer than 255 bytes")
+	}
+	return nil
+}
+
+// handshakeLen is the fixed part of the client handshake: magic, version,
+// beats, lanes, alpha, beta, scheme-name length.
+const handshakeLen = 4 + 1 + 1 + 2 + 8 + 8 + 1
+
+// writeHandshake serialises the session request onto w.
+func writeHandshake(w io.Writer, c SessionConfig) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	buf := make([]byte, handshakeLen, handshakeLen+len(c.Scheme))
+	copy(buf, helloMagic)
+	buf[4] = protocolVersion
+	buf[5] = byte(c.Beats)
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(c.Lanes))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(c.Alpha))
+	binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(c.Beta))
+	buf[24] = byte(len(c.Scheme))
+	buf = append(buf, c.Scheme...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readHandshake parses a session request from r.
+func readHandshake(r io.Reader) (SessionConfig, error) {
+	var buf [handshakeLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return SessionConfig{}, fmt.Errorf("server: reading handshake: %w", err)
+	}
+	if string(buf[:4]) != helloMagic {
+		return SessionConfig{}, fmt.Errorf("server: bad handshake magic %q", buf[:4])
+	}
+	if buf[4] != protocolVersion {
+		return SessionConfig{}, fmt.Errorf("server: unsupported protocol version %d", buf[4])
+	}
+	c := SessionConfig{
+		Beats: int(buf[5]),
+		Lanes: int(binary.LittleEndian.Uint16(buf[6:8])),
+		Alpha: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
+		Beta:  math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24])),
+	}
+	if n := int(buf[24]); n > 0 {
+		name := make([]byte, n)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return SessionConfig{}, fmt.Errorf("server: reading scheme name: %w", err)
+		}
+		c.Scheme = string(name)
+	}
+	if err := c.Validate(); err != nil {
+		return SessionConfig{}, err
+	}
+	return c, nil
+}
+
+// writeReply sends the server's handshake response: ok carries the resolved
+// scheme name, !ok the error text (after which the server closes).
+func writeReply(w io.Writer, ok bool, msg string) error {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	buf := make([]byte, 8, 8+len(msg))
+	copy(buf, replyMagic)
+	buf[4] = protocolVersion
+	if !ok {
+		buf[5] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(msg)))
+	buf = append(buf, msg...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readReply parses the server's handshake response, returning the resolved
+// scheme name or the server's rejection as an error.
+func readReply(r io.Reader) (string, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return "", fmt.Errorf("server: reading handshake reply: %w", err)
+	}
+	if string(buf[:4]) != replyMagic {
+		return "", fmt.Errorf("server: bad reply magic %q", buf[:4])
+	}
+	if buf[4] != protocolVersion {
+		return "", fmt.Errorf("server: unsupported protocol version %d", buf[4])
+	}
+	msg := make([]byte, binary.LittleEndian.Uint16(buf[6:8]))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return "", fmt.Errorf("server: reading handshake reply: %w", err)
+	}
+	if buf[5] != 0 {
+		return "", fmt.Errorf("server: session rejected: %s", msg)
+	}
+	return string(msg), nil
+}
+
+// putHeader writes a message header (type + payload length) into the
+// caller's scratch to keep the frame hot path allocation-free.
+func putHeader(hdr *[5]byte, typ byte, payloadLen int) {
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(payloadLen))
+}
+
+// readHeader reads the next message header from r.
+func readHeader(r io.Reader, hdr *[5]byte) (typ byte, payloadLen int, err error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > MaxPayload {
+		return 0, 0, fmt.Errorf("server: payload of %d bytes exceeds the %d byte limit", n, MaxPayload)
+	}
+	return hdr[0], int(n), nil
+}
+
+// maskBytes is the per-lane size of a packed inversion mask.
+func maskBytes(beats int) int { return (beats + 7) / 8 }
+
+// packMask packs one lane's inversion pattern into dst, bit t (LSB first)
+// set when beat t is inverted. dst must be zeroed and ⌈len(inv)/8⌉ long.
+func packMask(dst []byte, inv []bool) {
+	for t, v := range inv {
+		if v {
+			dst[t/8] |= 1 << (t % 8)
+		}
+	}
+}
+
+// unpackMask expands a packed inversion mask into dst, which must be beats
+// long.
+func unpackMask(dst []bool, mask []byte) {
+	for t := range dst {
+		dst[t] = mask[t/8]&(1<<(t%8)) != 0
+	}
+}
+
+// totalsLen is the wire size of a Totals payload: six u64 counters.
+const totalsLen = 6 * 8
+
+// Totals is the cumulative activity accounting of one session: what the
+// session has encoded so far (Coded) and what transmitting the same payload
+// uncoded would have cost (Raw), the baseline the savings counters are
+// measured against.
+type Totals struct {
+	// Frames is the number of frames encoded (batch bursts count as
+	// frames once grouped onto the session's lanes).
+	Frames int
+	// Beats is the total beat count over all lanes.
+	Beats int
+	// Coded is the exact activity of the encoded transmission.
+	Coded Cost
+	// Raw is the activity the same payload would have caused unencoded,
+	// accumulated against its own continuous per-lane state.
+	Raw Cost
+}
+
+// TogglesSaved returns how many wire transitions the coding avoided versus
+// the raw baseline (negative if the scheme spent transitions to save zeros).
+func (t Totals) TogglesSaved() int { return t.Raw.Transitions - t.Coded.Transitions }
+
+// ZerosSaved returns how many transmitted zeros the coding avoided versus
+// the raw baseline.
+func (t Totals) ZerosSaved() int { return t.Raw.Zeros - t.Coded.Zeros }
+
+// putTotals serialises t into a totalsLen-sized buffer.
+func putTotals(dst []byte, t Totals) {
+	binary.LittleEndian.PutUint64(dst[0:8], uint64(t.Frames))
+	binary.LittleEndian.PutUint64(dst[8:16], uint64(t.Beats))
+	binary.LittleEndian.PutUint64(dst[16:24], uint64(t.Coded.Zeros))
+	binary.LittleEndian.PutUint64(dst[24:32], uint64(t.Coded.Transitions))
+	binary.LittleEndian.PutUint64(dst[32:40], uint64(t.Raw.Zeros))
+	binary.LittleEndian.PutUint64(dst[40:48], uint64(t.Raw.Transitions))
+}
+
+// parseTotals deserialises a totalsLen-sized buffer.
+func parseTotals(src []byte) Totals {
+	return Totals{
+		Frames: int(binary.LittleEndian.Uint64(src[0:8])),
+		Beats:  int(binary.LittleEndian.Uint64(src[8:16])),
+		Coded: Cost{
+			Zeros:       int(binary.LittleEndian.Uint64(src[16:24])),
+			Transitions: int(binary.LittleEndian.Uint64(src[24:32])),
+		},
+		Raw: Cost{
+			Zeros:       int(binary.LittleEndian.Uint64(src[32:40])),
+			Transitions: int(binary.LittleEndian.Uint64(src[40:48])),
+		},
+	}
+}

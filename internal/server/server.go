@@ -1,0 +1,270 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+)
+
+// Cost is the activity accounting unit of the serving layer, re-exported so
+// server callers read totals in the same vocabulary as the offline drivers.
+type Cost = bus.Cost
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:8421". Empty selects
+	// DefaultAddr.
+	Addr string
+	// Scheme is the default scheme name for sessions whose handshake names
+	// none. Empty selects DefaultScheme.
+	Scheme string
+	// Alpha and Beta are the default weights for sessions that send none
+	// (both zero in the handshake). Both zero here selects 1, 1.
+	Alpha, Beta float64
+	// Workers caps the goroutines a batch message may fan out to; <= 0
+	// selects GOMAXPROCS per batch (the pipeline's convention). Single
+	// frames always encode on the session goroutine.
+	Workers int
+	// ChunkFrames is the pipeline batching granularity; <= 0 selects
+	// dbi.DefaultChunkFrames.
+	ChunkFrames int
+	// MaxConns caps the concurrently served sessions; <= 0 selects
+	// DefaultMaxConns. Connections beyond the cap are not accepted until a
+	// session ends — they queue in the kernel backlog, which is the
+	// connection-level half of the backpressure contract.
+	MaxConns int
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultAddr     = "127.0.0.1:8421"
+	DefaultScheme   = "OPT-FIXED"
+	DefaultMaxConns = 64
+)
+
+// Server is a long-lived encode service. Construct with New, start with
+// Start (or Serve on an existing listener), stop with Shutdown or Close.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	done     chan struct{} // closed when the accept loop exits
+
+	wg sync.WaitGroup // live session handlers
+}
+
+// New validates cfg, fills its defaults and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = DefaultAddr
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = DefaultScheme
+	}
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = 1, 1
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	// Fail at construction, not at the first handshake, if the default
+	// scheme cannot be built.
+	if _, err := dbi.Lookup(cfg.Scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta}); err != nil {
+		return nil, fmt.Errorf("server: default scheme: %w", err)
+	}
+	return &Server{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Metrics returns the server's live counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Addr returns the bound listen address, or nil before Start/Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Start binds the configured address and serves it on a background
+// goroutine. It returns once the listener is bound and registered, so Addr
+// is valid (and clients may dial) immediately after.
+func (s *Server) Start() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := s.register(lis); err != nil {
+		lis.Close()
+		return err
+	}
+	go s.serve(lis)
+	return nil
+}
+
+// Serve accepts sessions on lis until the listener fails or Shutdown/Close
+// is called. The accept loop admits at most MaxConns concurrent sessions;
+// excess connections wait in the kernel's accept backlog.
+func (s *Server) Serve(lis net.Listener) error {
+	if err := s.register(lis); err != nil {
+		lis.Close()
+		return err
+	}
+	return s.serve(lis)
+}
+
+// register installs the listener; a server serves exactly one listener in
+// its lifetime.
+func (s *Server) register(lis net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errors.New("server: already shut down")
+	}
+	if s.lis != nil {
+		return errors.New("server: already serving")
+	}
+	s.lis = lis
+	return nil
+}
+
+// serve is the accept loop over a registered listener.
+func (s *Server) serve(lis net.Listener) error {
+	defer close(s.done)
+
+	sem := make(chan struct{}, s.cfg.MaxConns)
+	for {
+		// Admission control before Accept: a full server stops pulling
+		// connections off the backlog entirely.
+		sem <- struct{}{}
+		conn, err := lis.Accept()
+		if err != nil {
+			<-sem
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		if !s.track(conn) {
+			conn.Close()
+			<-sem
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer func() {
+				s.untrack(conn)
+				conn.Close()
+				s.wg.Done()
+				<-sem
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// track registers a live connection; it refuses (returning false) once the
+// server is draining.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack removes a finished connection.
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// Shutdown drains the server gracefully: it stops accepting, then waits for
+// every in-flight session to finish — a session finishes when its client
+// sends msgQuit or closes its connection, so long-lived clients must be told
+// to go away out of band (or the caller bounds the wait with ctx). When ctx
+// expires the remaining connections are closed hard, as Close does.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeListener()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: the listener and every live session
+// connection are closed without waiting for in-flight work.
+func (s *Server) Close() error {
+	s.closeListener()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+// closeListener marks the server draining and closes the listener, which
+// unblocks the accept loop.
+func (s *Server) closeListener() {
+	s.mu.Lock()
+	lis := s.lis
+	s.draining = true
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+}
+
+// closeConns closes every live session connection.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// handle runs one session: handshake, then the message loop until quit,
+// client close, or a protocol error.
+func (s *Server) handle(conn net.Conn) {
+	sess, err := s.newSession(conn)
+	if err != nil {
+		s.metrics.noteSession(false)
+		return
+	}
+	s.metrics.noteSession(true)
+	defer s.metrics.noteClose()
+	sess.loop()
+}

@@ -1,0 +1,455 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+)
+
+// startServer boots a server on an ephemeral loopback port and tears it
+// down with the test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// randomFrames builds a deterministic multi-lane workload.
+func randomFrames(seed int64, frames, lanes, beats int) []bus.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bus.Frame, frames)
+	for i := range out {
+		f := make(bus.Frame, lanes)
+		for l := range f {
+			b := make(bus.Burst, beats)
+			rng.Read(b)
+			f[l] = b
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// waitMetric polls a metrics predicate until it holds or a deadline
+// expires. Session-teardown counters (active, rejected) update after the
+// reply the client read, so assertions on them must be
+// eventually-consistent rather than immediate.
+func waitMetric(t *testing.T, m *Metrics, what string, pred func(MetricsSnapshot) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred(m.Snapshot()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s not observed within deadline: %+v", what, m.Snapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// replayOffline is the reference the served path must match bit for bit:
+// the same frames through a local LaneSet with the same scheme.
+func replayOffline(t *testing.T, scheme string, w dbi.Weights, frames []bus.Frame, lanes int) *dbi.LaneSet {
+	t.Helper()
+	enc, err := dbi.Lookup(scheme, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := dbi.NewLaneSet(enc, lanes)
+	for _, f := range frames {
+		ls.Transmit(f)
+	}
+	return ls
+}
+
+// TestServeEquivalence pins the acceptance criterion: a session that
+// interleaves single frames and pipelined batches produces wire images and
+// totals bit-identical to the offline LaneSet path, and its raw baseline
+// equals an offline RAW replay.
+func TestServeEquivalence(t *testing.T) {
+	const lanes, beats, frames = 4, 8, 36
+	s := startServer(t, Config{Workers: 3})
+	fs := randomFrames(1, frames, lanes, beats)
+
+	c, err := Dial(s.Addr().String(), SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: beats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := replayOffline(t, "OPT-FIXED", dbi.FixedWeights, nil, lanes)
+
+	// Singles (checking each wire image), then a batch, then more singles.
+	checkFrame := func(f bus.Frame) {
+		t.Helper()
+		got, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := offline.Transmit(f)
+		for l := range want {
+			if got[l].String() != want[l].String() {
+				t.Fatalf("lane %d: served wire %s != offline %s", l, got[l], want[l])
+			}
+		}
+	}
+	for _, f := range fs[:8] {
+		checkFrame(f)
+	}
+	if _, err := c.EncodeBatch(fs[8:28]); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs[8:28] {
+		offline.Transmit(f)
+	}
+	for _, f := range fs[28:] {
+		checkFrame(f)
+	}
+
+	totals, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Coded != offline.TotalCost() {
+		t.Fatalf("served totals %+v != offline %+v", totals.Coded, offline.TotalCost())
+	}
+	if totals.Frames != frames || totals.Beats != frames*lanes*beats {
+		t.Fatalf("volume accounting: %d frames, %d beats; want %d, %d",
+			totals.Frames, totals.Beats, frames, frames*lanes*beats)
+	}
+	raw := replayOffline(t, "RAW", dbi.Weights{}, fs, lanes)
+	if totals.Raw != raw.TotalCost() {
+		t.Fatalf("raw baseline %+v != offline RAW replay %+v", totals.Raw, raw.TotalCost())
+	}
+	if totals.TogglesSaved() != raw.TotalCost().Transitions-totals.Coded.Transitions {
+		t.Fatalf("TogglesSaved inconsistent: %d", totals.TogglesSaved())
+	}
+}
+
+// TestServeConcurrentSessionsMixedSchemes drives one session per scheme in
+// parallel; every session's totals must match its own offline replay, which
+// also proves sessions do not share encode state.
+func TestServeConcurrentSessionsMixedSchemes(t *testing.T) {
+	s := startServer(t, Config{Workers: 2})
+	type job struct {
+		scheme      string
+		alpha, beta float64
+	}
+	jobs := []job{
+		{"RAW", 0, 0}, {"DC", 0, 0}, {"AC", 0, 0}, {"ACDC", 0, 0},
+		{"OPT-FIXED", 0, 0}, {"GREEDY", 2, 3}, {"OPT", 2, 3}, {"QUANTISED", 3, 5},
+	}
+	const lanes, beats, frames = 3, 8, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			fail := func(err error) { errs <- fmt.Errorf("%s: %w", j.scheme, err) }
+			fs := randomFrames(int64(100+i), frames, lanes, beats)
+			c, err := Dial(s.Addr().String(), SessionConfig{
+				Scheme: j.scheme, Alpha: j.alpha, Beta: j.beta, Lanes: lanes, Beats: beats,
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			if got := c.Scheme(); got != j.scheme {
+				fail(fmt.Errorf("resolved scheme %q", got))
+				return
+			}
+			// Half singles, half batch.
+			for _, f := range fs[:frames/2] {
+				if _, err := c.EncodeFrame(f); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if _, err := c.EncodeBatch(fs[frames/2:]); err != nil {
+				fail(err)
+				return
+			}
+			totals, err := c.Close()
+			if err != nil {
+				fail(err)
+				return
+			}
+			w := dbi.FixedWeights
+			if j.alpha != 0 || j.beta != 0 {
+				w = dbi.Weights{Alpha: j.alpha, Beta: j.beta}
+			}
+			enc, err := dbi.Lookup(j.scheme, w)
+			if err != nil {
+				fail(err)
+				return
+			}
+			ls := dbi.NewLaneSet(enc, lanes)
+			for _, f := range fs {
+				ls.Transmit(f)
+			}
+			if totals.Coded != ls.TotalCost() {
+				fail(fmt.Errorf("served %+v != offline %+v", totals.Coded, ls.TotalCost()))
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServeDefaultScheme: a handshake naming no scheme resolves to the
+// server's configured default.
+func TestServeDefaultScheme(t *testing.T) {
+	s := startServer(t, Config{Scheme: "DC"})
+	c, err := Dial(s.Addr().String(), SessionConfig{Lanes: 1, Beats: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Scheme() != "DC" {
+		t.Fatalf("resolved scheme %q, want server default DC", c.Scheme())
+	}
+}
+
+// TestServeHandshakeRejects covers the session-refusal surface: unknown
+// schemes, invalid weights for weighted schemes, and non-protocol bytes.
+func TestServeHandshakeRejects(t *testing.T) {
+	s := startServer(t, Config{})
+	addr := s.Addr().String()
+
+	if _, err := Dial(addr, SessionConfig{Scheme: "BOGUS", Lanes: 1, Beats: 8}); err == nil {
+		t.Error("unknown scheme accepted")
+	} else if !strings.Contains(err.Error(), "unknown scheme") {
+		t.Errorf("unknown-scheme error does not say so: %v", err)
+	}
+	if _, err := Dial(addr, SessionConfig{Scheme: "OPT", Alpha: -1, Beta: 0, Lanes: 1, Beats: 8}); err == nil {
+		t.Error("invalid weights accepted")
+	}
+	if _, err := Dial(addr, SessionConfig{Lanes: MaxLanes + 1, Beats: 8}); err == nil {
+		t.Error("oversized lane count accepted client-side")
+	}
+
+	// Garbage instead of a handshake: the server must answer with a
+	// rejection reply, not hang or crash.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n padding to cover the fixed handshake length")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readReply(conn); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("garbage handshake: err = %v, want rejection", err)
+	}
+	waitMetric(t, s.Metrics(), "rejected session count", func(m MetricsSnapshot) bool {
+		return m.Rejected > 0
+	})
+}
+
+// TestServeFrameGeometryError: a frame payload of the wrong size is a
+// protocol error the client sees verbatim, and the session ends.
+func TestServeFrameGeometryError(t *testing.T) {
+	s := startServer(t, Config{})
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, SessionConfig{Lanes: 2, Beats: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReply(conn); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [5]byte
+	putHeader(&hdr, msgFrame, 3) // needs 16
+	if _, err := conn.Write(append(hdr[:], 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, n, err := readHeader(conn, &hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgError {
+		t.Fatalf("reply type %q, want error", typ)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), "frame payload") {
+		t.Errorf("error text %q does not name the problem", buf)
+	}
+}
+
+// TestServeBatchBeatsMismatch: a batch trace whose beat count disagrees
+// with the session geometry is refused.
+func TestServeBatchBeatsMismatch(t *testing.T) {
+	s := startServer(t, Config{})
+	c, err := Dial(s.Addr().String(), SessionConfig{Lanes: 2, Beats: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A 4-beat blob on an 8-beat session must be refused.
+	blob, err := encodeTraceBlob(randomFrames(9, 2, 2, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeTrace(blob); err == nil || !strings.Contains(err.Error(), "beats per burst") {
+		t.Fatalf("beat mismatch not refused: %v", err)
+	}
+}
+
+// TestServeGracefulDrain: Shutdown stops accepting but lets the in-flight
+// session finish its work and close on its own terms.
+func TestServeGracefulDrain(t *testing.T) {
+	const lanes, beats = 2, 8
+	s := startServer(t, Config{})
+	c, err := Dial(s.Addr().String(), SessionConfig{Lanes: lanes, Beats: beats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := randomFrames(2, 4, lanes, beats)
+	if _, err := c.EncodeFrame(fs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+
+	// The listener closes promptly; give it a moment, then prove the live
+	// session still serves while new connections are refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := net.DialTimeout("tcp", s.Addr().String(), 100*time.Millisecond); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after Shutdown started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, f := range fs[1:] {
+		if _, err := c.EncodeFrame(f); err != nil {
+			t.Fatalf("in-flight session broken during drain: %v", err)
+		}
+	}
+	totals, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Frames != len(fs) {
+		t.Fatalf("drained session encoded %d frames, want %d", totals.Frames, len(fs))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestServeMaxConnsBackpressure: with MaxConns=1 a second connection is not
+// admitted (its handshake gets no reply) until the first session ends.
+func TestServeMaxConnsBackpressure(t *testing.T) {
+	s := startServer(t, Config{MaxConns: 1})
+	c1, err := Dial(s.Addr().String(), SessionConfig{Lanes: 1, Beats: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	var nerr net.Error
+	if _, err := readReply(conn); err == nil {
+		t.Fatal("second session admitted past MaxConns=1")
+	} else if !errors.As(err, &nerr) || !nerr.Timeout() {
+		// The failure must be the deadline expiring while queued behind
+		// the cap, not a refusal.
+		t.Fatalf("expected timeout waiting behind MaxConns, got %v", err)
+	}
+
+	if _, err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readReply(conn); err != nil {
+		t.Fatalf("second session not admitted after the first closed: %v", err)
+	}
+}
+
+// TestServeMetrics: the counters add up after known traffic and the text
+// export names them.
+func TestServeMetrics(t *testing.T) {
+	const lanes, beats = 2, 8
+	s := startServer(t, Config{})
+	fs := randomFrames(4, 6, lanes, beats)
+	c, err := Dial(s.Addr().String(), SessionConfig{Scheme: "DC", Lanes: lanes, Beats: beats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeFrame(fs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeBatch(fs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counter := range []string{"bursts_encoded", "toggles_saved", "encode_ns_per_burst", "sessions_active"} {
+		if !strings.Contains(text, counter) {
+			t.Errorf("metrics text missing %q:\n%s", counter, text)
+		}
+	}
+	totals, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics().Snapshot()
+	if m.Frames != int64(len(fs)) || m.Batches != 1 || m.Bursts != int64(len(fs)*lanes) {
+		t.Errorf("volume counters frames=%d batches=%d bursts=%d, want %d, 1, %d",
+			m.Frames, m.Batches, m.Bursts, len(fs), len(fs)*lanes)
+	}
+	if m.Coded != totals.Coded || m.Raw != totals.Raw {
+		t.Errorf("metrics activity %+v/%+v != session totals %+v/%+v", m.Coded, m.Raw, totals.Coded, totals.Raw)
+	}
+	if m.TogglesSaved != int64(totals.TogglesSaved()) {
+		t.Errorf("TogglesSaved = %d, want %d", m.TogglesSaved, totals.TogglesSaved())
+	}
+	waitMetric(t, s.Metrics(), "active count returning to zero", func(m MetricsSnapshot) bool {
+		return m.Active == 0
+	})
+}

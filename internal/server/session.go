@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/trace"
+)
+
+// session is the server side of one connection: the resolved scheme, the
+// persistent per-lane encode state, and the reusable buffers that keep the
+// single-frame path allocation-free in steady state.
+type session struct {
+	srv *Server
+	r   *bufio.Reader
+	w   *bufio.Writer
+
+	cfg    SessionConfig // resolved geometry and weights
+	scheme string        // resolved registry name
+	ls     *dbi.LaneSet  // the session's per-lane streams — all encode state
+	pipe   *dbi.Pipeline // sharded driver for batch messages, over ls
+
+	// Reusable scratch. frame aliases frameBuf lane by lane, so refilling
+	// frameBuf refills the frame; maskBuf holds the packed reply;
+	// totalsBuf the serialised Totals; hdr the message header.
+	frameBuf  []byte
+	frame     bus.Frame
+	maskBuf   []byte
+	totalsBuf [totalsLen]byte
+	hdr       [5]byte
+	batchBuf  []byte // grown on demand; batches are not on the 0-alloc path
+
+	// rawStates carries the per-lane line state of the uncoded baseline,
+	// advanced in lockstep with the coded streams so Totals.Raw is exact.
+	rawStates []bus.LineState
+	totals    Totals
+	// codedPrev/rawPrev remember the last reported accumulators so each
+	// encode message contributes an exact delta to the server metrics.
+	codedPrev Cost
+	rawPrev   Cost
+}
+
+// newSession performs the handshake on conn: it resolves the requested
+// scheme through the registry (falling back to the server defaults), builds
+// the per-lane state, and sends the accept/reject reply. A rejected
+// handshake returns an error after telling the client why.
+func (s *Server) newSession(conn net.Conn) (*session, error) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	cfg, err := readHandshake(r)
+	if err != nil {
+		// The handshake never parsed; there may be no protocol speaker on
+		// the other side at all, so reply best-effort and bail.
+		writeReply(w, false, err.Error()) //nolint:errcheck
+		w.Flush()                         //nolint:errcheck
+		return nil, err
+	}
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = s.cfg.Scheme
+	}
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = s.cfg.Alpha, s.cfg.Beta
+	}
+	enc, err := dbi.Lookup(scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
+	if err != nil {
+		writeReply(w, false, err.Error()) //nolint:errcheck
+		w.Flush()                         //nolint:errcheck
+		return nil, err
+	}
+	if err := writeReply(w, true, scheme); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	sess := &session{
+		srv:       s,
+		r:         r,
+		w:         w,
+		cfg:       cfg,
+		scheme:    scheme,
+		ls:        dbi.NewLaneSet(enc, cfg.Lanes),
+		pipe:      dbi.NewPipeline(enc, cfg.Lanes, dbi.WithWorkers(s.cfg.Workers), dbi.WithChunkFrames(s.cfg.ChunkFrames)),
+		frameBuf:  make([]byte, cfg.Lanes*cfg.Beats),
+		frame:     make(bus.Frame, cfg.Lanes),
+		maskBuf:   make([]byte, cfg.Lanes*maskBytes(cfg.Beats)),
+		rawStates: make([]bus.LineState, cfg.Lanes),
+	}
+	for l := range sess.frame {
+		sess.frame[l] = bus.Burst(sess.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
+	}
+	for l := range sess.rawStates {
+		sess.rawStates[l] = bus.InitialLineState
+	}
+	return sess, nil
+}
+
+// loop dispatches messages until the client quits, disconnects, or breaks
+// the protocol.
+func (sess *session) loop() {
+	for {
+		typ, n, err := readHeader(sess.r, &sess.hdr)
+		if err != nil {
+			return // client closed (or the connection died); nothing to say
+		}
+		switch typ {
+		case msgFrame:
+			err = sess.handleFrame(n)
+		case msgBatch:
+			err = sess.handleBatch(n)
+		case msgTotals:
+			err = sess.discard(n, sess.sendTotals)
+		case msgMetrics:
+			err = sess.discard(n, sess.sendMetrics)
+		case msgQuit:
+			sess.discard(n, sess.sendTotals) //nolint:errcheck // closing anyway
+			return
+		default:
+			sess.fail(fmt.Errorf("server: unknown message type %q", typ))
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// discard drains an (expected-empty) payload, then runs the reply handler.
+func (sess *session) discard(n int, reply func() error) error {
+	if n > 0 {
+		if _, err := io.CopyN(io.Discard, sess.r, int64(n)); err != nil {
+			return err
+		}
+	}
+	return reply()
+}
+
+// fail reports a protocol error to the client; the session ends after it.
+func (sess *session) fail(err error) {
+	putHeader(&sess.hdr, msgError, len(err.Error()))
+	if _, werr := sess.w.Write(sess.hdr[:]); werr != nil {
+		return
+	}
+	if _, werr := sess.w.WriteString(err.Error()); werr != nil {
+		return
+	}
+	sess.w.Flush() //nolint:errcheck
+}
+
+// handleFrame encodes one frame through the session's lane set and answers
+// with the packed inversion masks. This is the steady-state hot path: the
+// payload refills the session's frame in place, LaneSet.Transmit runs on
+// the zero-allocation EncodeInto scratch, and the masks pack into a
+// preallocated buffer — no heap allocation per frame.
+func (sess *session) handleFrame(n int) error {
+	if n != len(sess.frameBuf) {
+		err := fmt.Errorf("server: frame payload is %d bytes, session geometry %dx%d needs %d",
+			n, sess.cfg.Lanes, sess.cfg.Beats, len(sess.frameBuf))
+		sess.fail(err)
+		return err
+	}
+	if _, err := io.ReadFull(sess.r, sess.frameBuf); err != nil {
+		return err
+	}
+	start := time.Now()
+	sess.accumulateRaw(sess.frame)
+	wires := sess.ls.Transmit(sess.frame)
+	mb := maskBytes(sess.cfg.Beats)
+	clear(sess.maskBuf)
+	for l, w := range wires {
+		dst := sess.maskBuf[l*mb : (l+1)*mb]
+		for t, high := range w.DBI {
+			if !high { // DBI low = inverted beat
+				dst[t/8] |= 1 << (t % 8)
+			}
+		}
+	}
+	sess.totals.Frames++
+	sess.totals.Beats += sess.cfg.Lanes * sess.cfg.Beats
+	sess.noteDelta(false, 1, sess.cfg.Lanes, sess.cfg.Lanes*sess.cfg.Beats, start)
+
+	putHeader(&sess.hdr, msgMasks, len(sess.maskBuf))
+	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sess.w.Write(sess.maskBuf); err != nil {
+		return err
+	}
+	return sess.w.Flush()
+}
+
+// rawTee passes frames from a source through unchanged while advancing the
+// session's raw-baseline accounting and counting the batch's volume. The
+// pipeline pulls frames from a single goroutine in order, so the serial
+// accumulation here sees exactly the lane-continuous burst sequence.
+type rawTee struct {
+	sess          *session
+	src           dbi.FrameSource
+	frames, beats int
+	bursts        int
+}
+
+// NextFrame implements dbi.FrameSource.
+func (t *rawTee) NextFrame() (bus.Frame, error) {
+	f, err := t.src.NextFrame()
+	if err != nil {
+		return nil, err
+	}
+	t.sess.accumulateRaw(f)
+	t.frames++
+	for _, b := range f {
+		if len(b) > 0 {
+			t.bursts++
+		}
+		t.beats += len(b)
+	}
+	return f, nil
+}
+
+// handleBatch decodes a "DBIT" trace blob, replays it onto the session's
+// lanes through the sharded pipeline (burst i → lane i%lanes, exactly as
+// trace.FrameReader and dbitrace cost do), and answers with the cumulative
+// session totals. Per-lane state is continuous with any single frames sent
+// before or after: the pipeline runs over the same LaneSet streams.
+func (sess *session) handleBatch(n int) error {
+	if cap(sess.batchBuf) < n {
+		sess.batchBuf = make([]byte, n)
+	}
+	buf := sess.batchBuf[:n]
+	if _, err := io.ReadFull(sess.r, buf); err != nil {
+		return err
+	}
+	start := time.Now()
+	tr, err := trace.NewReader(bytes.NewReader(buf))
+	if err != nil {
+		sess.fail(err)
+		return err
+	}
+	if tr.Beats() != sess.cfg.Beats {
+		err := fmt.Errorf("server: batch trace has %d beats per burst, session has %d", tr.Beats(), sess.cfg.Beats)
+		sess.fail(err)
+		return err
+	}
+	fr, err := trace.NewFrameReader(tr, sess.cfg.Lanes)
+	if err != nil {
+		sess.fail(err)
+		return err
+	}
+	tee := &rawTee{sess: sess, src: fr}
+	if _, err := sess.pipe.RunLanes(tee, sess.ls); err != nil {
+		sess.fail(err)
+		return err
+	}
+	sess.totals.Frames += tee.frames
+	sess.totals.Beats += tee.beats
+	sess.noteDelta(true, tee.frames, tee.bursts, tee.beats, start)
+	return sess.sendTotals()
+}
+
+// accumulateRaw advances the uncoded baseline over one frame.
+func (sess *session) accumulateRaw(f bus.Frame) {
+	for l, b := range f {
+		st := sess.rawStates[l]
+		for _, v := range b {
+			sess.totals.Raw = sess.totals.Raw.Add(bus.BeatCost(st, v, false))
+			st = bus.Advance(st, v, false)
+		}
+		sess.rawStates[l] = st
+	}
+}
+
+// noteDelta records one encode message's contribution to the server
+// metrics, as the exact difference of the session accumulators.
+func (sess *session) noteDelta(batch bool, frames, bursts, beats int, start time.Time) {
+	coded := sess.ls.TotalCost()
+	codedDelta := Cost{Zeros: coded.Zeros - sess.codedPrev.Zeros, Transitions: coded.Transitions - sess.codedPrev.Transitions}
+	rawDelta := Cost{Zeros: sess.totals.Raw.Zeros - sess.rawPrev.Zeros, Transitions: sess.totals.Raw.Transitions - sess.rawPrev.Transitions}
+	sess.codedPrev = coded
+	sess.rawPrev = sess.totals.Raw
+	sess.srv.metrics.noteEncode(batch, frames, bursts, beats, codedDelta, rawDelta, time.Since(start))
+}
+
+// sendTotals answers with the session's cumulative accounting.
+func (sess *session) sendTotals() error {
+	sess.totals.Coded = sess.ls.TotalCost()
+	putTotals(sess.totalsBuf[:], sess.totals)
+	putHeader(&sess.hdr, msgTotalsReply, totalsLen)
+	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sess.w.Write(sess.totalsBuf[:]); err != nil {
+		return err
+	}
+	return sess.w.Flush()
+}
+
+// sendMetrics answers with the server-wide metrics text.
+func (sess *session) sendMetrics() error {
+	var buf bytes.Buffer
+	if err := sess.srv.metrics.Snapshot().WriteText(&buf); err != nil {
+		return err
+	}
+	putHeader(&sess.hdr, msgMetricsReply, buf.Len())
+	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sess.w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return sess.w.Flush()
+}

@@ -9,17 +9,24 @@ import (
 // Series is one named curve of an experiment: x values shared with its
 // siblings and one y value per x.
 type Series struct {
+	// Name labels the curve in legends and column headers.
 	Name string
-	Y    []float64
+	// Y holds one value per shared x coordinate.
+	Y []float64
 }
 
 // Plot is a family of series over a common x axis — the in-memory form of
 // one paper figure.
 type Plot struct {
-	Title  string
+	// Title names the figure (emitted as a comment header in .dat output).
+	Title string
+	// XLabel names the x axis.
 	XLabel string
+	// YLabel names the y axis.
 	YLabel string
-	X      []float64
+	// X is the shared x axis every series is sampled on.
+	X []float64
+	// Series holds the curves, in presentation order.
 	Series []Series
 }
 
@@ -81,9 +88,12 @@ func csvQuote(s string) string {
 
 // Table is a simple rectangular table for report output.
 type Table struct {
-	Title   string
+	// Title is printed above the table when non-empty.
+	Title string
+	// Columns holds the header cells; every row must match its width.
 	Columns []string
-	Rows    [][]string
+	// Rows holds the body cells, row-major.
+	Rows [][]string
 }
 
 // AddRow appends one row; its width must match Columns.

@@ -1,0 +1,54 @@
+package dbiopt
+
+import (
+	"dbiopt/internal/server"
+)
+
+// Serving layer: dbiserve as a library. Serve starts a batched streaming
+// encode service; Dial opens a client session against one. See DESIGN.md §6
+// for the wire protocol and the session/backpressure contracts, and
+// cmd/dbiserve for the stand-alone binary.
+type (
+	// Server is a long-lived TCP encode service: per-session scheme
+	// selection by registry name, persistent per-lane wire state, batch
+	// encoding through the sharded pipeline, graceful drain on shutdown.
+	Server = server.Server
+	// ServerConfig configures a Server (address, default scheme, worker
+	// cap, connection cap).
+	ServerConfig = server.Config
+	// Client is one session against a Server: one scheme, one continuous
+	// per-lane wire state. Not safe for concurrent use; open one Client
+	// per concurrent session.
+	Client = server.Client
+	// SessionConfig is the per-session handshake: scheme name, weights,
+	// and bus geometry (lanes × beats).
+	SessionConfig = server.SessionConfig
+	// SessionTotals is a session's cumulative activity accounting, coded
+	// versus the uncoded baseline.
+	SessionTotals = server.Totals
+	// ServerMetrics is the server-wide counter set (bursts, toggles
+	// saved, ns/burst, session lifecycle).
+	ServerMetrics = server.MetricsSnapshot
+)
+
+// Serve starts a dbiserve instance: it binds cfg.Addr (the zero config
+// binds server.DefaultAddr with the OPT-FIXED default scheme) and accepts
+// sessions on a background goroutine. The returned server reports its bound
+// address via Addr and stops via Shutdown (graceful drain) or Close (hard).
+func Serve(cfg ServerConfig) (*Server, error) {
+	s, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dial opens a session against a dbiserve instance. The session's encode
+// results are bit-identical to running the same frames through a local
+// LaneSet with the same scheme: the server is the offline path, served.
+func Dial(addr string, cfg SessionConfig) (*Client, error) {
+	return server.Dial(addr, cfg)
+}
