@@ -207,6 +207,31 @@ func BenchmarkStream(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveStream measures the adaptive streaming path: the live
+// encode plus one shadow encode per challenger plus the window accounting,
+// on a phase-shifting workload. B/op must stay 0 — adaptation rides the
+// same scratch-reuse discipline as the static stream (pinned by
+// TestAdaptiveStreamZeroAlloc in internal/adapt).
+func BenchmarkAdaptiveStream(b *testing.B) {
+	src := trace.NewPhaseShift(512, trace.NewSparse(6, 0.10), trace.NewMarkov(7, 0.05))
+	workload := make([]dbiopt.Burst, 2048)
+	for i := range workload {
+		workload[i] = dbiopt.Burst(src.Next(dbiopt.BurstLength))
+	}
+	st, err := dbiopt.NewAdaptiveStream(dbiopt.AdaptiveConfig{
+		Candidates: []string{"DC", "AC", "OPT-FIXED"},
+		Weights:    dbiopt.Weights{Alpha: 4, Beta: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Transmit(workload[i%len(workload)])
+	}
+}
+
 // pipelineWorkload synthesises a fixed multi-lane trace for the pipeline
 // benchmarks: enough frames that sharding overhead amortises, deterministic
 // so serial and parallel runs see identical work.

@@ -1,0 +1,267 @@
+// Command dbibenchdiff is the performance-regression gate: it compares the
+// output of `go test -bench -benchmem` against a committed baseline
+// (bench_baseline.json at the repo root) and fails when a benchmark's
+// ns/op regresses by more than a threshold or its allocs/op grows at all.
+// CI's bench-gate job runs it on every push; it is just as usable locally:
+//
+//	go test -bench '^(BenchmarkEncoders|BenchmarkStream|BenchmarkAdaptiveStream)$' \
+//	    -benchtime 20000x -count 5 -benchmem -run '^$' . | \
+//	    go run ./cmd/dbibenchdiff -baseline bench_baseline.json
+//
+// With -update the baseline file is rewritten from the measured results
+// instead (run it on the reference machine after an intentional
+// performance change). Multiple -count repetitions are folded to the
+// per-benchmark minimum before comparison, which filters scheduler noise;
+// the GOMAXPROCS suffix (`BenchmarkStream-8`) is stripped so baselines
+// transfer between machines with different core counts. ns/op drift is
+// judged against -max-ns (default 0.25, i.e. +25%); allocs/op is exact —
+// the zero-allocation encode-path guarantees are part of the contract,
+// so a single new allocation per op fails the gate.
+//
+// Exit status: 0 clean, 1 regression (or baseline/bench mismatch), 2 bad
+// invocation or unparseable input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's baseline record.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed bench_baseline.json schema.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to
+	// its reference numbers.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dbibenchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "bench_baseline.json", "baseline JSON file")
+	newPath := fs.String("new", "-", "bench output to compare ('-' = stdin)")
+	maxNs := fs.Float64("max-ns", 0.25, "maximum tolerated fractional ns/op regression")
+	update := fs.Bool("update", false, "rewrite the baseline from the measured results instead of comparing")
+	allowMissing := fs.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the results")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if *newPath != "-" {
+		f, err := os.Open(*newPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "dbibenchdiff:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "dbibenchdiff:", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(stderr, "dbibenchdiff: no benchmark results in input")
+		return 2
+	}
+
+	if *update {
+		b := Baseline{
+			Note:       "regenerate with: go test -bench '^(BenchmarkEncoders|BenchmarkStream|BenchmarkAdaptiveStream)$' -benchtime 20000x -count 5 -benchmem -run '^$' . | go run ./cmd/dbibenchdiff -update -baseline bench_baseline.json",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "dbibenchdiff:", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "dbibenchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", *baselinePath, len(got))
+		return 0
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "dbibenchdiff:", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "dbibenchdiff: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	report := compare(base.Benchmarks, got, *maxNs, *allowMissing)
+	for _, line := range report.lines {
+		fmt.Fprintln(stdout, line)
+	}
+	if len(report.regressions) > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d regression(s) against %s\n", len(report.regressions), *baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d benchmark(s) within ns/op +%.0f%% and alloc budget\n",
+		report.checked, *maxNs*100)
+	return 0
+}
+
+// parseBenchOutput extracts {name -> min(ns/op), min(allocs/op)} from `go
+// test -bench -benchmem` output. The trailing -<GOMAXPROCS> suffix is
+// stripped from names; repeated lines (-count) fold to the minimum, the
+// conventional noise filter for benchmark comparison.
+func parseBenchOutput(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := stripProcs(fields[0])
+		var ns float64
+		var allocs int64 = -1
+		haveNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q in %q", val, line)
+				}
+				ns, haveNs = v, true
+			case "allocs/op":
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op %q in %q", val, line)
+				}
+				allocs = v
+			}
+		}
+		if !haveNs || allocs < 0 {
+			// Not a -benchmem result line (or a custom-metric-only line);
+			// the gate needs both numbers.
+			continue
+		}
+		e, seen := out[name]
+		if !seen || ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		if !seen || allocs < e.AllocsPerOp {
+			e.AllocsPerOp = allocs
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes the -<GOMAXPROCS> suffix go test appends to
+// benchmark names ("BenchmarkStream-8" -> "BenchmarkStream"); scheme
+// names containing dashes ("BenchmarkEncoders/OPT-FIXED-8") survive
+// because only a purely numeric final segment is dropped.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// comparison is the result of one gate run.
+type comparison struct {
+	lines       []string
+	regressions []string
+	checked     int
+}
+
+// compare judges got against base: ns/op may drift up by maxNs
+// fractionally, allocs/op not at all. Baseline entries missing from got
+// are regressions unless allowMissing; benchmarks present only in got are
+// reported informationally.
+func compare(base, got map[string]Entry, maxNs float64, allowMissing bool) comparison {
+	var c comparison
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		g, ok := got[name]
+		if !ok {
+			line := fmt.Sprintf("MISSING  %-50s not in bench output", name)
+			if allowMissing {
+				c.lines = append(c.lines, line+" (allowed)")
+			} else {
+				c.lines = append(c.lines, line)
+				c.regressions = append(c.regressions, name)
+			}
+			continue
+		}
+		c.checked++
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = g.NsPerOp/b.NsPerOp - 1
+		}
+		switch {
+		case g.AllocsPerOp > b.AllocsPerOp:
+			c.lines = append(c.lines, fmt.Sprintf(
+				"REGRESS  %-50s allocs/op %d -> %d (ns/op %.1f -> %.1f)",
+				name, b.AllocsPerOp, g.AllocsPerOp, b.NsPerOp, g.NsPerOp))
+			c.regressions = append(c.regressions, name)
+		case delta > maxNs:
+			c.lines = append(c.lines, fmt.Sprintf(
+				"REGRESS  %-50s ns/op %.1f -> %.1f (%+.1f%%, budget +%.0f%%)",
+				name, b.NsPerOp, g.NsPerOp, delta*100, maxNs*100))
+			c.regressions = append(c.regressions, name)
+		default:
+			c.lines = append(c.lines, fmt.Sprintf(
+				"ok       %-50s ns/op %.1f -> %.1f (%+.1f%%), allocs/op %d -> %d",
+				name, b.NsPerOp, g.NsPerOp, delta*100, b.AllocsPerOp, g.AllocsPerOp))
+		}
+	}
+	extra := make([]string, 0)
+	for name := range got {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		c.lines = append(c.lines, fmt.Sprintf(
+			"NEW      %-50s ns/op %.1f, allocs/op %d (not gated; -update to adopt)",
+			name, got[name].NsPerOp, got[name].AllocsPerOp))
+	}
+	return c
+}

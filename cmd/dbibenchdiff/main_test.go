@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchOutput is a realistic -count 2 -benchmem transcript: sub-benchmark
+// names with dashes, a custom metric line, noise lines, and a benchmark
+// without -benchmem numbers (skipped).
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: dbiopt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncoders/OPT-FIXED-8   	 2000	  251.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEncoders/OPT-FIXED-8   	 2000	  249.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStream-8               	 2000	  380.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStream-8               	 2000	  395.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeFrame/lanes=1-8   	 1000	 24000 ns/op	      130.0 ns/burst	      34 B/op	       2 allocs/op
+BenchmarkFig2-8                 	  100	 140000 ns/op
+PASS
+ok  	dbiopt	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Entry{
+		"BenchmarkEncoders/OPT-FIXED": {NsPerOp: 249.0, AllocsPerOp: 0},
+		"BenchmarkStream":             {NsPerOp: 380.5, AllocsPerOp: 0},
+		"BenchmarkServeFrame/lanes=1": {NsPerOp: 24000, AllocsPerOp: 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries (%v), want %d", len(got), got, len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("missing %q in %v", name, got)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s = %+v, want %+v", name, g, w)
+		}
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkStream-8":             "BenchmarkStream",
+		"BenchmarkStream-16":            "BenchmarkStream",
+		"BenchmarkEncoders/OPT-FIXED-8": "BenchmarkEncoders/OPT-FIXED",
+		"BenchmarkEncoders/OPT-FIXED":   "BenchmarkEncoders/OPT-FIXED",
+		"BenchmarkStream":               "BenchmarkStream",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 3},
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkD": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	got := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: 0}, // +20%: inside budget
+		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 4},  // faster but one more alloc: fail
+		"BenchmarkC": {NsPerOp: 130, AllocsPerOp: 0}, // +30%: fail
+		"BenchmarkE": {NsPerOp: 10, AllocsPerOp: 0},  // new: informational
+		// BenchmarkD missing: fail unless allowed
+	}
+	c := compare(base, got, 0.25, false)
+	wantRegress := []string{"BenchmarkB", "BenchmarkC", "BenchmarkD"}
+	if len(c.regressions) != len(wantRegress) {
+		t.Fatalf("regressions %v, want %v", c.regressions, wantRegress)
+	}
+	for i, name := range wantRegress {
+		if c.regressions[i] != name {
+			t.Errorf("regression %d = %s, want %s", i, c.regressions[i], name)
+		}
+	}
+	if c.checked != 3 {
+		t.Errorf("checked %d, want 3", c.checked)
+	}
+	joined := strings.Join(c.lines, "\n")
+	for _, frag := range []string{"allocs/op 3 -> 4", "+30.0%", "MISSING", "NEW"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("report missing %q:\n%s", frag, joined)
+		}
+	}
+
+	if c := compare(base, got, 0.25, true); len(c.regressions) != 2 {
+		t.Errorf("allow-missing still reports %v", c.regressions)
+	}
+}
+
+// TestRunEndToEnd drives the CLI through update-then-compare on temp
+// files, covering the exit-status contract.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	bench := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(bench, []byte(benchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-update", "-baseline", baseline, "-new", bench}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("update exited %d: %s%s", code, out.String(), errOut.String())
+	}
+	var b Baseline
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("baseline has %d benchmarks: %v", len(b.Benchmarks), b.Benchmarks)
+	}
+
+	// Same results against the fresh baseline: clean.
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, "-new", bench}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("self-compare exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 3 benchmark(s)") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+
+	// A regressed run (allocs on the stream path, both -count lines so the
+	// min-fold cannot mask it): exit 1.
+	lines := strings.Split(benchOutput, "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "BenchmarkStream-8") {
+			lines[i] = strings.Replace(line, "0 allocs/op", "1 allocs/op", 1)
+		}
+	}
+	regressed := strings.Join(lines, "\n")
+	out.Reset()
+	code := run([]string{"-baseline", baseline, "-new", "-"}, strings.NewReader(regressed), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("regressed run exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS") || !strings.Contains(out.String(), "FAIL: 1 regression") {
+		t.Errorf("regression not reported:\n%s", out.String())
+	}
+
+	// Unparseable input: exit 2.
+	if code := run([]string{"-baseline", baseline, "-new", "-"}, strings.NewReader("nothing here"), &out, &errOut); code != 2 {
+		t.Fatalf("empty input exited %d", code)
+	}
+}

@@ -7,6 +7,8 @@
 //
 //	dbiserve [-addr 127.0.0.1:8421] [-scheme OPT-FIXED] [-workers 0]
 //	         [-max-conns 64] [-metrics-every 0]
+//	         [-adapt] [-adapt-window 64] [-adapt-margin 0.05]
+//	         [-adapt-schemes DC,AC,OPT-FIXED]
 //
 // Clients pick their own scheme, weights and bus geometry per session at
 // handshake time (see DESIGN.md §6 for the protocol); -scheme and
@@ -15,6 +17,15 @@
 // -workers goroutines through the lane-sharded pipeline; -max-conns bounds
 // the concurrently served sessions (excess connections queue in the kernel
 // backlog — the connection-level backpressure contract).
+//
+// With -adapt, sessions that request no scheme are served adaptively: a
+// windowed controller per lane (DESIGN.md §7) tracks every candidate
+// scheme's cost in shadow and switches the live scheme online when the
+// traffic shifts, announcing each renegotiation to the client with a
+// SWITCH notice. -adapt-window, -adapt-margin and -adapt-schemes set the
+// defaults for sessions that leave the adaptive handshake fields zero;
+// /metrics gains sessions_adaptive and scheme_switches counters, and each
+// session's own switch count travels in its totals.
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting, waits
 // up to -drain for in-flight sessions to finish, then prints the final
@@ -54,6 +65,10 @@ func run() error {
 	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "maximum concurrently served sessions")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 	metricsEvery := flag.Duration("metrics-every", 0, "periodically print the metrics table (0 = only at shutdown)")
+	adaptDefault := flag.Bool("adapt", false, "serve scheme-less sessions adaptively: a windowed controller switches schemes online as the traffic shifts")
+	adaptWindow := flag.Int("adapt-window", 0, "adaptive decision window in bursts; 0 = default (64)")
+	adaptMargin := flag.Float64("adapt-margin", 0, "adaptive hysteresis margin in [0,1); 0 = default (0.05)")
+	adaptSchemes := flag.String("adapt-schemes", "", "comma-separated adaptive candidate schemes; empty = DC,AC,OPT-FIXED")
 	flag.Parse()
 
 	if *scheme == "help" {
@@ -61,14 +76,24 @@ func run() error {
 		return nil
 	}
 
+	var candidates []string
+	if *adaptSchemes != "" {
+		for _, name := range strings.Split(*adaptSchemes, ",") {
+			candidates = append(candidates, strings.TrimSpace(name))
+		}
+	}
 	srv, err := server.New(server.Config{
-		Addr:        *addr,
-		Scheme:      *scheme,
-		Alpha:       *alpha,
-		Beta:        *beta,
-		Workers:     *workers,
-		ChunkFrames: *chunk,
-		MaxConns:    *maxConns,
+		Addr:            *addr,
+		Scheme:          *scheme,
+		Alpha:           *alpha,
+		Beta:            *beta,
+		Workers:         *workers,
+		ChunkFrames:     *chunk,
+		MaxConns:        *maxConns,
+		Adapt:           *adaptDefault,
+		AdaptWindow:     *adaptWindow,
+		AdaptMargin:     *adaptMargin,
+		AdaptCandidates: candidates,
 	})
 	if err != nil {
 		return err
@@ -76,8 +101,12 @@ func run() error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("dbiserve: listening on %s (default scheme %s, max %d sessions)\n",
-		srv.Addr(), *scheme, *maxConns)
+	mode := fmt.Sprintf("default scheme %s", *scheme)
+	if *adaptDefault {
+		mode = "adaptive by default"
+	}
+	fmt.Printf("dbiserve: listening on %s (%s, max %d sessions)\n",
+		srv.Addr(), mode, *maxConns)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -58,7 +58,8 @@ func run(args []string) error {
 
 func genCmd(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
-	srcName := fs.String("src", "uniform", "workload class (see trace.Catalog)")
+	srcName := fs.String("src", "uniform", "workload class (see trace.Catalog), or phase:name,name,... for a phase-shifting composite")
+	period := fs.Int("period", 512, "bursts per phase for phase: composites")
 	bursts := fs.Int("bursts", 10000, "bursts to generate")
 	beats := fs.Int("beats", bus.BurstLength, "beats per burst")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -69,19 +70,9 @@ func genCmd(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("gen: -out is required")
 	}
-	var src trace.Source
-	for _, s := range trace.Catalog(*seed) {
-		if s.Name() == *srcName {
-			src = s
-			break
-		}
-	}
-	if src == nil {
-		var names []string
-		for _, s := range trace.Catalog(*seed) {
-			names = append(names, s.Name())
-		}
-		return fmt.Errorf("gen: unknown workload %q; available: %v", *srcName, names)
+	src, err := resolveSource(*srcName, *seed, *period)
+	if err != nil {
+		return fmt.Errorf("gen: %w", err)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -102,6 +93,42 @@ func genCmd(args []string) error {
 	}
 	fmt.Printf("wrote %d bursts x %d beats of %s to %s\n", *bursts, *beats, src.Name(), *out)
 	return f.Close()
+}
+
+// resolveSource looks a workload class up in the catalog by name, or
+// builds a phase-shifting composite from "phase:name,name,..." — period
+// bursts per named phase, cycling. This is the non-stationary workload
+// the adaptive layer (dbiserve -adapt, examples/adaptive) is built for.
+func resolveSource(name string, seed int64, period int) (trace.Source, error) {
+	if rest, ok := strings.CutPrefix(name, "phase:"); ok {
+		if rest == "" {
+			return nil, fmt.Errorf("phase: composite names no workloads")
+		}
+		if period <= 0 {
+			return nil, fmt.Errorf("phase: -period must be positive, got %d", period)
+		}
+		var members []trace.Source
+		for i, part := range strings.Split(rest, ",") {
+			// Derived seeds keep the phases decorrelated while the whole
+			// composite stays deterministic in -seed.
+			m, err := resolveSource(strings.TrimSpace(part), seed+int64(1000*i), period)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, m)
+		}
+		return trace.NewPhaseShift(period, members...), nil
+	}
+	for _, s := range trace.Catalog(seed) {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range trace.Catalog(seed) {
+		names = append(names, s.Name())
+	}
+	return nil, fmt.Errorf("unknown workload %q; available: %v (or phase:name,name,...)", name, names)
 }
 
 func openTrace(path string) (*trace.Reader, *os.File, error) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"dbiopt/internal/trace"
 )
 
 // TestFacadeFig2 drives the paper's worked example purely through the
@@ -232,6 +234,108 @@ func TestFacadeLaneSet(t *testing.T) {
 	for _, p := range pods {
 		if p.BurstEnergy(ls.TotalCost()) <= 0 {
 			t.Error("non-positive energy")
+		}
+	}
+}
+
+// TestFacadeAdaptive: the adaptive layer through the public API — an
+// adaptive stream beats a mis-matched static scheme on shifting traffic,
+// the lane-set constructor stamps lanes, and a served adaptive session is
+// bit-identical to the offline adaptive lane set and announces its
+// switches.
+func TestFacadeAdaptive(t *testing.T) {
+	const lanes, beats, period, frames = 2, 8, 256, 1536
+	weights := Weights{Alpha: 4, Beta: 1}
+	cfg := AdaptiveConfig{
+		Candidates: []string{"DC", "AC", "RAW"},
+		Weights:    weights,
+		Window:     32,
+		Margin:     0.05,
+	}
+
+	// Per-lane phase-shifting workload.
+	fs := make([]Frame, frames)
+	srcs := make([]trace.Source, lanes)
+	for l := range srcs {
+		seed := int64(77 + 100*l)
+		srcs[l] = trace.NewPhaseShift(period, trace.NewSparse(seed, 0.10), trace.NewMarkov(seed+1, 0.05))
+	}
+	for i := range fs {
+		f := make(Frame, lanes)
+		for l := range f {
+			f[l] = Burst(srcs[l].Next(beats))
+		}
+		fs[i] = f
+	}
+
+	var switches []AdaptiveSwitch
+	laneCfg := cfg
+	laneCfg.OnSwitch = func(s AdaptiveSwitch) { switches = append(switches, s) }
+	ls, err := NewAdaptiveLaneSet(laneCfg, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		ls.Transmit(f)
+	}
+	if len(switches) == 0 {
+		t.Fatal("no switches on a phase-shifting workload")
+	}
+	for _, s := range switches {
+		if s.Lane < 0 || s.Lane >= lanes {
+			t.Fatalf("switch names lane %d", s.Lane)
+		}
+	}
+	ctl := AdapterOf(ls.Lane(0)).(*AdaptiveController)
+	if ctl.Switches() == 0 {
+		t.Error("lane 0 controller reports no switches")
+	}
+
+	// Served adaptively: same config, same frames, bit-identical totals
+	// plus SWITCH notices.
+	srv, err := Serve(ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr().String(), SessionConfig{
+		Adapt: true, AdaptWindow: cfg.Window, AdaptMargin: cfg.Margin, AdaptCandidates: cfg.Candidates,
+		Alpha: weights.Alpha, Beta: weights.Beta, Lanes: lanes, Beats: beats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeBatch(fs); err != nil {
+		t.Fatal(err)
+	}
+	totals, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Coded != ls.TotalCost() {
+		t.Fatalf("served adaptive totals %+v != offline %+v", totals.Coded, ls.TotalCost())
+	}
+	if totals.Switches != len(switches) {
+		t.Errorf("served session switched %d times, offline %d", totals.Switches, len(switches))
+	}
+	if notes := c.Switches(); len(notes) != totals.Switches {
+		t.Errorf("received %d SWITCH notices, totals say %d", len(notes), totals.Switches)
+	}
+
+	// And the point of it all: adaptive beats the mis-matched static
+	// schemes on this traffic.
+	adaptiveCost := weights.Cost(ls.TotalCost())
+	for _, name := range cfg.Candidates {
+		enc, err := NewEncoder(name, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		static := NewLaneSet(enc, lanes)
+		for _, f := range fs {
+			static.Transmit(f)
+		}
+		if staticCost := weights.Cost(static.TotalCost()); adaptiveCost >= staticCost {
+			t.Errorf("adaptive cost %.0f not below static %s %.0f", adaptiveCost, name, staticCost)
 		}
 	}
 }

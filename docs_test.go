@@ -69,3 +69,35 @@ func TestReadmeMentionsAllBinaries(t *testing.T) {
 		}
 	}
 }
+
+// exampleDirs lists the walkthroughs under examples/.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no walkthroughs under examples/")
+	}
+	return names
+}
+
+// TestReadmeMentionsAllExamples extends the docs-freshness gate beyond
+// cmd/: every walkthrough under examples/ must appear in README.md, so a
+// new example cannot land invisible to readers (the CI docs-freshness
+// step enforces the same rule).
+func TestReadmeMentionsAllExamples(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, ex := range exampleDirs(t) {
+		if !strings.Contains(readme, ex) {
+			t.Errorf("README.md does not mention examples/%s", ex)
+		}
+	}
+}

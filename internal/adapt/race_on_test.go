@@ -1,0 +1,9 @@
+//go:build race
+
+package adapt
+
+// raceEnabled reports whether the race detector is compiled in. Race
+// instrumentation forces stack scratch to the heap, so allocation-count
+// assertions are skipped under -race (the properties they pin are covered
+// by the non-race CI run).
+const raceEnabled = true

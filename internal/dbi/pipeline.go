@@ -180,15 +180,19 @@ func (p *Pipeline) Run(src FrameSource) (*PipelineResult, error) {
 // state. The number of frames consumed from src is returned.
 //
 // The lane set's own policy decides the path: stateful encoders (and
-// single-worker pipelines) run serially in LaneSet evaluation order. On an
-// error the lane set must be discarded: some lanes may have advanced past
-// the failing frame while others have not.
+// single-worker pipelines) run serially in LaneSet evaluation order.
+// Adaptive lane sets shard like stateless ones — each lane's adapter is
+// confined to its stream, so its window accounting and switch points carry
+// across chunk boundaries on the worker that owns the lane, and sharded
+// totals (and switch decisions) stay bit-identical to the serial replay.
+// On an error the lane set must be discarded: some lanes may have advanced
+// past the failing frame while others have not.
 func (p *Pipeline) RunLanes(src FrameSource, ls *LaneSet) (int, error) {
 	if ls.Lanes() != p.lanes {
 		return 0, fmt.Errorf("dbi: lane set has %d lanes, pipeline has %d", ls.Lanes(), p.lanes)
 	}
 	workers := p.Workers()
-	if workers <= 1 || !Stateless(ls.lanes[0].enc) {
+	if workers <= 1 || !ls.shardable() {
 		return p.runSerial(src, ls.lanes)
 	}
 	return p.runSharded(src, ls.lanes, workers)

@@ -6,6 +6,34 @@ import (
 	"dbiopt/internal/bus"
 )
 
+// Adapter chooses the coding scheme a Stream applies, burst by burst. An
+// adaptive stream asks Current for the live encoder before each burst and
+// reports the burst back through Observe afterwards, which is where an
+// implementation (internal/adapt's windowed controller) accumulates shadow
+// costs and decides switches. One Adapter drives exactly one lane: adapters
+// carry per-lane state and must not be shared between streams.
+type Adapter interface {
+	// Current returns the live encoder the next burst must be encoded
+	// with. It must be stable between Observe calls.
+	Current() Encoder
+	// Observe accounts one burst transmitted on the live wire. cost is
+	// the exact activity of the transmission the stream just performed —
+	// the live scheme's shadow chain coincides with the real wire, so an
+	// implementation can account the live scheme from it without
+	// re-encoding. next is the lane's wire state after the burst — the
+	// re-seed point of the switch protocol when the call decides to
+	// change schemes.
+	Observe(b bus.Burst, cost bus.Cost, next bus.LineState)
+	// Reset returns the adapter to its initial state (shadow chains,
+	// windows, live scheme), mirroring Stream.Reset.
+	Reset()
+	// Shardable reports whether the adapter (and every scheme it may
+	// select) is safe to drive from a dedicated per-lane-range goroutine,
+	// the pipeline's sharding model. Adapter state itself is always
+	// lane-confined; this is about the candidate encoders.
+	Shardable() bool
+}
+
 // Stream wraps an Encoder with the persistent per-lane line state a real
 // PHY maintains: the wires do not reset between bursts, so the encoding of
 // each burst starts from the final wire state of the previous one. Stream
@@ -15,10 +43,11 @@ import (
 // Stream owns reusable encode scratch, so steady-state Transmit performs
 // zero heap allocations for every stateless scheme.
 type Stream struct {
-	enc   Encoder
-	state bus.LineState
-	total bus.Cost
-	beats int
+	enc     Encoder
+	adapter Adapter // nil for fixed-scheme streams
+	state   bus.LineState
+	total   bus.Cost
+	beats   int
 	// inv and wire are reusable scratch: the inversion pattern of the
 	// current burst and the wire image built from it. They grow to the
 	// largest burst seen and are then recycled on every Transmit.
@@ -38,8 +67,41 @@ func NewStreamFrom(enc Encoder, state bus.LineState) *Stream {
 	return &Stream{enc: enc, state: state}
 }
 
-// Encoder returns the wrapped policy.
-func (s *Stream) Encoder() Encoder { return s.enc }
+// NewAdaptiveStream returns a streaming encoder whose scheme is chosen
+// burst by burst by a: before each burst the stream encodes with
+// a.Current(), afterwards it reports the burst through a.Observe. The
+// stream starts from the idle line state — the boundary condition the
+// adapter's shadow chains assume. The adapter must be exclusive to this
+// stream.
+func NewAdaptiveStream(a Adapter) *Stream {
+	if a == nil {
+		panic("dbi: NewAdaptiveStream with nil adapter")
+	}
+	return &Stream{enc: a.Current(), adapter: a, state: bus.InitialLineState}
+}
+
+// Encoder returns the wrapped policy; for an adaptive stream, the live
+// scheme the next burst would be encoded with.
+func (s *Stream) Encoder() Encoder {
+	if s.adapter != nil {
+		return s.adapter.Current()
+	}
+	return s.enc
+}
+
+// Adapter returns the stream's scheme controller, or nil for fixed-scheme
+// streams.
+func (s *Stream) Adapter() Adapter { return s.adapter }
+
+// shardable reports whether this stream may be driven by a pipeline worker
+// goroutine: its encode state must be confined to the stream (and its
+// adapter) itself.
+func (s *Stream) shardable() bool {
+	if s.adapter != nil {
+		return s.adapter.Shardable()
+	}
+	return Stateless(s.enc)
+}
 
 // State returns the current wire state of the lane.
 func (s *Stream) State() bus.LineState { return s.state }
@@ -51,12 +113,20 @@ func (s *Stream) State() bus.LineState { return s.state }
 // the next Transmit or Reset on this stream. Callers that retain it longer
 // must Clone it.
 func (s *Stream) Transmit(b bus.Burst) bus.Wire {
-	s.inv = s.enc.EncodeInto(s.inv[:0], s.state, b)
+	enc := s.enc
+	if s.adapter != nil {
+		enc = s.adapter.Current()
+	}
+	s.inv = enc.EncodeInto(s.inv[:0], s.state, b)
 	s.wire.Fill(b, s.inv)
 	w := s.wire
-	s.total = s.total.Add(w.Cost(s.state))
+	cost := w.Cost(s.state)
+	s.total = s.total.Add(cost)
 	s.state = w.FinalState(s.state)
 	s.beats += w.Len()
+	if s.adapter != nil {
+		s.adapter.Observe(b, cost, s.state)
+	}
 	return w
 }
 
@@ -67,18 +137,22 @@ func (s *Stream) TotalCost() bus.Cost { return s.total }
 // Beats returns the number of beats transmitted so far.
 func (s *Stream) Beats() int { return s.beats }
 
-// Reset returns the stream to the idle state and clears the accumulators.
+// Reset returns the stream to the idle state and clears the accumulators
+// (and, on adaptive streams, the adapter's shadow chains and live scheme).
 // The encode scratch is kept, so a reset stream stays allocation-free.
 func (s *Stream) Reset() {
 	s.state = bus.InitialLineState
 	s.total = bus.Cost{}
 	s.beats = 0
+	if s.adapter != nil {
+		s.adapter.Reset()
+	}
 }
 
 // String summarises the stream for diagnostics.
 func (s *Stream) String() string {
 	return fmt.Sprintf("%s: %d beats, %d zeros, %d transitions",
-		s.enc.Name(), s.beats, s.total.Zeros, s.total.Transitions)
+		s.Encoder().Name(), s.beats, s.total.Zeros, s.total.Transitions)
 }
 
 // LaneSet drives one Stream per byte lane of a multi-lane bus, applying the
@@ -101,6 +175,34 @@ func NewLaneSet(enc Encoder, n int) *LaneSet {
 		ls.lanes[i] = NewStream(enc)
 	}
 	return ls
+}
+
+// NewAdaptiveLaneSet creates n adaptive streams, one per lane, each driven
+// by its own Adapter from mk(lane). Lanes adapt independently — exactly as
+// the per-lane DBI logic of a real device would — so a lane set may hold
+// different live schemes on different lanes at the same instant. mk must
+// return a fresh adapter per call; sharing one adapter across lanes would
+// interleave their shadow chains.
+func NewAdaptiveLaneSet(mk func(lane int) Adapter, n int) *LaneSet {
+	if n <= 0 {
+		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", n))
+	}
+	ls := &LaneSet{lanes: make([]*Stream, n), wires: make([]bus.Wire, n)}
+	for i := range ls.lanes {
+		ls.lanes[i] = NewAdaptiveStream(mk(i))
+	}
+	return ls
+}
+
+// shardable reports whether every lane of the set may be driven from a
+// pipeline worker goroutine.
+func (ls *LaneSet) shardable() bool {
+	for _, l := range ls.lanes {
+		if !l.shardable() {
+			return false
+		}
+	}
+	return true
 }
 
 // Lanes returns the number of lanes.

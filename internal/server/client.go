@@ -27,6 +27,10 @@ type Client struct {
 	payload  []byte // reusable receive buffer
 	frameBuf []byte // reusable send buffer for EncodeFrame
 	inv      []bool // reusable unpacked-mask scratch
+
+	// switches collects the SWITCH notices of an adaptive session, in
+	// arrival (= switch) order.
+	switches []SwitchNote
 }
 
 // Dial connects to a dbiserve instance and opens a session. Zero-valued
@@ -72,15 +76,28 @@ func Dial(addr string, cfg SessionConfig) (*Client, error) {
 }
 
 // Scheme returns the registry name the server resolved for this session
-// (the requested name, or the server default if none was requested).
+// (the requested name, or the server default if none was requested). An
+// adaptive session reports "ADAPTIVE(candidate,candidate,...)".
 func (c *Client) Scheme() string { return c.scheme }
 
 // Config returns the session geometry.
 func (c *Client) Config() SessionConfig { return c.cfg }
 
+// Switches returns the SWITCH notices received so far: every mid-stream
+// scheme renegotiation the server's adaptive controllers performed, in
+// switch order. Notices arrive attached to replies, so the log is current
+// as of the last completed call. The returned slice is a copy.
+func (c *Client) Switches() []SwitchNote {
+	out := make([]SwitchNote, len(c.switches))
+	copy(out, c.switches)
+	return out
+}
+
 // roundTrip sends one message and reads the reply, which must be of type
-// want; a msgError reply surfaces as an error. The returned payload aliases
-// the client's receive buffer and is valid until the next call.
+// want; a msgError reply surfaces as an error. SWITCH notices preceding
+// the reply are collected into the client's switch log (see Switches).
+// The returned payload aliases the client's receive buffer and is valid
+// until the next call.
 func (c *Client) roundTrip(typ byte, payload []byte, want byte) ([]byte, error) {
 	if c.closed {
 		return nil, fmt.Errorf("server: client is closed")
@@ -95,24 +112,34 @@ func (c *Client) roundTrip(typ byte, payload []byte, want byte) ([]byte, error) 
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	gotTyp, n, err := readHeader(c.r, &c.hdr)
-	if err != nil {
-		return nil, fmt.Errorf("server: reading reply: %w", err)
+	for {
+		gotTyp, n, err := readHeader(c.r, &c.hdr)
+		if err != nil {
+			return nil, fmt.Errorf("server: reading reply: %w", err)
+		}
+		if cap(c.payload) < n {
+			c.payload = make([]byte, n)
+		}
+		buf := c.payload[:n]
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, fmt.Errorf("server: reading reply payload: %w", err)
+		}
+		if gotTyp == msgSwitch {
+			note, err := parseSwitchNote(buf)
+			if err != nil {
+				return nil, err
+			}
+			c.switches = append(c.switches, note)
+			continue
+		}
+		if gotTyp == msgError {
+			return nil, fmt.Errorf("server: %s", buf)
+		}
+		if gotTyp != want {
+			return nil, fmt.Errorf("server: unexpected reply type %q (want %q)", gotTyp, want)
+		}
+		return buf, nil
 	}
-	if cap(c.payload) < n {
-		c.payload = make([]byte, n)
-	}
-	buf := c.payload[:n]
-	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return nil, fmt.Errorf("server: reading reply payload: %w", err)
-	}
-	if gotTyp == msgError {
-		return nil, fmt.Errorf("server: %s", buf)
-	}
-	if gotTyp != want {
-		return nil, fmt.Errorf("server: unexpected reply type %q (want %q)", gotTyp, want)
-	}
-	return buf, nil
 }
 
 // EncodeFrame transmits one frame through the session and returns the

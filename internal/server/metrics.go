@@ -18,6 +18,8 @@ type Metrics struct {
 	accepted atomic.Int64 // connections accepted
 	rejected atomic.Int64 // sessions refused at handshake
 	active   atomic.Int64 // sessions currently open
+	adaptive atomic.Int64 // adaptive sessions opened
+	switches atomic.Int64 // adaptive scheme switches, over all sessions and lanes
 	frames   atomic.Int64 // frames encoded (single-frame messages)
 	batches  atomic.Int64 // batch messages encoded
 	bursts   atomic.Int64 // bursts encoded, over all lanes and messages
@@ -44,6 +46,12 @@ func (m *Metrics) noteSession(ok bool) {
 // noteClose records the end of an accepted session.
 func (m *Metrics) noteClose() { m.active.Add(-1) }
 
+// noteAdaptive records the opening of an adaptive session.
+func (m *Metrics) noteAdaptive() { m.adaptive.Add(1) }
+
+// noteSwitch records one adaptive scheme switch (any session, any lane).
+func (m *Metrics) noteSwitch() { m.switches.Add(1) }
+
 // noteEncode records one encode handler invocation: frames and bursts
 // processed, the activity deltas, and the time spent. batch distinguishes
 // pipelined batches from single-frame messages.
@@ -68,6 +76,10 @@ type MetricsSnapshot struct {
 	// Accepted, Rejected and Active count session lifecycle events:
 	// handshakes taken, handshakes refused, and sessions currently open.
 	Accepted, Rejected, Active int64
+	// AdaptiveSessions counts adaptive sessions opened; SchemeSwitches
+	// counts their controllers' scheme switches over all lanes (each
+	// session's own count travels in its Totals).
+	AdaptiveSessions, SchemeSwitches int64
 	// Frames, Batches and Bursts count encode volume: frames encoded
 	// (batch contents included), batch messages, and per-lane bursts.
 	Frames, Batches, Bursts int64
@@ -88,13 +100,15 @@ type MetricsSnapshot struct {
 // Snapshot reads every counter and derives the rates.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Accepted: m.accepted.Load(),
-		Rejected: m.rejected.Load(),
-		Active:   m.active.Load(),
-		Frames:   m.frames.Load(),
-		Batches:  m.batches.Load(),
-		Bursts:   m.bursts.Load(),
-		Beats:    m.beats.Load(),
+		Accepted:         m.accepted.Load(),
+		Rejected:         m.rejected.Load(),
+		Active:           m.active.Load(),
+		AdaptiveSessions: m.adaptive.Load(),
+		SchemeSwitches:   m.switches.Load(),
+		Frames:           m.frames.Load(),
+		Batches:          m.batches.Load(),
+		Bursts:           m.bursts.Load(),
+		Beats:            m.beats.Load(),
 		Coded: Cost{
 			Zeros:       int(m.codedZeros.Load()),
 			Transitions: int(m.codedToggle.Load()),
@@ -128,6 +142,8 @@ func (s MetricsSnapshot) WriteText(buf *bytes.Buffer) error {
 		{"sessions_accepted", fmt.Sprint(s.Accepted)},
 		{"sessions_rejected", fmt.Sprint(s.Rejected)},
 		{"sessions_active", fmt.Sprint(s.Active)},
+		{"sessions_adaptive", fmt.Sprint(s.AdaptiveSessions)},
+		{"scheme_switches", fmt.Sprint(s.SchemeSwitches)},
 		{"frames_encoded", fmt.Sprint(s.Frames)},
 		{"batches_encoded", fmt.Sprint(s.Batches)},
 		{"bursts_encoded", fmt.Sprint(s.Bursts)},

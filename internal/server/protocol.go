@@ -36,8 +36,10 @@ const (
 	helloMagic = "DBIS"
 	// replyMagic opens the server's handshake response.
 	replyMagic = "DBIO"
-	// protocolVersion is the current protocol revision.
-	protocolVersion = 1
+	// protocolVersion is the current protocol revision. v2 added the
+	// handshake flags byte, the adaptive-session block, the SWITCH notice
+	// and the Switches totals counter.
+	protocolVersion = 2
 
 	// MaxLanes bounds the per-session lane count a handshake may request.
 	MaxLanes = 4096
@@ -79,6 +81,21 @@ const (
 	// msgError carries an error description; the server closes the
 	// connection after sending it.
 	msgError = 'E'
+	// msgSwitch is the SWITCH marker of an adaptive session: the server's
+	// controller changed the live scheme on one lane. Notices are queued
+	// and sent immediately before the next reply, so a client always
+	// learns about a renegotiation no later than the reply to the message
+	// whose encoding caused it. Payload: lane u16 | ordinal u32 |
+	// burst u64 | fromLen u8 | from | toLen u8 | to.
+	msgSwitch = 'W'
+)
+
+// handshake flag bits (v2).
+const (
+	// flagAdapt marks an adaptive-session request: the handshake carries
+	// the adaptive block (window, margin, candidate names) after the
+	// scheme name.
+	flagAdapt = 1 << 0
 )
 
 // SessionConfig is what a client asks of the server at handshake time.
@@ -86,15 +103,31 @@ type SessionConfig struct {
 	// Scheme is the registered scheme name ("OPT-FIXED", "DC", ...); empty
 	// selects the server's default scheme.
 	Scheme string
-	// Alpha and Beta are the weights for weighted schemes. Both zero
-	// selects the server's default weights; weight-free schemes ignore
-	// them either way.
+	// Alpha and Beta are the weights for weighted schemes (and the
+	// comparison weights of an adaptive session). Both zero selects the
+	// server's default weights; weight-free schemes ignore them either
+	// way.
 	Alpha, Beta float64
 	// Lanes is the byte-lane count of the session's bus (1..MaxLanes).
 	Lanes int
 	// Beats is the burst length in beats (1..255, matching the trace
 	// format's range).
 	Beats int
+
+	// Adapt requests an adaptive session: instead of one fixed scheme the
+	// server runs the internal/adapt windowed controller per lane,
+	// arbitrating between AdaptCandidates and announcing every switch with
+	// a SWITCH notice. Scheme is ignored for adaptive sessions.
+	Adapt bool
+	// AdaptWindow is the decision-window length in bursts; 0 defers to the
+	// server's default (which itself defaults to adapt.DefaultWindow).
+	AdaptWindow int
+	// AdaptMargin is the fractional hysteresis in [0, 1); 0 defers to the
+	// server's default.
+	AdaptMargin float64
+	// AdaptCandidates are the candidate scheme names; empty defers to the
+	// server's default candidate set.
+	AdaptCandidates []string
 }
 
 // Validate reports an error for out-of-range session geometry.
@@ -108,12 +141,37 @@ func (c SessionConfig) Validate() error {
 	if len(c.Scheme) > 255 {
 		return fmt.Errorf("server: scheme name longer than 255 bytes")
 	}
+	if c.Adapt {
+		if c.AdaptWindow < 0 || c.AdaptWindow > math.MaxUint32 {
+			return fmt.Errorf("server: adapt window out of range: %d", c.AdaptWindow)
+		}
+		if c.AdaptMargin < 0 || c.AdaptMargin >= 1 || c.AdaptMargin != c.AdaptMargin {
+			return fmt.Errorf("server: adapt margin must be in [0, 1), got %g", c.AdaptMargin)
+		}
+		if len(c.AdaptCandidates) > 255 {
+			return fmt.Errorf("server: more than 255 adapt candidates")
+		}
+		for _, name := range c.AdaptCandidates {
+			if name == "" || len(name) > 255 {
+				return fmt.Errorf("server: adapt candidate name %q out of range", name)
+			}
+		}
+	}
 	return nil
 }
 
 // handshakeLen is the fixed part of the client handshake: magic, version,
-// beats, lanes, alpha, beta, scheme-name length.
-const handshakeLen = 4 + 1 + 1 + 2 + 8 + 8 + 1
+// beats, lanes, alpha, beta, scheme-name length, flags. Flagged requests
+// append their blocks after the scheme name (flagAdapt: window u32,
+// margin f64, candidate count u8, then length-prefixed candidate names).
+const handshakeLen = 4 + 1 + 1 + 2 + 8 + 8 + 1 + 1
+
+// handshakeLenV1 is the v1 fixed part: everything up to and including the
+// scheme-name length, without the v2 flags byte. readHandshake reads this
+// much before checking the version, so an old client's (shorter)
+// handshake is answered with a version error instead of blocking the
+// accept slot forever on bytes that will never arrive.
+const handshakeLenV1 = handshakeLen - 1
 
 // writeHandshake serialises the session request onto w.
 func writeHandshake(w io.Writer, c SessionConfig) error {
@@ -128,7 +186,21 @@ func writeHandshake(w io.Writer, c SessionConfig) error {
 	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(c.Alpha))
 	binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(c.Beta))
 	buf[24] = byte(len(c.Scheme))
+	if c.Adapt {
+		buf[25] |= flagAdapt
+	}
 	buf = append(buf, c.Scheme...)
+	if c.Adapt {
+		var blk [13]byte
+		binary.LittleEndian.PutUint32(blk[0:4], uint32(c.AdaptWindow))
+		binary.LittleEndian.PutUint64(blk[4:12], math.Float64bits(c.AdaptMargin))
+		blk[12] = byte(len(c.AdaptCandidates))
+		buf = append(buf, blk[:]...)
+		for _, name := range c.AdaptCandidates {
+			buf = append(buf, byte(len(name)))
+			buf = append(buf, name...)
+		}
+	}
 	_, err := w.Write(buf)
 	return err
 }
@@ -136,7 +208,10 @@ func writeHandshake(w io.Writer, c SessionConfig) error {
 // readHandshake parses a session request from r.
 func readHandshake(r io.Reader) (SessionConfig, error) {
 	var buf [handshakeLen]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	// Read only the version-independent prefix first: a v1 client sends
+	// one byte less, and waiting for the v2 flags byte before checking
+	// the version would hang on it instead of rejecting it.
+	if _, err := io.ReadFull(r, buf[:handshakeLenV1]); err != nil {
 		return SessionConfig{}, fmt.Errorf("server: reading handshake: %w", err)
 	}
 	if string(buf[:4]) != helloMagic {
@@ -145,11 +220,21 @@ func readHandshake(r io.Reader) (SessionConfig, error) {
 	if buf[4] != protocolVersion {
 		return SessionConfig{}, fmt.Errorf("server: unsupported protocol version %d", buf[4])
 	}
+	if _, err := io.ReadFull(r, buf[handshakeLenV1:]); err != nil {
+		return SessionConfig{}, fmt.Errorf("server: reading handshake: %w", err)
+	}
+	// Unknown flag bits are rejected, not ignored: a flag implies an
+	// appended block this version would not consume, which would desync
+	// the message stream into confusing downstream errors.
+	if unknown := buf[25] &^ flagAdapt; unknown != 0 {
+		return SessionConfig{}, fmt.Errorf("server: unsupported handshake flags %#x", unknown)
+	}
 	c := SessionConfig{
 		Beats: int(buf[5]),
 		Lanes: int(binary.LittleEndian.Uint16(buf[6:8])),
 		Alpha: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
 		Beta:  math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24])),
+		Adapt: buf[25]&flagAdapt != 0,
 	}
 	if n := int(buf[24]); n > 0 {
 		name := make([]byte, n)
@@ -157,6 +242,25 @@ func readHandshake(r io.Reader) (SessionConfig, error) {
 			return SessionConfig{}, fmt.Errorf("server: reading scheme name: %w", err)
 		}
 		c.Scheme = string(name)
+	}
+	if c.Adapt {
+		var blk [13]byte
+		if _, err := io.ReadFull(r, blk[:]); err != nil {
+			return SessionConfig{}, fmt.Errorf("server: reading adapt block: %w", err)
+		}
+		c.AdaptWindow = int(binary.LittleEndian.Uint32(blk[0:4]))
+		c.AdaptMargin = math.Float64frombits(binary.LittleEndian.Uint64(blk[4:12]))
+		for i := 0; i < int(blk[12]); i++ {
+			var ln [1]byte
+			if _, err := io.ReadFull(r, ln[:]); err != nil {
+				return SessionConfig{}, fmt.Errorf("server: reading adapt candidate: %w", err)
+			}
+			name := make([]byte, ln[0])
+			if _, err := io.ReadFull(r, name); err != nil {
+				return SessionConfig{}, fmt.Errorf("server: reading adapt candidate: %w", err)
+			}
+			c.AdaptCandidates = append(c.AdaptCandidates, string(name))
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return SessionConfig{}, err
@@ -245,8 +349,8 @@ func unpackMask(dst []bool, mask []byte) {
 	}
 }
 
-// totalsLen is the wire size of a Totals payload: six u64 counters.
-const totalsLen = 6 * 8
+// totalsLen is the wire size of a Totals payload: seven u64 counters.
+const totalsLen = 7 * 8
 
 // Totals is the cumulative activity accounting of one session: what the
 // session has encoded so far (Coded) and what transmitting the same payload
@@ -263,6 +367,9 @@ type Totals struct {
 	// Raw is the activity the same payload would have caused unencoded,
 	// accumulated against its own continuous per-lane state.
 	Raw Cost
+	// Switches counts the adaptive scheme switches over all lanes of the
+	// session (0 for fixed-scheme sessions).
+	Switches int
 }
 
 // TogglesSaved returns how many wire transitions the coding avoided versus
@@ -281,6 +388,7 @@ func putTotals(dst []byte, t Totals) {
 	binary.LittleEndian.PutUint64(dst[24:32], uint64(t.Coded.Transitions))
 	binary.LittleEndian.PutUint64(dst[32:40], uint64(t.Raw.Zeros))
 	binary.LittleEndian.PutUint64(dst[40:48], uint64(t.Raw.Transitions))
+	binary.LittleEndian.PutUint64(dst[48:56], uint64(t.Switches))
 }
 
 // parseTotals deserialises a totalsLen-sized buffer.
@@ -296,5 +404,61 @@ func parseTotals(src []byte) Totals {
 			Zeros:       int(binary.LittleEndian.Uint64(src[32:40])),
 			Transitions: int(binary.LittleEndian.Uint64(src[40:48])),
 		},
+		Switches: int(binary.LittleEndian.Uint64(src[48:56])),
 	}
+}
+
+// SwitchNote is one SWITCH marker of an adaptive session: the server's
+// controller replaced the live scheme on one lane. Notices arrive in
+// switch order, no later than the reply to the message whose encoding
+// caused them.
+type SwitchNote struct {
+	// Lane is the lane that switched.
+	Lane int
+	// Ordinal is the 1-based switch count on that lane.
+	Ordinal int
+	// Burst is the number of bursts the lane had transmitted when the
+	// switch took effect (the switch point in the lane's stream).
+	Burst int
+	// From and To are the registry names of the schemes involved.
+	From, To string
+}
+
+// appendSwitchNote serialises one SWITCH notice payload onto dst.
+func appendSwitchNote(dst []byte, n SwitchNote) []byte {
+	var fixed [14]byte
+	binary.LittleEndian.PutUint16(fixed[0:2], uint16(n.Lane))
+	binary.LittleEndian.PutUint32(fixed[2:6], uint32(n.Ordinal))
+	binary.LittleEndian.PutUint64(fixed[6:14], uint64(n.Burst))
+	dst = append(dst, fixed[:]...)
+	dst = append(dst, byte(len(n.From)))
+	dst = append(dst, n.From...)
+	dst = append(dst, byte(len(n.To)))
+	dst = append(dst, n.To...)
+	return dst
+}
+
+// parseSwitchNote deserialises a SWITCH notice payload.
+func parseSwitchNote(src []byte) (SwitchNote, error) {
+	if len(src) < 15 {
+		return SwitchNote{}, fmt.Errorf("server: switch notice of %d bytes is truncated", len(src))
+	}
+	n := SwitchNote{
+		Lane:    int(binary.LittleEndian.Uint16(src[0:2])),
+		Ordinal: int(binary.LittleEndian.Uint32(src[2:6])),
+		Burst:   int(binary.LittleEndian.Uint64(src[6:14])),
+	}
+	rest := src[14:]
+	fromLen := int(rest[0])
+	if len(rest) < 1+fromLen+1 {
+		return SwitchNote{}, fmt.Errorf("server: switch notice of %d bytes is truncated", len(src))
+	}
+	n.From = string(rest[1 : 1+fromLen])
+	rest = rest[1+fromLen:]
+	toLen := int(rest[0])
+	if len(rest) != 1+toLen {
+		return SwitchNote{}, fmt.Errorf("server: switch notice of %d bytes is malformed", len(src))
+	}
+	n.To = string(rest[1 : 1+toLen])
+	return n, nil
 }

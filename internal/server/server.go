@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"dbiopt/internal/adapt"
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
 )
@@ -38,6 +39,20 @@ type Config struct {
 	// session ends — they queue in the kernel backlog, which is the
 	// connection-level half of the backpressure contract.
 	MaxConns int
+
+	// Adapt makes sessions that request no scheme adaptive by default:
+	// they run the internal/adapt windowed controller per lane over the
+	// server's candidate set instead of one fixed scheme. Sessions that
+	// set SessionConfig.Adapt are adaptive regardless of this flag.
+	Adapt bool
+	// AdaptWindow, AdaptMargin and AdaptCandidates are the server-side
+	// defaults for adaptive sessions that leave the corresponding
+	// handshake fields zero. Their own zero values defer to the
+	// internal/adapt defaults (window 64, margin 0.05, candidates
+	// DC/AC/OPT-FIXED).
+	AdaptWindow     int
+	AdaptMargin     float64
+	AdaptCandidates []string
 }
 
 // Defaults for the zero Config.
@@ -80,6 +95,16 @@ func New(cfg Config) (*Server, error) {
 	// scheme cannot be built.
 	if _, err := dbi.Lookup(cfg.Scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta}); err != nil {
 		return nil, fmt.Errorf("server: default scheme: %w", err)
+	}
+	// Same for the adaptive defaults: an unusable candidate set or margin
+	// must not wait for a session to surface.
+	if err := (adapt.Config{
+		Candidates: cfg.AdaptCandidates,
+		Weights:    dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta},
+		Window:     cfg.AdaptWindow,
+		Margin:     cfg.AdaptMargin,
+	}).Validate(); err != nil {
+		return nil, fmt.Errorf("server: adaptive defaults: %w", err)
 	}
 	return &Server{
 		cfg:   cfg,
@@ -265,6 +290,9 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	s.metrics.noteSession(true)
+	if sess.adaptive {
+		s.metrics.noteAdaptive()
+	}
 	defer s.metrics.noteClose()
 	sess.loop()
 }

@@ -1,19 +1,23 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"dbiopt/internal/adapt"
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
+	"dbiopt/internal/trace"
 )
 
 // startServer boots a server on an ephemeral loopback port and tears it
@@ -452,4 +456,267 @@ func TestServeMetrics(t *testing.T) {
 	waitMetric(t, s.Metrics(), "active count returning to zero", func(m MetricsSnapshot) bool {
 		return m.Active == 0
 	})
+}
+
+// phaseFrames materialises a deterministic phase-shifting multi-lane
+// workload (sparse then correlated phases, per lane), the traffic class
+// adaptive sessions exist for.
+func phaseFrames(seed int64, frames, lanes, beats, period int) []bus.Frame {
+	srcs := make([]trace.Source, lanes)
+	for l := range srcs {
+		s := seed + int64(100*l)
+		srcs[l] = trace.NewPhaseShift(period, trace.NewSparse(s, 0.10), trace.NewMarkov(s+1, 0.05))
+	}
+	out := make([]bus.Frame, frames)
+	for i := range out {
+		f := make(bus.Frame, lanes)
+		for l := range f {
+			f[l] = srcs[l].Next(beats)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// adaptSession is the adaptive handshake the renegotiation tests run:
+// small window so switches happen within a short test workload.
+func adaptSession(lanes, beats int) SessionConfig {
+	return SessionConfig{
+		Adapt: true, AdaptWindow: 32, AdaptMargin: 0.05,
+		AdaptCandidates: []string{"DC", "AC", "RAW"},
+		Alpha:           4, Beta: 1,
+		Lanes: lanes, Beats: beats,
+	}
+}
+
+// offlineAdaptive replays frames through a local adaptive LaneSet built
+// from the same configuration an adaptive session resolves to.
+func offlineAdaptive(t *testing.T, cfg SessionConfig, lanes int) *dbi.LaneSet {
+	t.Helper()
+	mk, err := adapt.Factory(adapt.Config{
+		Candidates: cfg.AdaptCandidates,
+		Weights:    dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta},
+		Window:     cfg.AdaptWindow,
+		Margin:     cfg.AdaptMargin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dbi.NewAdaptiveLaneSet(mk, lanes)
+}
+
+// TestServeAdaptiveEquivalence pins mid-stream scheme renegotiation
+// against the offline re-encode: an adaptive session interleaving single
+// frames and a pipelined batch produces wire images, totals and switch
+// counts bit-identical to a local adaptive LaneSet with the same
+// configuration, and the SWITCH notices the client received describe
+// exactly the switches the offline controllers performed.
+func TestServeAdaptiveEquivalence(t *testing.T) {
+	const lanes, beats, frames, period = 2, 8, 1536, 256
+	s := startServer(t, Config{Workers: 3})
+	cfg := adaptSession(lanes, beats)
+	fs := phaseFrames(31, frames, lanes, beats, period)
+
+	c, err := Dial(s.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Scheme(); got != "ADAPTIVE(DC,AC,RAW)" {
+		t.Fatalf("resolved scheme %q", got)
+	}
+	offline := offlineAdaptive(t, cfg, lanes)
+
+	// Singles across the first phase boundary (checking every wire image),
+	// then a batch across two more, then singles again.
+	checkFrame := func(f bus.Frame) {
+		t.Helper()
+		got, err := c.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := offline.Transmit(f)
+		for l := range want {
+			if got[l].String() != want[l].String() {
+				t.Fatalf("lane %d: served wire %s != offline %s", l, got[l], want[l])
+			}
+		}
+	}
+	for _, f := range fs[:400] {
+		checkFrame(f)
+	}
+	if _, err := c.EncodeBatch(fs[400:1200]); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs[400:1200] {
+		offline.Transmit(f)
+	}
+	for _, f := range fs[1200:] {
+		checkFrame(f)
+	}
+
+	totals, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Coded != offline.TotalCost() {
+		t.Fatalf("served totals %+v != offline adaptive re-encode %+v", totals.Coded, offline.TotalCost())
+	}
+
+	// The offline controllers must agree with the served switch log.
+	wantSwitches := 0
+	for l := 0; l < lanes; l++ {
+		ctl := offline.Lane(l).Adapter().(*adapt.Controller)
+		wantSwitches += ctl.Switches()
+	}
+	if wantSwitches == 0 {
+		t.Fatal("offline controllers never switched; renegotiation not exercised")
+	}
+	if totals.Switches != wantSwitches {
+		t.Errorf("session totals report %d switches, offline controllers %d", totals.Switches, wantSwitches)
+	}
+	notes := c.Switches()
+	if len(notes) != wantSwitches {
+		t.Fatalf("client received %d SWITCH notices, want %d", len(notes), wantSwitches)
+	}
+	perLane := map[int]int{}
+	for i, n := range notes {
+		if n.Lane < 0 || n.Lane >= lanes {
+			t.Fatalf("notice %d names lane %d", i, n.Lane)
+		}
+		perLane[n.Lane]++
+		if n.Ordinal != perLane[n.Lane] {
+			t.Errorf("notice %d: lane %d ordinal %d, want %d", i, n.Lane, n.Ordinal, perLane[n.Lane])
+		}
+		if n.From == n.To || n.From == "" || n.To == "" {
+			t.Errorf("notice %d: degenerate switch %q -> %q", i, n.From, n.To)
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		ctl := offline.Lane(l).Adapter().(*adapt.Controller)
+		if perLane[l] != ctl.Switches() {
+			t.Errorf("lane %d: %d notices, offline controller switched %d times", l, perLane[l], ctl.Switches())
+		}
+	}
+
+	m := s.Metrics().Snapshot()
+	if m.AdaptiveSessions != 1 {
+		t.Errorf("adaptive session counter %d, want 1", m.AdaptiveSessions)
+	}
+	if m.SchemeSwitches != int64(wantSwitches) {
+		t.Errorf("scheme_switches counter %d, want %d", m.SchemeSwitches, wantSwitches)
+	}
+}
+
+// TestServeAdaptiveDefault: with the server's -adapt default on, a
+// handshake naming no scheme becomes adaptive with the server's candidate
+// set; naming a scheme stays fixed.
+func TestServeAdaptiveDefault(t *testing.T) {
+	s := startServer(t, Config{Adapt: true, AdaptCandidates: []string{"DC", "AC"}})
+	c, err := Dial(s.Addr().String(), SessionConfig{Lanes: 1, Beats: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Scheme(); got != "ADAPTIVE(DC,AC)" {
+		t.Errorf("scheme-less session resolved %q, want ADAPTIVE(DC,AC)", got)
+	}
+	c2, err := Dial(s.Addr().String(), SessionConfig{Scheme: "OPT-FIXED", Lanes: 1, Beats: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := c2.Scheme(); got != "OPT-FIXED" {
+		t.Errorf("explicit scheme resolved %q, want OPT-FIXED", got)
+	}
+	// metrics text names the new counters.
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counter := range []string{"sessions_adaptive", "scheme_switches"} {
+		if !strings.Contains(text, counter) {
+			t.Errorf("metrics text missing %q", counter)
+		}
+	}
+}
+
+// TestServeAdaptiveHandshakeRejects: unusable adaptive requests are
+// refused at handshake time with a telling error.
+func TestServeAdaptiveHandshakeRejects(t *testing.T) {
+	s := startServer(t, Config{})
+	if _, err := Dial(s.Addr().String(), SessionConfig{
+		Adapt: true, AdaptCandidates: []string{"DC", "BOGUS"}, Lanes: 1, Beats: 8,
+	}); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Errorf("unknown adaptive candidate not refused: %v", err)
+	}
+	if _, err := Dial(s.Addr().String(), SessionConfig{
+		Adapt: true, AdaptMargin: 0.5, AdaptCandidates: []string{"DC"}, Lanes: 1, Beats: 8,
+	}); err == nil || !strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("single-candidate adaptive session not refused: %v", err)
+	}
+}
+
+// TestHandshakeRoundTripAdapt: the v2 handshake carries the adaptive block
+// verbatim.
+func TestHandshakeRoundTripAdapt(t *testing.T) {
+	for _, cfg := range []SessionConfig{
+		{Lanes: 4, Beats: 8, Scheme: "DC", Alpha: 2, Beta: 3},
+		{Lanes: 1, Beats: 16, Adapt: true},
+		{Lanes: 7, Beats: 8, Adapt: true, AdaptWindow: 128, AdaptMargin: 0.25,
+			AdaptCandidates: []string{"DC", "AC", "OPT-FIXED"}, Alpha: 4, Beta: 1},
+	} {
+		var buf bytes.Buffer
+		if err := writeHandshake(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readHandshake(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, cfg) {
+			t.Errorf("handshake round trip %+v != %+v", got, cfg)
+		}
+	}
+}
+
+// TestHandshakeRejectsUnknownFlags: a flag bit this version does not know
+// implies an appended block it would not consume, so the handshake is
+// refused outright instead of desyncing the message stream.
+func TestHandshakeRejectsUnknownFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHandshake(&buf, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[25] |= 0x02 // a future flag bit
+	if _, err := readHandshake(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "unsupported handshake flags") {
+		t.Errorf("unknown flag bit not refused: %v", err)
+	}
+}
+
+// TestHandshakeRejectsV1WithoutHanging: a v1 client's handshake is one
+// byte shorter (no flags byte); the server must reject it on the version
+// field instead of blocking on bytes that will never arrive.
+func TestHandshakeRejectsV1WithoutHanging(t *testing.T) {
+	s := startServer(t, Config{})
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A v1 handshake with an empty scheme name: 25 bytes total, then the
+	// client waits for the reply.
+	var buf bytes.Buffer
+	if err := writeHandshake(&buf, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:handshakeLenV1]
+	raw[4] = 1 // protocol version 1
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readReply(conn); err == nil || !strings.Contains(err.Error(), "unsupported protocol version 1") {
+		t.Errorf("v1 handshake: err = %v, want version rejection (not a hang)", err)
+	}
 }

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
+	"sync"
 	"time"
 
+	"dbiopt/internal/adapt"
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
 	"dbiopt/internal/trace"
@@ -44,6 +47,17 @@ type session struct {
 	// encode message contributes an exact delta to the server metrics.
 	codedPrev Cost
 	rawPrev   Cost
+
+	// Adaptive sessions queue their controllers' switch records here (the
+	// OnSwitch hook runs on the session goroutine for single frames and on
+	// pipeline workers for batches, hence the mutex) and flush them as
+	// SWITCH notices immediately before the next reply.
+	adaptive bool
+	switchMu sync.Mutex
+	pending  []SwitchNote
+	switches int
+	// noticeBuf is the reusable serialisation scratch of flushSwitches.
+	noticeBuf []byte
 }
 
 // newSession performs the handshake on conn: it resolves the requested
@@ -61,38 +75,71 @@ func (s *Server) newSession(conn net.Conn) (*session, error) {
 		w.Flush()                         //nolint:errcheck
 		return nil, err
 	}
-	scheme := cfg.Scheme
-	if scheme == "" {
-		scheme = s.cfg.Scheme
-	}
 	if cfg.Alpha == 0 && cfg.Beta == 0 {
 		cfg.Alpha, cfg.Beta = s.cfg.Alpha, s.cfg.Beta
 	}
-	enc, err := dbi.Lookup(scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
-	if err != nil {
-		writeReply(w, false, err.Error()) //nolint:errcheck
-		w.Flush()                         //nolint:errcheck
-		return nil, err
-	}
-	if err := writeReply(w, true, scheme); err != nil {
-		return nil, err
-	}
-	if err := w.Flush(); err != nil {
-		return nil, err
-	}
+	adaptive := cfg.Adapt || (s.cfg.Adapt && cfg.Scheme == "")
 
 	sess := &session{
 		srv:       s,
 		r:         r,
 		w:         w,
 		cfg:       cfg,
-		scheme:    scheme,
-		ls:        dbi.NewLaneSet(enc, cfg.Lanes),
-		pipe:      dbi.NewPipeline(enc, cfg.Lanes, dbi.WithWorkers(s.cfg.Workers), dbi.WithChunkFrames(s.cfg.ChunkFrames)),
+		adaptive:  adaptive,
 		frameBuf:  make([]byte, cfg.Lanes*cfg.Beats),
 		frame:     make(bus.Frame, cfg.Lanes),
 		maskBuf:   make([]byte, cfg.Lanes*maskBytes(cfg.Beats)),
 		rawStates: make([]bus.LineState, cfg.Lanes),
+	}
+	if adaptive {
+		acfg := adapt.Config{
+			Candidates: cfg.AdaptCandidates,
+			Weights:    dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta},
+			Window:     cfg.AdaptWindow,
+			Margin:     cfg.AdaptMargin,
+			OnSwitch:   sess.noteSwitch,
+		}
+		// Handshake fields left zero defer to the server defaults.
+		if len(acfg.Candidates) == 0 {
+			acfg.Candidates = s.cfg.AdaptCandidates
+		}
+		if acfg.Window == 0 {
+			acfg.Window = s.cfg.AdaptWindow
+		}
+		if acfg.Margin == 0 {
+			acfg.Margin = s.cfg.AdaptMargin
+		}
+		mk, err := adapt.Factory(acfg)
+		if err != nil {
+			writeReply(w, false, err.Error()) //nolint:errcheck
+			w.Flush()                         //nolint:errcheck
+			return nil, err
+		}
+		sess.ls = dbi.NewAdaptiveLaneSet(mk, cfg.Lanes)
+		sess.scheme = adaptiveSchemeName(sess.ls.Lane(0).Adapter().(*adapt.Controller).Candidates())
+		sess.pipe = dbi.NewPipeline(sess.ls.Lane(0).Encoder(), cfg.Lanes,
+			dbi.WithWorkers(s.cfg.Workers), dbi.WithChunkFrames(s.cfg.ChunkFrames))
+	} else {
+		scheme := cfg.Scheme
+		if scheme == "" {
+			scheme = s.cfg.Scheme
+		}
+		enc, err := dbi.Lookup(scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
+		if err != nil {
+			writeReply(w, false, err.Error()) //nolint:errcheck
+			w.Flush()                         //nolint:errcheck
+			return nil, err
+		}
+		sess.ls = dbi.NewLaneSet(enc, cfg.Lanes)
+		sess.scheme = scheme
+		sess.pipe = dbi.NewPipeline(enc, cfg.Lanes,
+			dbi.WithWorkers(s.cfg.Workers), dbi.WithChunkFrames(s.cfg.ChunkFrames))
+	}
+	if err := writeReply(w, true, sess.scheme); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
 	}
 	for l := range sess.frame {
 		sess.frame[l] = bus.Burst(sess.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
@@ -131,6 +178,52 @@ func (sess *session) loop() {
 			return
 		}
 	}
+}
+
+// adaptiveSchemeName is the resolved-scheme string an adaptive session
+// reports at handshake time, naming the candidate set.
+func adaptiveSchemeName(candidates []string) string {
+	return "ADAPTIVE(" + strings.Join(candidates, ",") + ")"
+}
+
+// noteSwitch is the adaptive controllers' OnSwitch hook: it queues one
+// SWITCH notice for the client and counts the switch. Single-frame encodes
+// call it from the session goroutine, batch encodes from pipeline workers,
+// hence the mutex.
+func (sess *session) noteSwitch(sw adapt.Switch) {
+	sess.switchMu.Lock()
+	sess.pending = append(sess.pending, SwitchNote{
+		Lane: sw.Lane, Ordinal: sw.Ordinal, Burst: sw.Burst, From: sw.From, To: sw.To,
+	})
+	sess.switches++
+	sess.switchMu.Unlock()
+	sess.srv.metrics.noteSwitch()
+}
+
+// flushSwitches writes every queued SWITCH notice. Replies call it first,
+// so the client learns about a renegotiation no later than the reply to
+// the message whose encoding caused it. The steady state (no pending
+// switches — every fixed-scheme session, and adaptive sessions between
+// switches) is a nil check and costs no allocation.
+func (sess *session) flushSwitches() error {
+	if !sess.adaptive {
+		return nil
+	}
+	sess.switchMu.Lock()
+	notes := sess.pending
+	sess.pending = sess.pending[:0]
+	sess.switchMu.Unlock()
+	for _, n := range notes {
+		sess.noticeBuf = appendSwitchNote(sess.noticeBuf[:0], n)
+		putHeader(&sess.hdr, msgSwitch, len(sess.noticeBuf))
+		if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+			return err
+		}
+		if _, err := sess.w.Write(sess.noticeBuf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // discard drains an (expected-empty) payload, then runs the reply handler.
@@ -187,6 +280,9 @@ func (sess *session) handleFrame(n int) error {
 	sess.totals.Beats += sess.cfg.Lanes * sess.cfg.Beats
 	sess.noteDelta(false, 1, sess.cfg.Lanes, sess.cfg.Lanes*sess.cfg.Beats, start)
 
+	if err := sess.flushSwitches(); err != nil {
+		return err
+	}
 	putHeader(&sess.hdr, msgMasks, len(sess.maskBuf))
 	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
 		return err
@@ -290,7 +386,13 @@ func (sess *session) noteDelta(batch bool, frames, bursts, beats int, start time
 
 // sendTotals answers with the session's cumulative accounting.
 func (sess *session) sendTotals() error {
+	if err := sess.flushSwitches(); err != nil {
+		return err
+	}
 	sess.totals.Coded = sess.ls.TotalCost()
+	sess.switchMu.Lock()
+	sess.totals.Switches = sess.switches
+	sess.switchMu.Unlock()
 	putTotals(sess.totalsBuf[:], sess.totals)
 	putHeader(&sess.hdr, msgTotalsReply, totalsLen)
 	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
@@ -304,6 +406,9 @@ func (sess *session) sendTotals() error {
 
 // sendMetrics answers with the server-wide metrics text.
 func (sess *session) sendMetrics() error {
+	if err := sess.flushSwitches(); err != nil {
+		return err
+	}
 	var buf bytes.Buffer
 	if err := sess.srv.metrics.Snapshot().WriteText(&buf); err != nil {
 		return err

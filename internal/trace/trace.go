@@ -12,6 +12,7 @@ package trace
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"dbiopt/internal/bus"
 )
@@ -280,6 +281,50 @@ func (m *Markov) Next(beats int) bus.Burst {
 	}
 	return b
 }
+
+// PhaseShift models non-stationary traffic: it cycles through a list of
+// sources, emitting Period bursts from each before moving to the next and
+// wrapping around. This is the workload class static schemes cannot win —
+// each phase favours a different scheme — and the one the adaptive
+// controller (internal/adapt) exists for. Determinism follows from the
+// member sources' determinism.
+type PhaseShift struct {
+	srcs   []Source
+	period int
+	n      int
+}
+
+// NewPhaseShift returns a source that plays period bursts from each of
+// srcs in turn, forever. It panics on a non-positive period or an empty
+// source list, both programming errors.
+func NewPhaseShift(period int, srcs ...Source) *PhaseShift {
+	if period <= 0 {
+		panic(fmt.Sprintf("trace: phase period must be positive, got %d", period))
+	}
+	if len(srcs) == 0 {
+		panic("trace: NewPhaseShift with no sources")
+	}
+	return &PhaseShift{srcs: srcs, period: period}
+}
+
+// Name implements Source, naming the period and every phase.
+func (p *PhaseShift) Name() string {
+	names := make([]string, len(p.srcs))
+	for i, s := range p.srcs {
+		names[i] = s.Name()
+	}
+	return fmt.Sprintf("phase-%d(%s)", p.period, strings.Join(names, ","))
+}
+
+// Next implements Source.
+func (p *PhaseShift) Next(beats int) bus.Burst {
+	src := p.srcs[(p.n/p.period)%len(p.srcs)]
+	p.n++
+	return src.Next(beats)
+}
+
+// Phase returns the index of the source the next burst will come from.
+func (p *PhaseShift) Phase() int { return (p.n / p.period) % len(p.srcs) }
 
 // Catalog returns one instance of every workload class with derived seeds,
 // for sweep-style experiments.

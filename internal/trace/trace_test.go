@@ -194,3 +194,46 @@ func TestIntSqrt(t *testing.T) {
 		}
 	}
 }
+
+// TestPhaseShiftCycles: the composite source plays exactly period bursts
+// per phase, wraps around, and reproduces its member streams bit for bit.
+func TestPhaseShiftCycles(t *testing.T) {
+	const period = 3
+	a, b := Constant{Value: 0x00}, Constant{Value: 0xFF}
+	src := NewPhaseShift(period, a, b)
+	if src.Phase() != 0 {
+		t.Fatalf("initial phase %d, want 0", src.Phase())
+	}
+	for i := 0; i < 4*period; i++ {
+		want := byte(0x00)
+		if (i/period)%2 == 1 {
+			want = 0xFF
+		}
+		got := src.Next(4)
+		for _, v := range got {
+			if v != want {
+				t.Fatalf("burst %d: got %02x, want %02x", i, v, want)
+			}
+		}
+	}
+	if name := src.Name(); name != "phase-3(constant-00,constant-ff)" {
+		t.Errorf("name %q", name)
+	}
+}
+
+// TestPhaseShiftPanics: invalid constructions fail loudly.
+func TestPhaseShiftPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPhaseShift(0, Constant{}) },
+		func() { NewPhaseShift(8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid PhaseShift")
+				}
+			}()
+			f()
+		}()
+	}
+}

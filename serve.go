@@ -21,11 +21,16 @@ type (
 	// per concurrent session.
 	Client = server.Client
 	// SessionConfig is the per-session handshake: scheme name, weights,
-	// and bus geometry (lanes × beats).
+	// bus geometry (lanes × beats), and the optional adaptive-session
+	// request (Adapt, AdaptWindow, AdaptMargin, AdaptCandidates).
 	SessionConfig = server.SessionConfig
 	// SessionTotals is a session's cumulative activity accounting, coded
-	// versus the uncoded baseline.
+	// versus the uncoded baseline (plus the adaptive switch count).
 	SessionTotals = server.Totals
+	// SessionSwitch is one SWITCH notice of an adaptive session: the
+	// server renegotiated the live scheme on one lane mid-stream (see
+	// Client.Switches).
+	SessionSwitch = server.SwitchNote
 	// ServerMetrics is the server-wide counter set (bursts, toggles
 	// saved, ns/burst, session lifecycle).
 	ServerMetrics = server.MetricsSnapshot
