@@ -283,6 +283,7 @@ func BenchmarkPipeline(b *testing.B) {
 			b.Run(fmt.Sprintf("lanes=%d/workers=%d", lanes, workers), func(b *testing.B) {
 				p := dbiopt.NewPipeline(dbiopt.OptFixed(), lanes, dbiopt.WithWorkers(workers))
 				b.SetBytes(int64(lanes * dbiopt.BurstLength * frames))
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res, err := p.Run(dbiopt.FramesOf(workload))
 					if err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dbibench [-out results] [-bursts 10000] [-seed 2018] [-quick] [-workers n]
+//	dbibench [-out results] [-bursts 10000] [-seed 2018] [-quick] [-workers n] [-profile cpu.pprof]
 //
 // Outputs (in -out):
 //
@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"dbiopt/internal/experiments"
 	"dbiopt/internal/hw"
@@ -41,10 +42,24 @@ func run() error {
 	quick := flag.Bool("quick", false, "use 1000 bursts for a fast smoke run")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablation studies")
 	workers := flag.Int("workers", 1, "goroutines for per-burst cost evaluation; 0 = all cores (results are identical for any value)")
+	profile := flag.String("profile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
 	flag.Parse()
 
 	if *quick {
 		*bursts = 1000
+	}
+	// The profile brackets every experiment below, so performance work can
+	// capture the real regeneration workload without ad-hoc patches.
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	// Resolve the CLI's "0 = all cores" convention here, before Config is
 	// built: experiments.Config.Workers treats 0 (and 1) as the serial path

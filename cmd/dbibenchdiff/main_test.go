@@ -69,19 +69,23 @@ func TestStripProcs(t *testing.T) {
 func TestCompare(t *testing.T) {
 	base := map[string]Entry{
 		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 0},
-		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 3},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 0},
 		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: 0},
 		"BenchmarkD": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkF": {NsPerOp: 100, AllocsPerOp: 100},
+		"BenchmarkG": {NsPerOp: 100, AllocsPerOp: 100},
 	}
 	got := map[string]Entry{
-		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: 0}, // +20%: inside budget
-		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 4},  // faster but one more alloc: fail
-		"BenchmarkC": {NsPerOp: 130, AllocsPerOp: 0}, // +30%: fail
-		"BenchmarkE": {NsPerOp: 10, AllocsPerOp: 0},  // new: informational
-		// BenchmarkD missing: fail unless allowed
+		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: 0},   // +20%: inside budget
+		"BenchmarkB": {NsPerOp: 90, AllocsPerOp: 1},    // faster but allocs grew from 0: fail (exact)
+		"BenchmarkC": {NsPerOp: 130, AllocsPerOp: 0},   // +30%: fail
+		"BenchmarkE": {NsPerOp: 10, AllocsPerOp: 0},    // missing from baseline: fail
+		"BenchmarkF": {NsPerOp: 100, AllocsPerOp: 104}, /* within the +5% budget */
+		"BenchmarkG": {NsPerOp: 100, AllocsPerOp: 110}, // beyond the +5% budget: fail
+		// BenchmarkD missing from results: fail unless allowed
 	}
 	c := compare(base, got, 0.25, false)
-	wantRegress := []string{"BenchmarkB", "BenchmarkC", "BenchmarkD"}
+	wantRegress := []string{"BenchmarkB", "BenchmarkC", "BenchmarkD", "BenchmarkG", "BenchmarkE"}
 	if len(c.regressions) != len(wantRegress) {
 		t.Fatalf("regressions %v, want %v", c.regressions, wantRegress)
 	}
@@ -90,18 +94,33 @@ func TestCompare(t *testing.T) {
 			t.Errorf("regression %d = %s, want %s", i, c.regressions[i], name)
 		}
 	}
-	if c.checked != 3 {
-		t.Errorf("checked %d, want 3", c.checked)
+	if c.checked != 5 {
+		t.Errorf("checked %d, want 5", c.checked)
 	}
 	joined := strings.Join(c.lines, "\n")
-	for _, frag := range []string{"allocs/op 3 -> 4", "+30.0%", "MISSING", "NEW"} {
+	for _, frag := range []string{
+		"allocs/op 0 -> 1", "+30.0%", "MISSING",
+		"allocs/op 100 -> 110 (budget 105",
+		"BenchmarkE", "benchmark missing from baseline",
+	} {
 		if !strings.Contains(joined, frag) {
 			t.Errorf("report missing %q:\n%s", frag, joined)
 		}
 	}
 
-	if c := compare(base, got, 0.25, true); len(c.regressions) != 2 {
+	if c := compare(base, got, 0.25, true); len(c.regressions) != 4 {
 		t.Errorf("allow-missing still reports %v", c.regressions)
+	}
+}
+
+// TestAllocBudget pins the two alloc regimes: exact at zero, +max(2, 5%)
+// above.
+func TestAllocBudget(t *testing.T) {
+	cases := map[int64]int64{0: 0, 1: 3, 10: 12, 40: 42, 100: 105, 1000: 1050}
+	for base, want := range cases {
+		if got := allocBudget(base); got != want {
+			t.Errorf("allocBudget(%d) = %d, want %d", base, got, want)
+		}
 	}
 }
 
@@ -156,6 +175,50 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "REGRESS") || !strings.Contains(out.String(), "FAIL: 1 regression") {
 		t.Errorf("regression not reported:\n%s", out.String())
+	}
+
+	// A benchmark present in the run but absent from the baseline: exit 1,
+	// named in the report.
+	unbaselined := benchOutput + "BenchmarkBrandNew-8   	 1000	  10.0 ns/op	       0 B/op	       0 allocs/op\n"
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, "-new", "-"}, strings.NewReader(unbaselined), &out, &errOut); code != 1 {
+		t.Fatalf("unbaselined benchmark exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkBrandNew") ||
+		!strings.Contains(out.String(), "benchmark missing from baseline") {
+		t.Errorf("unbaselined benchmark not named:\n%s", out.String())
+	}
+
+	// -json writes the machine-readable report alongside the text one.
+	jsonOut := filepath.Join(dir, "report.json")
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, "-new", bench, "-json", jsonOut}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("json run exited %d:\n%s", code, out.String())
+	}
+	var rep struct {
+		Baseline    string   `json:"baseline"`
+		OK          bool     `json:"ok"`
+		Checked     int      `json:"checked"`
+		Regressions []string `json:"regressions"`
+		Results     []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+		} `json:"results"`
+	}
+	jdata, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(jdata, &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, jdata)
+	}
+	if !rep.OK || rep.Checked != 3 || len(rep.Regressions) != 0 || len(rep.Results) != 3 {
+		t.Errorf("JSON report = %+v, want ok with 3 clean results", rep)
+	}
+	for _, r := range rep.Results {
+		if r.Status != "ok" {
+			t.Errorf("JSON result %s status %q, want ok", r.Name, r.Status)
+		}
 	}
 
 	// Unparseable input: exit 2.

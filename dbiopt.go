@@ -52,8 +52,17 @@ type (
 	Cost = bus.Cost
 	// Frame is a multi-lane payload (one Burst per byte lane).
 	Frame = bus.Frame
+	// InvMask is a packed per-beat inversion pattern: bit t set iff beat t
+	// is transmitted inverted. The bit-parallel fast-path representation of
+	// the encode core, for bursts of up to MaxMaskBeats beats.
+	InvMask = bus.InvMask
 	// Encoder is a DBI coding policy.
 	Encoder = dbi.Encoder
+	// MaskEncoder is the bit-parallel fast path of an Encoder: EncodeMask
+	// returns the inversion pattern packed into an InvMask. Every built-in
+	// scheme implements it; Stream and the parallel drivers use it
+	// automatically.
+	MaskEncoder = dbi.MaskEncoder
 	// Weights are the per-transition (Alpha) and per-zero (Beta) costs the
 	// optimal encoder minimises.
 	Weights = dbi.Weights
@@ -82,6 +91,10 @@ var InitialLineState = bus.InitialLineState
 
 // BurstLength is the standard burst length (BL8).
 const BurstLength = bus.BurstLength
+
+// MaxMaskBeats is the longest burst an InvMask can describe (one bit per
+// beat of a 64-bit word); longer bursts take the []bool encode path.
+const MaxMaskBeats = bus.MaxMaskBeats
 
 // Unit constants for readable physical literals.
 const (
@@ -159,6 +172,24 @@ func CostOf(enc Encoder, prev LineState, b Burst) Cost { return dbi.CostOf(enc, 
 
 // Decode recovers the payload from a wire image, as a DBI receiver does.
 func Decode(w Wire) Burst { return w.Decode() }
+
+// EncodeMask runs enc's bit-parallel fast path: the inversion pattern of b
+// as a packed mask. ok is false when enc has no fast path or declines the
+// burst (longer than MaxMaskBeats, or weights outside the exact-integer
+// regime for schemes that require it); fall back to Encode then. When ok,
+// the mask is bit-identical to the pattern Encode produces.
+func EncodeMask(enc Encoder, prev LineState, b Burst) (InvMask, bool) {
+	return dbi.EncodeMaskOf(enc, prev, b)
+}
+
+// ApplyMask produces the wire image of transmitting b with the packed
+// inversion pattern m, the mask-native counterpart of Encode's output.
+func ApplyMask(b Burst, m InvMask) Wire { return bus.ApplyMask(b, m) }
+
+// MaskCost returns the exact activity counts of transmitting b with
+// pattern m from prev — bit-identical to ApplyMask(b, m).Cost(prev), with
+// the DBI wire accounted bit-parallel.
+func MaskCost(prev LineState, b Burst, m InvMask) Cost { return bus.MaskCost(prev, b, m) }
 
 // NewStream returns a streaming encoder starting from the idle line state.
 // Steady-state Transmit performs zero heap allocations; the returned Wire

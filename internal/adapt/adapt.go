@@ -156,10 +156,14 @@ func (cfg Config) Validate() error {
 
 // candidate is one scheme's shadow lane: the encoder, the line state its
 // chain has reached since the last switch point, its trailing-window cost,
-// and reusable encode scratch.
+// and reusable encode scratch. menc caches the encoder's bit-parallel fast
+// path so shadow encodes run mask-native (packed pattern, table-driven
+// cost) with the []bool scratch kept only for schemes — or bursts — the
+// fast path declines.
 type candidate struct {
 	name  string
 	enc   dbi.Encoder
+	menc  dbi.MaskEncoder // nil when enc has no bit-parallel fast path
 	state bus.LineState
 	win   bus.Cost
 	inv   []bool
@@ -191,7 +195,8 @@ func New(cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, fmt.Errorf("adapt: candidate: %w", err)
 		}
-		c.cands[i] = candidate{name: name, enc: enc, state: bus.InitialLineState}
+		me, _ := enc.(dbi.MaskEncoder)
+		c.cands[i] = candidate{name: name, enc: enc, menc: me, state: bus.InitialLineState}
 	}
 	return c, nil
 }
@@ -261,6 +266,15 @@ func (c *Controller) Observe(b bus.Burst, cost bus.Cost, next bus.LineState) {
 			cd.win = cd.win.Add(cost)
 			cd.state = next
 			continue
+		}
+		// Mask-native shadow encode: pattern, cost and post-burst state all
+		// come from the packed representation, no per-beat walk.
+		if cd.menc != nil {
+			if m, ok := cd.menc.EncodeMask(cd.state, b); ok {
+				cd.win = cd.win.Add(bus.MaskCost(cd.state, b, m))
+				cd.state = bus.MaskFinalState(cd.state, b, m)
+				continue
+			}
 		}
 		cd.inv = cd.enc.EncodeInto(cd.inv[:0], cd.state, b)
 		st := cd.state

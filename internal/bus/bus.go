@@ -27,8 +27,6 @@
 // Burst, LineState, Wire, Cost, and the exact zero/transition accounting.
 package bus
 
-import "math/bits"
-
 // BurstLength is the default burst length (beats per burst) used by
 // GDDR5/GDDR5X and DDR4 (BL8).
 const BurstLength = 8
@@ -118,14 +116,14 @@ func (c Cost) Dominates(o Cost) bool {
 }
 
 // Zeros returns the number of zero bits in b.
-func Zeros(b byte) int { return 8 - bits.OnesCount8(b) }
+func Zeros(b byte) int { return int(zerosTab[b]) }
 
 // Ones returns the number of one bits in b.
-func Ones(b byte) int { return bits.OnesCount8(b) }
+func Ones(b byte) int { return int(onesTab[b]) }
 
 // Transitions returns the Hamming distance between two consecutive values of
 // the 8 DQ wires, i.e. the number of wires that toggle.
-func Transitions(prev, cur byte) int { return bits.OnesCount8(prev ^ cur) }
+func Transitions(prev, cur byte) int { return int(onesTab[prev^cur]) }
 
 // Invert returns the bitwise inverse of b.
 func Invert(b byte) byte { return ^b }

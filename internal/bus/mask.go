@@ -1,0 +1,203 @@
+package bus
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// InvMask is the packed per-beat inversion pattern of one burst: bit t is
+// set iff beat t is transmitted inverted (DBI wire driven low). It is the
+// bit-parallel counterpart of the []bool inversion slices consumed by Apply
+// and Wire.Fill, and the representation the hot paths (Stream, the adaptive
+// shadow chains, the parallel cost drivers) run on: a whole burst's
+// decisions live in one register, so the DBI-wire share of the cost
+// accounting collapses to two popcounts and the DQ-wire share to one
+// table-driven pass.
+//
+// An InvMask describes bursts of up to MaxMaskBeats beats; bits at or above
+// the burst length are ignored by every consumer in this package.
+type InvMask uint64
+
+// MaxMaskBeats is the longest burst an InvMask can describe: one bit per
+// beat of a 64-bit word.
+const MaxMaskBeats = 64
+
+// onesTab and zerosTab are the 256-entry lookup tables behind the exact
+// activity accounting: onesTab[v] is the number of one bits of v (so
+// onesTab[prev^cur] is the transition count between consecutive DQ states)
+// and zerosTab[v] the number of zero bits (the DC termination count of
+// driving v). They exist so every cost path — scalar and mask-native — is a
+// table lookup, never a branch per bit.
+var onesTab, zerosTab [256]uint8
+
+func init() {
+	for v := 0; v < 256; v++ {
+		n := uint8(bits.OnesCount8(uint8(v)))
+		onesTab[v] = n
+		zerosTab[v] = 8 - n
+	}
+}
+
+// usedBits returns m restricted to the first n beats.
+func (m InvMask) usedBits(n int) uint64 {
+	return uint64(m) & (^uint64(0) >> (MaxMaskBeats - n))
+}
+
+// Bit reports whether beat t is inverted.
+func (m InvMask) Bit(t int) bool { return m>>t&1 == 1 }
+
+// MaskFromBools packs a []bool inversion pattern into an InvMask. ok is
+// false when the pattern is longer than MaxMaskBeats.
+func MaskFromBools(inv []bool) (InvMask, bool) {
+	if len(inv) > MaxMaskBeats {
+		return 0, false
+	}
+	var m InvMask
+	for t, f := range inv {
+		if f {
+			m |= 1 << t
+		}
+	}
+	return m, true
+}
+
+// AppendBools appends the first n beats of the mask to dst as one bool per
+// beat, the []bool convention of Encoder.EncodeInto. It allocates only when
+// dst lacks capacity.
+func (m InvMask) AppendBools(dst []bool, n int) []bool {
+	for t := 0; t < n; t++ {
+		dst = append(dst, m>>t&1 == 1)
+	}
+	return dst
+}
+
+// checkMaskLen panics when the burst is too long for a mask, mirroring
+// Fill's panic on a length mismatch: both are caller bugs, not data errors.
+func checkMaskLen(n int) {
+	if n > MaxMaskBeats {
+		panic(fmt.Sprintf("bus: burst length %d exceeds the %d-beat mask limit", n, MaxMaskBeats))
+	}
+}
+
+// ApplyMask produces the wire-level image of transmitting burst b with the
+// packed inversion pattern m, the mask-native counterpart of Apply.
+// len(b) must not exceed MaxMaskBeats.
+func ApplyMask(b Burst, m InvMask) Wire {
+	w := Wire{Data: make([]byte, 0, len(b)), DBI: make([]bool, 0, len(b))}
+	w.FillMask(b, m)
+	return w
+}
+
+// FillMask rebuilds the wire image in place from burst b and the packed
+// inversion pattern m, reusing the Wire's backing arrays exactly like Fill.
+// An inverted beat's DQ byte is produced by XOR with an all-ones sign byte,
+// so the fill is branch-free on the data path. len(b) must not exceed
+// MaxMaskBeats.
+func (w *Wire) FillMask(b Burst, m InvMask) {
+	checkMaskLen(len(b))
+	w.Data = append(w.Data[:0], b...)
+	if cap(w.DBI) < len(b) {
+		w.DBI = make([]bool, len(b))
+	}
+	w.DBI = w.DBI[:len(b)]
+	for t := range b {
+		bit := byte(m >> t & 1)
+		w.Data[t] ^= -bit // 0x00 or 0xFF: conditional inversion without a branch
+		w.DBI[t] = bit == 0
+	}
+}
+
+// MaskCost returns the exact zero and transition counts of transmitting
+// burst b with inversion pattern m from lane state prev — bit-identical to
+// ApplyMask(b, m).Cost(prev), but with the DBI wire accounted bit-parallel:
+// its zeros are one popcount of the mask, its transitions one popcount of
+// the mask XORed with itself shifted by a beat (the pre-burst DBI level
+// shifted in at bit 0). The DQ wires take one table-driven pass. len(b)
+// must not exceed MaxMaskBeats.
+func MaskCost(prev LineState, b Burst, m InvMask) Cost {
+	n := len(b)
+	checkMaskLen(n)
+	if n == 0 {
+		return Cost{}
+	}
+	used := m.usedBits(n)
+	var p uint64 // pre-burst inversion level: 1 when the DBI wire idles low
+	if !prev.DBI {
+		p = 1
+	}
+	c := Cost{
+		Zeros:       bits.OnesCount64(used),
+		Transitions: bits.OnesCount64(InvMask(used ^ (used<<1 | p)).usedBits(n)),
+	}
+	d := prev.Data
+	for t := 0; t < n; t++ {
+		w := b[t] ^ -byte(used>>t&1)
+		c.Zeros += int(zerosTab[w])
+		c.Transitions += int(onesTab[d^w])
+		d = w
+	}
+	return c
+}
+
+// FillMaskCost rebuilds the wire image in place exactly like FillMask and
+// returns the transmission's exact activity counts from prev in the same
+// pass — the fused form the streaming hot path runs, sparing one walk over
+// the burst. It is bit-identical to FillMask followed by MaskCost.
+func (w *Wire) FillMaskCost(prev LineState, b Burst, m InvMask) Cost {
+	n := len(b)
+	checkMaskLen(n)
+	w.Data = append(w.Data[:0], b...)
+	if cap(w.DBI) < n {
+		w.DBI = make([]bool, n)
+	}
+	w.DBI = w.DBI[:n]
+	if n == 0 {
+		return Cost{}
+	}
+	used := m.usedBits(n)
+	var p uint64 // pre-burst inversion level: 1 when the DBI wire idles low
+	if !prev.DBI {
+		p = 1
+	}
+	c := Cost{
+		Zeros:       bits.OnesCount64(used),
+		Transitions: bits.OnesCount64(InvMask(used ^ (used<<1 | p)).usedBits(n)),
+	}
+	d := prev.Data
+	for t := 0; t < n; t++ {
+		bit := byte(used >> t & 1)
+		v := w.Data[t] ^ -bit
+		w.Data[t] = v
+		w.DBI[t] = bit == 0
+		c.Zeros += int(zerosTab[v])
+		c.Transitions += int(onesTab[d^v])
+		d = v
+	}
+	return c
+}
+
+// MaskFinalState returns the lane state after transmitting burst b with
+// inversion pattern m — the mask-native counterpart of Wire.FinalState.
+func MaskFinalState(prev LineState, b Burst, m InvMask) LineState {
+	n := len(b)
+	checkMaskLen(n)
+	if n == 0 {
+		return prev
+	}
+	return Advance(prev, b[n-1], m.Bit(n-1))
+}
+
+// InvMask returns the packed inversion pattern a wire image carries on its
+// DBI wire. ok is false when the image is longer than MaxMaskBeats.
+func (w Wire) InvMask() (InvMask, bool) {
+	if len(w.DBI) > MaxMaskBeats {
+		return 0, false
+	}
+	var m InvMask
+	for t, high := range w.DBI {
+		if !high {
+			m |= 1 << t
+		}
+	}
+	return m, true
+}

@@ -1,0 +1,172 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMaskCase synthesises one (prev, burst, mask) triple plus the
+// equivalent []bool pattern.
+func randomMaskCase(rng *rand.Rand, maxBeats int) (LineState, Burst, InvMask, []bool) {
+	n := rng.Intn(maxBeats + 1)
+	b := make(Burst, n)
+	inv := make([]bool, n)
+	var m InvMask
+	for t := range b {
+		b[t] = byte(rng.Intn(256))
+		if rng.Intn(2) == 1 {
+			inv[t] = true
+			m |= 1 << t
+		}
+	}
+	prev := LineState{Data: byte(rng.Intn(256)), DBI: rng.Intn(2) == 1}
+	return prev, b, m, inv
+}
+
+// TestMaskFromBoolsRoundTrip pins the pack/unpack pair: bools → mask →
+// bools is the identity, and over-long patterns are refused.
+func TestMaskFromBoolsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for i := 0; i < 200; i++ {
+		_, _, m, inv := randomMaskCase(rng, MaxMaskBeats)
+		got, ok := MaskFromBools(inv)
+		if !ok {
+			t.Fatalf("MaskFromBools refused %d beats", len(inv))
+		}
+		if got != m {
+			t.Fatalf("MaskFromBools = %b, want %b", got, m)
+		}
+		back := got.AppendBools(nil, len(inv))
+		for t2 := range inv {
+			if back[t2] != inv[t2] {
+				t.Fatalf("AppendBools beat %d = %v, want %v", t2, back[t2], inv[t2])
+			}
+		}
+	}
+	if _, ok := MaskFromBools(make([]bool, MaxMaskBeats+1)); ok {
+		t.Error("MaskFromBools accepted a pattern beyond MaxMaskBeats")
+	}
+}
+
+// TestApplyMaskMatchesApply: the mask-native wire image is bit-identical to
+// the []bool one, and the wire's own InvMask round-trips.
+func TestApplyMaskMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 500; i++ {
+		_, b, m, inv := randomMaskCase(rng, MaxMaskBeats)
+		want := Apply(b, inv)
+		got := ApplyMask(b, m)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("length %d, want %d", len(got.Data), len(want.Data))
+		}
+		for t2 := range want.Data {
+			if got.Data[t2] != want.Data[t2] || got.DBI[t2] != want.DBI[t2] {
+				t.Fatalf("beat %d: got %02x/%v, want %02x/%v",
+					t2, got.Data[t2], got.DBI[t2], want.Data[t2], want.DBI[t2])
+			}
+		}
+		// Only bits below len(b) survive the round trip.
+		rm, ok := got.InvMask()
+		if !ok || rm != InvMask(m.usedBits(len(b))) {
+			t.Fatalf("Wire.InvMask = %b ok=%v, want %b", rm, ok, m.usedBits(len(b)))
+		}
+	}
+}
+
+// TestFillMaskReusesBuffers pins the scratch-reuse contract: after the
+// arrays have grown, FillMask never allocates.
+func TestFillMaskReusesBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	var w Wire
+	prevCases := make([]Burst, 16)
+	masks := make([]InvMask, 16)
+	for i := range prevCases {
+		_, b, m, _ := randomMaskCase(rng, 8)
+		prevCases[i], masks[i] = b, m
+	}
+	w.FillMask(make(Burst, 8), 0) // warm the arrays to the largest burst
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		w.FillMask(prevCases[i%len(prevCases)], masks[i%len(masks)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state FillMask allocates %.2f per burst, want 0", allocs)
+	}
+}
+
+// TestMaskCostMatchesWireCost: the bit-parallel accounting equals the
+// ground-truth wire recount, for arbitrary prev states, bursts and masks.
+func TestMaskCostMatchesWireCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 1000; i++ {
+		prev, b, m, inv := randomMaskCase(rng, MaxMaskBeats)
+		want := Apply(b, inv).Cost(prev)
+		if got := MaskCost(prev, b, m); got != want {
+			t.Fatalf("MaskCost(%+v, %v, %b) = %+v, want %+v", prev, b, m, got, want)
+		}
+	}
+}
+
+// TestFillMaskCostMatchesSplitCalls: the fused fill+cost equals FillMask
+// followed by MaskCost, wire image included.
+func TestFillMaskCostMatchesSplitCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	var fused, split Wire
+	for i := 0; i < 500; i++ {
+		prev, b, m, _ := randomMaskCase(rng, MaxMaskBeats)
+		gotCost := fused.FillMaskCost(prev, b, m)
+		split.FillMask(b, m)
+		if wantCost := MaskCost(prev, b, m); gotCost != wantCost {
+			t.Fatalf("FillMaskCost = %+v, want %+v", gotCost, wantCost)
+		}
+		for t2 := range b {
+			if fused.Data[t2] != split.Data[t2] || fused.DBI[t2] != split.DBI[t2] {
+				t.Fatalf("beat %d: fused %02x/%v != split %02x/%v",
+					t2, fused.Data[t2], fused.DBI[t2], split.Data[t2], split.DBI[t2])
+			}
+		}
+	}
+}
+
+// TestMaskFinalStateMatchesWire: the mask-native post-burst state equals
+// Wire.FinalState.
+func TestMaskFinalStateMatchesWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for i := 0; i < 500; i++ {
+		prev, b, m, inv := randomMaskCase(rng, MaxMaskBeats)
+		want := Apply(b, inv).FinalState(prev)
+		if got := MaskFinalState(prev, b, m); got != want {
+			t.Fatalf("MaskFinalState = %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestMaskCostIgnoresHighBits: bits at or above the burst length never
+// influence the accounting.
+func TestMaskCostIgnoresHighBits(t *testing.T) {
+	b := Burst{0x8E, 0x86, 0x96, 0xE9}
+	m := InvMask(0b1010)
+	dirty := m | ^InvMask(0)<<len(b)
+	if MaskCost(InitialLineState, b, m) != MaskCost(InitialLineState, b, dirty) {
+		t.Error("MaskCost depends on mask bits beyond the burst length")
+	}
+}
+
+// TestMaskLengthPanics pins the caller-bug panics on over-long bursts.
+func TestMaskLengthPanics(t *testing.T) {
+	long := make(Burst, MaxMaskBeats+1)
+	for name, fn := range map[string]func(){
+		"FillMask": func() { new(Wire).FillMask(long, 0) },
+		"MaskCost": func() { MaskCost(InitialLineState, long, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted a burst beyond MaxMaskBeats", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

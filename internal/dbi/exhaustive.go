@@ -25,13 +25,29 @@ func (e Exhaustive) Encode(prev bus.LineState, b bus.Burst) []bool {
 	return encodeAlloc(e, prev, b)
 }
 
-// EncodeInto implements Encoder. The winning pattern is tracked as a bit
-// mask and decoded once at the end, so the search itself needs no scratch.
+// EncodeInto implements Encoder. Weights with an exact integer scale run
+// the Gray-code incremental search of EncodeMask — every pattern visited by
+// flipping one beat and adjusting two precomputed edge costs, instead of
+// recosting all n beats per pattern — and other weights fall back to
+// encodeIntoScan, the full float recost.
 func (e Exhaustive) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n > MaxExhaustiveBeats {
 		panic(fmt.Sprintf("dbi: exhaustive search over %d beats (max %d)", n, MaxExhaustiveBeats))
 	}
+	if m, ok := e.EncodeMask(prev, b); ok {
+		return m.AppendBools(dst, n)
+	}
+	return e.encodeIntoScan(dst, prev, b)
+}
+
+// encodeIntoScan is the reference brute force: every pattern costed from
+// scratch in float arithmetic, the winning pattern tracked as a bit mask
+// and decoded once at the end. It is the fallback for weights with no exact
+// integer scale and the equivalence oracle the Gray-code path is pinned
+// against.
+func (e Exhaustive) encodeIntoScan(dst []bool, prev bus.LineState, b bus.Burst) []bool {
+	n := len(b)
 	if n == 0 {
 		return dst
 	}

@@ -96,6 +96,85 @@ func FuzzPipelineEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzMaskEquivalence: for every registered scheme, arbitrary bursts and
+// prior states must produce identical inversion flags, wires and costs
+// through the []bool path and the bit-parallel mask path — and, for
+// weights with an exact integer scale, the integer trellis must agree bit
+// for bit with the float reference dynamic program. This is the pinning
+// contract of the bit-parallel encode core: a mask-path divergence
+// anywhere (scheme decision, wire image, cost accounting, final state)
+// fails here.
+func FuzzMaskEquivalence(f *testing.F) {
+	f.Add([]byte{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}, byte(0xFF), true, uint8(1), uint8(1))
+	f.Add([]byte{}, byte(0), false, uint8(3), uint8(5))
+	f.Add([]byte{0x00, 0xFF, 0x00, 0xFF}, byte(0xAA), false, uint8(0), uint8(2))
+	f.Add([]byte{0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA}, byte(0x0F), true, uint8(7), uint8(0))
+	f.Fuzz(func(t *testing.T, payload []byte, prevData byte, prevDBI bool, qa, qb uint8) {
+		if len(payload) > bus.MaxMaskBeats {
+			payload = payload[:bus.MaxMaskBeats]
+		}
+		prev := bus.LineState{Data: prevData, DBI: prevDBI}
+		b := bus.Burst(payload)
+		// Three weight regimes from the fuzzed coefficients: exact
+		// integers, dyadic rationals, and a non-representable float pair.
+		weightCases := []Weights{
+			{Alpha: float64(qa % 8), Beta: float64(qb%8) + 1},
+			{Alpha: float64(qa%8) + 0.5, Beta: float64(qb%8) + 0.25},
+			{Alpha: float64(qa%8) + 0.3, Beta: float64(qb%8) + 0.7},
+		}
+		for _, w := range weightCases {
+			for _, name := range Names() {
+				enc, err := Lookup(name, w)
+				if err != nil {
+					continue // weights this scheme refuses (validated elsewhere)
+				}
+				if !Stateless(enc) {
+					continue
+				}
+				if _, isEx := enc.(Exhaustive); isEx && len(b) > 12 {
+					continue // brute force: keep the fuzz round fast
+				}
+				me, ok := enc.(MaskEncoder)
+				if !ok {
+					continue
+				}
+				m, ok := me.EncodeMask(prev, b)
+				if !ok {
+					continue // declined: []bool fallback is authoritative
+				}
+				inv := enc.Encode(prev, b)
+				want, packOK := bus.MaskFromBools(inv)
+				if !packOK {
+					t.Fatalf("%s: reference pattern unpackable (%d beats)", name, len(inv))
+				}
+				if m != want {
+					t.Fatalf("%s w=%+v: mask %b != bools %b on %v from %+v", name, w, m, want, payload, prev)
+				}
+				wire := bus.Apply(b, inv)
+				if mc, wc := bus.MaskCost(prev, b, m), wire.Cost(prev); mc != wc {
+					t.Fatalf("%s: MaskCost %+v != wire cost %+v", name, mc, wc)
+				}
+				if ms, ws := bus.MaskFinalState(prev, b, m), wire.FinalState(prev); ms != ws {
+					t.Fatalf("%s: MaskFinalState %+v != wire final state %+v", name, ms, ws)
+				}
+			}
+			// Integer vs float trellis, where the integer path is legal.
+			if _, _, ok := w.integerize(); ok && len(b) > 0 {
+				o := Opt{Weights: w}
+				m, ok := o.EncodeMask(prev, b)
+				if !ok {
+					t.Fatalf("Opt.EncodeMask declined %d beats", len(b))
+				}
+				ref, _ := bus.MaskFromBools(o.encodeIntoTrellis(nil, prev, b))
+				if m != ref {
+					t.Fatalf("w=%+v: integer trellis %b != float trellis %b on %v from %+v",
+						w, m, ref, payload, prev)
+				}
+			}
+		}
+	})
+}
+
 // FuzzOptNeverWorseThanBaselines: optimality against the per-byte schemes
 // for arbitrary payloads.
 func FuzzOptNeverWorseThanBaselines(f *testing.F) {

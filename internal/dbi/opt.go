@@ -39,14 +39,28 @@ func (o Opt) Encode(prev bus.LineState, b bus.Burst) []bool {
 	return encodeAlloc(o, prev, b)
 }
 
-// EncodeInto implements Encoder. It runs the forward dynamic program,
-// recording for every trellis node which predecessor achieved its minimum,
-// then walks the decisions backwards from the cheaper final node, exactly
-// like the backtracking mux chain at the bottom of the paper's Fig. 5. The
-// backpointer table lives on the stack for bursts up to maxStackBeats and
-// in a pooled encoderState beyond, so the only allocation EncodeInto can
-// perform is growing dst.
+// EncodeInto implements Encoder. Bursts within the mask bound run the
+// bit-parallel trellis of EncodeMask (integer-cost when the weights have an
+// exact integer scale, float otherwise) and unpack the resulting mask;
+// longer bursts fall back to encodeIntoTrellis. Either way the only
+// allocation EncodeInto can perform is growing dst.
 func (o Opt) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
+	if m, ok := o.EncodeMask(prev, b); ok {
+		return m.AppendBools(dst, len(b))
+	}
+	return o.encodeIntoTrellis(dst, prev, b)
+}
+
+// encodeIntoTrellis is the reference dynamic program: it runs the forward
+// pass in float64, recording for every trellis node which predecessor
+// achieved its minimum, then walks the decisions backwards from the cheaper
+// final node, exactly like the backtracking mux chain at the bottom of the
+// paper's Fig. 5. The backpointer table lives on the stack for bursts up to
+// maxStackBeats and in a pooled encoderState beyond. It handles bursts of
+// any length — it is the fallback past bus.MaxMaskBeats — and doubles as
+// the equivalence oracle the mask-path property and fuzz tests pin
+// EncodeMask against.
+func (o Opt) encodeIntoTrellis(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n == 0 {
 		return dst

@@ -28,15 +28,21 @@ func Stateless(enc Encoder) bool {
 // encodeScratch is the reusable per-goroutine encode state of the parallel
 // drivers: one inversion-pattern buffer and one wire image, recycled across
 // bursts so the per-burst cost evaluation performs zero heap allocations in
-// steady state.
+// steady state. The fast path never touches the buffers at all: encoders
+// with a bit-parallel mask path cost the burst straight from the packed
+// pattern.
 type encodeScratch struct {
 	inv  []bool
 	wire bus.Wire
 }
 
 // costOf computes the exact from-prev activity counts of encoding b with
-// enc, reusing the scratch buffers.
+// enc: mask-native when enc has a fast path for the burst, else through the
+// scratch buffers.
 func (sc *encodeScratch) costOf(enc Encoder, prev bus.LineState, b bus.Burst) bus.Cost {
+	if m, ok := EncodeMaskOf(enc, prev, b); ok {
+		return bus.MaskCost(prev, b, m)
+	}
 	sc.inv = enc.EncodeInto(sc.inv[:0], prev, b)
 	sc.wire.Fill(b, sc.inv)
 	return sc.wire.Cost(prev)

@@ -101,10 +101,22 @@ func (q Quantized) Encode(prev bus.LineState, b bus.Burst) []bool {
 	return encodeAlloc(q, prev, b)
 }
 
-// EncodeInto implements Encoder. The dynamic program is identical in
-// structure to Opt.EncodeInto but works in exact integer arithmetic, as the
-// hardware does, and shares the same stack/pooled backpointer scratch.
+// EncodeInto implements Encoder. Bursts within the mask bound run the
+// register-resident integer trellis of EncodeMask and unpack the mask;
+// longer bursts fall back to encodeIntoTrellis.
 func (q Quantized) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
+	if m, ok := q.EncodeMask(prev, b); ok {
+		return m.AppendBools(dst, len(b))
+	}
+	return q.encodeIntoTrellis(dst, prev, b)
+}
+
+// encodeIntoTrellis is the reference dynamic program: identical in
+// structure to Opt.encodeIntoTrellis but in exact integer arithmetic, as
+// the hardware is, sharing the same stack/pooled backpointer scratch. It is
+// the fallback past bus.MaxMaskBeats and the equivalence oracle the mask
+// tests pin EncodeMask against.
+func (q Quantized) encodeIntoTrellis(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n == 0 {
 		return dst

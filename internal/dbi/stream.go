@@ -44,13 +44,16 @@ type Adapter interface {
 // zero heap allocations for every stateless scheme.
 type Stream struct {
 	enc     Encoder
-	adapter Adapter // nil for fixed-scheme streams
+	menc    MaskEncoder // enc's bit-parallel fast path; nil when absent
+	adapter Adapter     // nil for fixed-scheme streams
 	state   bus.LineState
 	total   bus.Cost
 	beats   int
 	// inv and wire are reusable scratch: the inversion pattern of the
 	// current burst and the wire image built from it. They grow to the
-	// largest burst seen and are then recycled on every Transmit.
+	// largest burst seen and are then recycled on every Transmit. inv is
+	// only touched on the []bool fallback path; the mask fast path keeps
+	// the whole pattern in a register.
 	inv  []bool
 	wire bus.Wire
 }
@@ -58,13 +61,13 @@ type Stream struct {
 // NewStream returns a streaming encoder starting from the idle (all-ones)
 // line state.
 func NewStream(enc Encoder) *Stream {
-	return &Stream{enc: enc, state: bus.InitialLineState}
+	return &Stream{enc: enc, menc: maskEncoderOf(enc), state: bus.InitialLineState}
 }
 
 // NewStreamFrom returns a streaming encoder starting from an explicit line
 // state.
 func NewStreamFrom(enc Encoder, state bus.LineState) *Stream {
-	return &Stream{enc: enc, state: state}
+	return &Stream{enc: enc, menc: maskEncoderOf(enc), state: state}
 }
 
 // NewAdaptiveStream returns a streaming encoder whose scheme is chosen
@@ -109,18 +112,38 @@ func (s *Stream) State() bus.LineState { return s.state }
 // Transmit encodes one burst against the current line state, advances the
 // state past it, accumulates its activity counts and returns the wire image.
 //
+// Encoders with a bit-parallel fast path (every built-in scheme) run
+// mask-native: the inversion pattern stays packed in one register, the wire
+// image fills branch-free, and the activity counts come from the
+// table-driven bus.MaskCost instead of a per-beat walk. Schemes without a
+// MaskEncoder — and bursts beyond bus.MaxMaskBeats — take the []bool path,
+// bit-identical by the mask equivalence contract.
+//
 // The returned Wire aliases the stream's internal scratch: it is valid until
 // the next Transmit or Reset on this stream. Callers that retain it longer
 // must Clone it.
 func (s *Stream) Transmit(b bus.Burst) bus.Wire {
-	enc := s.enc
+	enc, menc := s.enc, s.menc
 	if s.adapter != nil {
+		// Adaptive streams re-probe per burst: the live scheme can change
+		// at any window boundary.
 		enc = s.adapter.Current()
+		menc = maskEncoderOf(enc)
 	}
-	s.inv = enc.EncodeInto(s.inv[:0], s.state, b)
-	s.wire.Fill(b, s.inv)
+	var cost bus.Cost
+	encoded := false
+	if menc != nil {
+		if m, ok := menc.EncodeMask(s.state, b); ok {
+			cost = s.wire.FillMaskCost(s.state, b, m)
+			encoded = true
+		}
+	}
+	if !encoded {
+		s.inv = enc.EncodeInto(s.inv[:0], s.state, b)
+		s.wire.Fill(b, s.inv)
+		cost = s.wire.Cost(s.state)
+	}
 	w := s.wire
-	cost := w.Cost(s.state)
 	s.total = s.total.Add(cost)
 	s.state = w.FinalState(s.state)
 	s.beats += w.Len()

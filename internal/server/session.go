@@ -270,6 +270,14 @@ func (sess *session) handleFrame(n int) error {
 	clear(sess.maskBuf)
 	for l, w := range wires {
 		dst := sess.maskBuf[l*mb : (l+1)*mb]
+		if m, ok := w.InvMask(); ok {
+			// The packed mask's bit/byte layout is exactly the protocol's:
+			// beat t → byte t/8, bit t%8.
+			for k := range dst {
+				dst[k] = byte(m >> (8 * k))
+			}
+			continue
+		}
 		for t, high := range w.DBI {
 			if !high { // DBI low = inverted beat
 				dst[t/8] |= 1 << (t % 8)
@@ -361,13 +369,21 @@ func (sess *session) handleBatch(n int) error {
 	return sess.sendTotals()
 }
 
-// accumulateRaw advances the uncoded baseline over one frame.
+// accumulateRaw advances the uncoded baseline over one frame. The raw
+// baseline is the all-zeros inversion mask, so bursts within the mask
+// bound cost through the bit-parallel bus.MaskCost; only bursts beyond it
+// take the per-beat walk.
 func (sess *session) accumulateRaw(f bus.Frame) {
 	for l, b := range f {
 		st := sess.rawStates[l]
-		for _, v := range b {
-			sess.totals.Raw = sess.totals.Raw.Add(bus.BeatCost(st, v, false))
-			st = bus.Advance(st, v, false)
+		if len(b) <= bus.MaxMaskBeats {
+			sess.totals.Raw = sess.totals.Raw.Add(bus.MaskCost(st, b, 0))
+			st = bus.MaskFinalState(st, b, 0)
+		} else {
+			for _, v := range b {
+				sess.totals.Raw = sess.totals.Raw.Add(bus.BeatCost(st, v, false))
+				st = bus.Advance(st, v, false)
+			}
 		}
 		sess.rawStates[l] = st
 	}
