@@ -1,0 +1,106 @@
+// Command dbivet runs the repo's stdlib-only static analysis suite
+// (internal/analysis) and exits non-zero when any analyzer reports a
+// finding:
+//
+//	go run ./cmd/dbivet ./...
+//
+// The four analyzers — the //dbi:hotpath escape gate, the scheme contract,
+// the bench-baseline drift check, and directive/doc hygiene — are described
+// in DESIGN.md §10. Individual analyzers can be disabled for local
+// iteration:
+//
+//	dbivet -escape=false ./...
+//
+// dbivet resolves the module root by walking upward from the working
+// directory, so it runs correctly from any subdirectory of the repo. Like
+// the rest of the module it depends only on the standard library and the go
+// command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbiopt/internal/analysis"
+)
+
+func main() {
+	var (
+		escape   = flag.Bool("escape", true, "run the //dbi:hotpath escape gate")
+		contract = flag.Bool("contract", true, "run the scheme-contract analyzer")
+		baseline = flag.Bool("baseline", true, "run the bench-baseline drift analyzer")
+		hygiene  = flag.Bool("hygiene", true, "run the directive and doc hygiene analyzer")
+	)
+	flag.Parse()
+
+	if err := run(*escape, *contract, *baseline, *hygiene, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dbivet:", err)
+		os.Exit(2)
+	}
+}
+
+// run executes the selected analyzers over the patterns (default ./...) and
+// returns nil on a clean tree; findings exit 1 directly, errors exit 2
+// through main.
+func run(escape, contract, baseline, hygiene bool, patterns []string) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		return err
+	}
+	tree, err := analysis.ParseTree(root, patterns...)
+	if err != nil {
+		return err
+	}
+
+	// The directive scan always runs: the escape gate needs the hotpath
+	// set, and hygiene findings about malformed directives are part of the
+	// hygiene analyzer's output.
+	hot, hygieneDiags := analysis.Directives(tree)
+
+	var diags []analysis.Diagnostic
+	if hygiene {
+		diags = append(diags, hygieneDiags...)
+		docDiags, err := analysis.Docs(tree, ".")
+		if err != nil {
+			return err
+		}
+		diags = append(diags, docDiags...)
+	}
+	if escape {
+		ds, err := analysis.Escape(root, hot)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, ds...)
+	}
+	if contract {
+		ds, err := analysis.Contract(tree, analysis.DefaultContract)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, ds...)
+	}
+	if baseline {
+		ds, err := analysis.Baseline(tree, analysis.DefaultBaseline)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, ds...)
+	}
+
+	if len(diags) == 0 {
+		fmt.Printf("dbivet: ok (%d hotpath funcs, %d packages)\n", len(hot), len(tree.Dirs))
+		return nil
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	fmt.Fprintf(os.Stderr, "dbivet: %d finding(s)\n", len(diags))
+	os.Exit(1)
+	return nil
+}

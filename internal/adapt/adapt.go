@@ -259,6 +259,8 @@ func (c *Controller) Shardable() bool { return true }
 // the live scheme's shadow chain coincides with the real wire, so the
 // live candidate is accounted straight from them, with no duplicate
 // encode. Steady-state observation performs zero heap allocations.
+//
+//dbi:hotpath
 func (c *Controller) Observe(b bus.Burst, cost bus.Cost, next bus.LineState) {
 	for i := range c.cands {
 		cd := &c.cands[i]
@@ -293,6 +295,8 @@ func (c *Controller) Observe(b bus.Burst, cost bus.Cost, next bus.LineState) {
 
 // decide compares the trailing-window costs and applies the switch
 // protocol, then opens a fresh window.
+//
+//dbi:hotpath
 func (c *Controller) decide(next bus.LineState) {
 	liveCost := c.cfg.Weights.Cost(c.cands[c.live].win)
 	best, bestCost := c.live, liveCost

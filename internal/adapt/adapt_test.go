@@ -6,6 +6,7 @@ import (
 
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
+	"dbiopt/internal/racetag"
 	"dbiopt/internal/trace"
 )
 
@@ -374,7 +375,7 @@ func TestAdaptivePipelineMatchesSerial(t *testing.T) {
 // adaptive Transmit — live encode plus one shadow encode per challenger
 // plus window accounting — performs zero heap allocations per burst.
 func TestAdaptiveStreamZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("allocation counts are skewed by -race instrumentation")
 	}
 	c := mustController(t, Config{

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureTree parses one of the self-contained fixture modules under
+// testdata. Each fixture carries its own go.mod so the go command treats it
+// as a real module root.
+func fixtureTree(t *testing.T, name string) *Tree {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ParseTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// wantDiag is one expected finding: exact position and analyzer, and a
+// distinctive fragment of the message.
+type wantDiag struct {
+	file     string
+	line     int
+	analyzer string
+	contains string
+}
+
+// checkDiags asserts the diagnostics match the expectations one to one, in
+// order (analyzers sort their output).
+func checkDiags(t *testing.T, got []Diagnostic, want []wantDiag) {
+	t.Helper()
+	for i, d := range got {
+		if i >= len(want) {
+			t.Errorf("unexpected extra diagnostic: %s", d)
+			continue
+		}
+		w := want[i]
+		if d.File != w.file || d.Line != w.line || d.Analyzer != w.analyzer {
+			t.Errorf("diagnostic %d = %s:%d: %s:, want %s:%d: %s:", i, d.File, d.Line, d.Analyzer, w.file, w.line, w.analyzer)
+		}
+		if !strings.Contains(d.Message, w.contains) {
+			t.Errorf("diagnostic %d message %q does not contain %q", i, d.Message, w.contains)
+		}
+	}
+	for i := len(got); i < len(want); i++ {
+		t.Errorf("missing expected diagnostic %s:%d: %s: ...%s...", want[i].file, want[i].line, want[i].analyzer, want[i].contains)
+	}
+}
+
+// TestCleanTree runs the full analyzer suite on the repository itself: the
+// tree dbivet gates in CI must stay clean, and this is the local copy of
+// that gate. Skipped in -short runs: the escape pass invokes the compiler
+// over the whole module.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escape analysis rebuilds the module; skipped in -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ParseTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hot, hygiene := Directives(tree)
+	if len(hot) == 0 {
+		t.Fatal("no //dbi:hotpath functions found; the escape gate would be vacuous")
+	}
+	if len(hygiene) != 0 {
+		t.Errorf("hygiene findings on the clean tree: %v", hygiene)
+	}
+
+	docs, err := Docs(tree, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 0 {
+		t.Errorf("doc findings on the clean tree: %v", docs)
+	}
+
+	escapes, err := Escape(root, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escapes) != 0 {
+		t.Errorf("escape findings on the clean tree: %v", escapes)
+	}
+
+	contract, err := Contract(tree, DefaultContract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contract) != 0 {
+		t.Errorf("contract findings on the clean tree: %v", contract)
+	}
+
+	baseline, err := Baseline(tree, DefaultBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != 0 {
+		t.Errorf("baseline findings on the clean tree: %v", baseline)
+	}
+}

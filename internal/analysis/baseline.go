@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// BaselineConfig parameterizes the baseline-drift analyzer: which JSON
+// baseline, which workflow defines the bench gate, and which package
+// declares the gate benchmarks.
+type BaselineConfig struct {
+	// BaselineFile is the root-relative path of the bench baseline JSON.
+	BaselineFile string
+	// WorkflowFile is the root-relative path of the CI workflow whose
+	// `-bench '<regex>'` selections define the gated set.
+	WorkflowFile string
+	// BenchDir is the root-relative directory of the package declaring the
+	// gate benchmarks ("." for the module root).
+	BenchDir string
+}
+
+// DefaultBaseline is the repo's bench-gate wiring.
+var DefaultBaseline = BaselineConfig{
+	BaselineFile: "bench_baseline.json",
+	WorkflowFile: ".github/workflows/ci.yml",
+	BenchDir:     ".",
+}
+
+// baselineDoc mirrors cmd/dbibenchdiff's baseline schema; only the
+// benchmark names matter here.
+type baselineDoc struct {
+	Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+}
+
+// benchSelect matches the workflow's benchmark selections, single-quoted as
+// the bench-gate job writes them: -bench '^(BenchmarkFoo|BenchmarkBar)$'.
+var benchSelect = regexp.MustCompile(`-bench '([^']+)'`)
+
+// Baseline cross-checks three views of the gated benchmark set — the
+// committed bench_baseline.json, the Benchmark functions the bench package
+// declares, and the -bench regexes the CI workflow runs — and reports every
+// disagreement: a stale baseline entry, a gate regex naming a benchmark
+// that no longer exists, a gated benchmark with no baseline, a baseline
+// entry no gate runs. Each of these is invisible to `go test` (an unmatched
+// -bench regex silently selects nothing) and only surfaces as a confusing
+// bench-gate miss; here they fail lint with a position instead.
+func Baseline(t *Tree, cfg BaselineConfig) ([]Diagnostic, error) {
+	raw, err := os.ReadFile(filepath.Join(t.Root, filepath.FromSlash(cfg.BaselineFile)))
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", cfg.BaselineFile, err)
+	}
+
+	declared, err := declaredBenchmarks(t, cfg.BenchDir)
+	if err != nil {
+		return nil, err
+	}
+
+	wf, err := os.ReadFile(filepath.Join(t.Root, filepath.FromSlash(cfg.WorkflowFile)))
+	if err != nil {
+		return nil, err
+	}
+	gates := gateSelections(string(wf))
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("analysis: no -bench '<regex>' selections found in %s", cfg.WorkflowFile)
+	}
+
+	var diags []Diagnostic
+
+	// Gate regexes vs declared functions: every explicit ^(A|B)$
+	// alternation member must still be a declared Benchmark func, and every
+	// gate regex must select at least one.
+	gatedDeclared := make(map[string]bool)
+	for _, g := range gates {
+		re, err := regexp.Compile(g.expr)
+		if err != nil {
+			diags = append(diags, Diagnostic{
+				File: cfg.WorkflowFile, Line: g.line, Analyzer: "baseline",
+				Message: fmt.Sprintf("bench selection %q does not compile: %v", g.expr, err),
+			})
+			continue
+		}
+		matched := false
+		for name := range declared {
+			if re.MatchString(name) {
+				matched = true
+				gatedDeclared[name] = true
+			}
+		}
+		if !matched {
+			diags = append(diags, Diagnostic{
+				File: cfg.WorkflowFile, Line: g.line, Analyzer: "baseline",
+				Message: fmt.Sprintf("bench selection %q matches no Benchmark function in %s: the gate would silently run nothing", g.expr, cfg.BenchDir),
+			})
+		}
+		for _, name := range alternationNames(g.expr) {
+			if !declared[name] {
+				diags = append(diags, Diagnostic{
+					File: cfg.WorkflowFile, Line: g.line, Analyzer: "baseline",
+					Message: fmt.Sprintf("bench selection names %s, which is not declared in %s: remove it from the gate or restore the benchmark", name, cfg.BenchDir),
+				})
+			}
+		}
+	}
+
+	// Baseline entries vs declared functions and gates. Sub-benchmark and
+	// GOMAXPROCS suffixes reduce to the declaring function's name.
+	baselineRoots := make(map[string]bool)
+	for name := range doc.Benchmarks {
+		root := benchRoot(name)
+		baselineRoots[root] = true
+		line := jsonKeyLine(raw, name)
+		if !declared[root] {
+			diags = append(diags, Diagnostic{
+				File: cfg.BaselineFile, Line: line, Analyzer: "baseline",
+				Message: fmt.Sprintf("baseline entry %q has no declared Benchmark function %s in %s: stale entry, delete or regenerate", name, root, cfg.BenchDir),
+			})
+			continue
+		}
+		if !gatedDeclared[root] {
+			diags = append(diags, Diagnostic{
+				File: cfg.BaselineFile, Line: line, Analyzer: "baseline",
+				Message: fmt.Sprintf("baseline entry %q is not selected by any -bench regex in %s: it can drift without the gate noticing", name, cfg.WorkflowFile),
+			})
+		}
+	}
+
+	// Gated functions vs baseline: a benchmark the gate runs but the
+	// baseline does not know fails dbibenchdiff at bench time; fail here
+	// with a position instead.
+	for name := range gatedDeclared {
+		if !baselineRoots[name] {
+			diags = append(diags, Diagnostic{
+				File: cfg.BaselineFile, Line: 1, Analyzer: "baseline",
+				Message: fmt.Sprintf("gated benchmark %s has no entry in %s: regenerate the baseline (see its note field)", name, cfg.BaselineFile),
+			})
+		}
+	}
+
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// declaredBenchmarks collects the Benchmark* function names of the bench
+// package's test files.
+func declaredBenchmarks(t *Tree, rel string) (map[string]bool, error) {
+	d := t.dir(rel)
+	if d == nil {
+		return nil, fmt.Errorf("analysis: bench package dir %q not in the analyzed tree", rel)
+	}
+	decl := make(map[string]bool)
+	for _, f := range d.Files {
+		if !f.Test {
+			continue
+		}
+		for _, dd := range f.Ast.Decls {
+			fd, ok := dd.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Benchmark") {
+				continue
+			}
+			decl[fd.Name.Name] = true
+		}
+	}
+	return decl, nil
+}
+
+// gateSel is one -bench selection in the workflow: the regex and the line
+// it appears on.
+type gateSel struct {
+	expr string
+	line int
+}
+
+// gateSelections extracts every -bench '<regex>' of the workflow, with
+// line numbers.
+func gateSelections(wf string) []gateSel {
+	var sels []gateSel
+	for i, line := range strings.Split(wf, "\n") {
+		for _, m := range benchSelect.FindAllStringSubmatch(line, -1) {
+			sels = append(sels, gateSel{expr: m[1], line: i + 1})
+		}
+	}
+	return sels
+}
+
+// alternationNames returns the member names of an explicit ^(A|B|C)$ (or
+// ^A$) selection; other regex shapes yield nothing and are checked only by
+// matching.
+var alternation = regexp.MustCompile(`^\^\(?([A-Za-z0-9_|]+)\)?\$$`)
+
+func alternationNames(expr string) []string {
+	m := alternation.FindStringSubmatch(expr)
+	if m == nil {
+		return nil
+	}
+	return strings.Split(m[1], "|")
+}
+
+// benchRoot reduces a benchmark result name to its declaring function:
+// sub-benchmark path segments and the -GOMAXPROCS suffix are stripped.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func benchRoot(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// jsonKeyLine locates the line of a key's first occurrence in the raw JSON,
+// good enough for positioned diagnostics on a generated file.
+func jsonKeyLine(raw []byte, key string) int {
+	idx := bytes.Index(raw, []byte(`"`+key+`"`))
+	if idx < 0 {
+		return 1
+	}
+	return 1 + bytes.Count(raw[:idx], []byte{'\n'})
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// baselineFixture mirrors DefaultBaseline for the baselinemod fixture.
+var baselineFixture = BaselineConfig{
+	BaselineFile: "bench_baseline.json",
+	WorkflowFile: "ci.yml",
+	BenchDir:     ".",
+}
+
+// TestBaselineFixture seeds all four drift shapes — a gate regex naming a
+// ghost benchmark, a stale baseline entry, a baseline entry no gate runs
+// (as a sub-benchmark, exercising name reduction), and a gated benchmark
+// with no baseline entry — and asserts each surfaces once.
+func TestBaselineFixture(t *testing.T) {
+	tree := fixtureTree(t, "baselinemod")
+	diags, err := Baseline(tree, baselineFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiags(t, diags, []wantDiag{
+		{"bench_baseline.json", 1, "baseline", "gated benchmark BenchmarkNew has no entry"},
+		{"bench_baseline.json", 8, "baseline", `baseline entry "BenchmarkGone" has no declared Benchmark function`},
+		{"bench_baseline.json", 12, "baseline", `baseline entry "BenchmarkUngated/sub=1" is not selected by any -bench regex`},
+		{"ci.yml", 7, "baseline", "bench selection names BenchmarkGhost, which is not declared"},
+	})
+}

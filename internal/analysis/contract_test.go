@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// contractFixture mirrors DefaultContract for the contractmod fixture.
+var contractFixture = ContractConfig{
+	PackagePath:  "contractmod",
+	Encoder:      "Encoder",
+	MaskEncoder:  "MaskEncoder",
+	RegisterFunc: "Register",
+	GoldenFile:   "golden_test.go",
+	FuzzFile:     "fuzz_test.go",
+	FuzzFunc:     "FuzzMaskEquivalence",
+	RegistryIter: "Names",
+	Allow:        []string{"Allowed"},
+}
+
+// TestContractFixture seeds one scheme violating every clause (Bad), one
+// missing only golden coverage (NoGolden), one compliant (Good) and one
+// allowlisted (Allowed), and asserts exactly the seeded violations surface.
+func TestContractFixture(t *testing.T) {
+	tree := fixtureTree(t, "contractmod")
+	diags, err := Contract(tree, contractFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiags(t, diags, []wantDiag{
+		{"enc.go", 60, "contract", "Bad implements Encoder but not MaskEncoder"},
+		{"enc.go", 60, "contract", "Bad is not constructed by any Register factory"},
+		{"enc.go", 60, "contract", "Bad is not covered by FuzzMaskEquivalence"},
+		{"enc.go", 60, "contract", "Bad is not referenced by golden_test.go"},
+		{"enc.go", 70, "contract", "NoGolden is not referenced by golden_test.go"},
+	})
+}

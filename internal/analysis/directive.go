@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// The //dbi: directive grammar (DESIGN.md §10). Directives are ordinary
+// comments starting exactly with "//dbi:" — no space, mirroring //go: —
+// followed by a verb and an optional argument:
+//
+//	//dbi:hotpath
+//	    On the doc comment of a function declaration. Marks the function
+//	    body as a zero-allocation hot path: the escape gate fails on any
+//	    compiler-reported heap escape inside it. Not allowed in _test.go
+//	    files (test sources are never compiled by `go build`, so the gate
+//	    could not see them).
+//
+//	//dbi:allow-escape <reason>
+//	    On (or on the line directly above) a line inside a //dbi:hotpath
+//	    function body. Waives escape diagnostics for that one line. The
+//	    reason is mandatory: every waiver documents why the allocation is
+//	    cold-path (scratch growth, panic formatting, ...).
+//
+// Anything else after //dbi: is an unknown directive and a hygiene error.
+const (
+	directivePrefix = "//dbi:"
+	verbHotpath     = "hotpath"
+	verbAllowEscape = "allow-escape"
+)
+
+// HotFunc is one //dbi:hotpath-annotated function: the file it lives in
+// and the line range of its declaration, against which escape diagnostics
+// are matched.
+type HotFunc struct {
+	File      string // root-relative path
+	Name      string // receiver-qualified, e.g. "(*Stream).Transmit"
+	StartLine int    // first line of the declaration
+	EndLine   int    // last line of the body
+	// waived maps waived line numbers inside the body to the waiver's
+	// reason.
+	waived map[int]string
+}
+
+// Waived reports whether escape diagnostics on the given line are waived
+// by a //dbi:allow-escape directive.
+func (h *HotFunc) Waived(line int) bool {
+	_, ok := h.waived[line]
+	return ok
+}
+
+// Directives scans the tree for //dbi: comments: it returns every hotpath
+// function (with its waived lines resolved) and the hygiene diagnostics
+// for unknown verbs, misplaced directives and missing waiver reasons.
+func Directives(t *Tree) ([]*HotFunc, []Diagnostic) {
+	var hot []*HotFunc
+	var diags []Diagnostic
+	for _, d := range t.Dirs {
+		for _, f := range d.Files {
+			h, ds := scanFile(t, f)
+			hot = append(hot, h...)
+			diags = append(diags, ds...)
+		}
+	}
+	sortDiagnostics(diags)
+	return hot, diags
+}
+
+// scanFile resolves the directives of one file.
+func scanFile(t *Tree, f *File) ([]*HotFunc, []Diagnostic) {
+	var hot []*HotFunc
+	var diags []Diagnostic
+
+	// Pass 1: hotpath directives attach to the function declaration whose
+	// doc comment carries them.
+	hotComments := make(map[*ast.Comment]bool)
+	for _, decl := range f.Ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if verb, _, ok := parseDirective(c.Text); ok && verb == verbHotpath {
+					hotComments[c] = true
+					if f.Test {
+						diags = append(diags, Diagnostic{
+							File: f.Rel, Line: t.Fset.Position(c.Pos()).Line, Analyzer: "hygiene",
+							Message: fmt.Sprintf("//dbi:hotpath on %s is in a _test.go file, which `go build` never compiles: the escape gate cannot enforce it", funcName(fd)),
+						})
+						continue
+					}
+					hot = append(hot, &HotFunc{
+						File:      f.Rel,
+						Name:      funcName(fd),
+						StartLine: t.Fset.Position(fd.Pos()).Line,
+						EndLine:   t.Fset.Position(fd.End()).Line,
+						waived:    make(map[int]string),
+					})
+				}
+			}
+		}
+	}
+
+	// Pass 2: every remaining directive comment is either a waiver (which
+	// must name a reason and sit inside a hotpath body) or an error.
+	for _, cg := range f.Ast.Comments {
+		for _, c := range cg.List {
+			verb, arg, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := t.Fset.Position(c.Pos())
+			switch verb {
+			case verbHotpath:
+				if !hotComments[c] {
+					diags = append(diags, Diagnostic{
+						File: f.Rel, Line: pos.Line, Analyzer: "hygiene",
+						Message: "//dbi:hotpath must be part of a function declaration's doc comment",
+					})
+				}
+			case verbAllowEscape:
+				if arg == "" {
+					diags = append(diags, Diagnostic{
+						File: f.Rel, Line: pos.Line, Analyzer: "hygiene",
+						Message: "//dbi:allow-escape requires a reason, e.g. //dbi:allow-escape scratch growth only",
+					})
+				}
+				line := pos.Line
+				if soloComment(f, pos.Offset) {
+					// A stand-alone waiver waives the line below it; a
+					// trailing one waives its own line.
+					line++
+				}
+				h := coveringHotFunc(hot, line)
+				if h == nil {
+					diags = append(diags, Diagnostic{
+						File: f.Rel, Line: pos.Line, Analyzer: "hygiene",
+						Message: "//dbi:allow-escape outside a //dbi:hotpath function body has no effect",
+					})
+					continue
+				}
+				h.waived[line] = arg
+			default:
+				diags = append(diags, Diagnostic{
+					File: f.Rel, Line: pos.Line, Analyzer: "hygiene",
+					Message: fmt.Sprintf("unknown directive //dbi:%s (known: //dbi:%s, //dbi:%s)", verb, verbHotpath, verbAllowEscape),
+				})
+			}
+		}
+	}
+	return hot, diags
+}
+
+// parseDirective splits a comment into its //dbi: verb and argument; ok is
+// false for non-directive comments.
+func parseDirective(text string) (verb, arg string, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	verb, arg, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(arg), true
+}
+
+// soloComment reports whether only whitespace precedes the byte at offset
+// on its line — i.e. the comment stands alone rather than trailing code.
+func soloComment(f *File, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch f.Src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// coveringHotFunc returns the hotpath function whose declaration covers the
+// line, or nil.
+func coveringHotFunc(hot []*HotFunc, line int) *HotFunc {
+	for _, h := range hot {
+		if line >= h.StartLine && line <= h.EndLine {
+			return h
+		}
+	}
+	return nil
+}
+
+// funcName renders a receiver-qualified function name, e.g.
+// "(*Stream).Transmit" or "EncodeWire".
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return fmt.Sprintf("(%s).%s", typeText(fd.Recv.List[0].Type), fd.Name.Name)
+}
+
+// typeText renders the small subset of type expressions receivers use.
+func typeText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeText(e.X)
+	case *ast.IndexExpr:
+		return typeText(e.X) + "[" + typeText(e.Index) + "]"
+	case *ast.SelectorExpr:
+		return typeText(e.X) + "." + e.Sel.Name
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Docs enforces doc comments on the exported surface of one package
+// directory — for the repo, the dbiopt facade at the module root, the API
+// users see on pkg.go.dev. Exported functions, methods, and the specs of
+// exported type/var/const declarations all need a doc comment; a grouped
+// declaration's shared doc covers every spec in the group.
+func Docs(t *Tree, rel string) ([]Diagnostic, error) {
+	d := t.dir(rel)
+	if d == nil {
+		return nil, fmt.Errorf("analysis: docs package dir %q not in the analyzed tree", rel)
+	}
+	var diags []Diagnostic
+	for _, f := range d.Files {
+		if f.Test || !buildable(f) {
+			continue
+		}
+		for _, decl := range f.Ast.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Name.IsExported() && decl.Doc == nil {
+					diags = append(diags, Diagnostic{
+						File: f.Rel, Line: t.Fset.Position(decl.Pos()).Line, Analyzer: "hygiene",
+						Message: fmt.Sprintf("exported %s %s has no doc comment: the facade is the documented surface", funcKind(decl), funcName(decl)),
+					})
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					for _, name := range specNames(spec) {
+						if !name.IsExported() {
+							continue
+						}
+						if decl.Doc == nil && specDoc(spec) == nil {
+							diags = append(diags, Diagnostic{
+								File: f.Rel, Line: t.Fset.Position(name.Pos()).Line, Analyzer: "hygiene",
+								Message: fmt.Sprintf("exported %s %s has no doc comment: the facade is the documented surface", declKind(decl), name.Name),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// funcKind distinguishes functions from methods in diagnostics.
+func funcKind(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// specNames returns the identifiers a spec declares.
+func specNames(spec ast.Spec) []*ast.Ident {
+	switch spec := spec.(type) {
+	case *ast.TypeSpec:
+		return []*ast.Ident{spec.Name}
+	case *ast.ValueSpec:
+		return spec.Names
+	}
+	return nil
+}
+
+// specDoc returns the spec's own doc comment, if any.
+func specDoc(spec ast.Spec) *ast.CommentGroup {
+	switch spec := spec.(type) {
+	case *ast.TypeSpec:
+		return spec.Doc
+	case *ast.ValueSpec:
+		return spec.Doc
+	}
+	return nil
+}
+
+// declKind names a GenDecl's token for diagnostics ("type", "var",
+// "const").
+func declKind(decl *ast.GenDecl) string {
+	return decl.Tok.String()
+}

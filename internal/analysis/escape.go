@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The escape gate: `go build -gcflags='<module>/...=-m'` makes the
+// compiler print its escape analysis for every package of the module, and
+// any "escapes to heap" / "moved to heap" diagnostic landing inside a
+// //dbi:hotpath function fails the gate. The build cache replays compiler
+// diagnostics, so repeated runs are cheap; and because this reads the
+// compiler's verdict rather than counting runtime allocations, it holds
+// identically under -race, where the AllocsPerRun tests must skip.
+
+// escapeLine matches one compiler diagnostic: path:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// escapeVerbs are the diagnostic forms that mean a value was heap
+// allocated. "leaking param" and inlining notes are informational and pass.
+var escapeVerbs = []string{"escapes to heap", "moved to heap"}
+
+// Escape runs the compiler's escape analysis over the module rooted at
+// root and reports every heap escape inside one of the hotpath functions
+// that is not waived by //dbi:allow-escape.
+func Escape(root string, hot []*HotFunc) ([]Diagnostic, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "build", fmt.Sprintf("-gcflags=%s/...=-m", module), "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+	return matchEscapes(string(out), hot), nil
+}
+
+// hotIndex groups hotpath functions by file for diagnostic matching.
+func hotIndex(hot []*HotFunc) map[string][]*HotFunc {
+	byFile := make(map[string][]*HotFunc)
+	for _, h := range hot {
+		byFile[h.File] = append(byFile[h.File], h)
+	}
+	return byFile
+}
+
+// matchEscapes maps compiler output onto the hotpath ranges. File paths in
+// the output are relative to the module root (the build's working
+// directory); absolute paths and "./"-prefixed forms are normalized.
+func matchEscapes(out string, hot []*HotFunc) []Diagnostic {
+	byFile := hotIndex(hot)
+	var diags []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !isEscapeMsg(msg) {
+			continue
+		}
+		file := filepath.ToSlash(filepath.Clean(m[1]))
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, h := range byFile[file] {
+			if lineNo < h.StartLine || lineNo > h.EndLine || h.Waived(lineNo) {
+				continue
+			}
+			d := Diagnostic{
+				File: file, Line: lineNo, Analyzer: "escape",
+				Message: fmt.Sprintf("%s inside //dbi:hotpath func %s (cold-path allocations are waived with //dbi:allow-escape <reason>)", msg, h.Name),
+			}
+			if !seen[d] {
+				seen[d] = true
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// isEscapeMsg reports whether a compiler diagnostic describes a heap
+// allocation.
+func isEscapeMsg(msg string) bool {
+	for _, v := range escapeVerbs {
+		if strings.Contains(msg, v) {
+			return true
+		}
+	}
+	return false
+}

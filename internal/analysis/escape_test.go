@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeFixture seeds heap escapes in hotpath functions of the
+// escapemod fixture and asserts the gate reports exactly the unwaived ones.
+func TestEscapeFixture(t *testing.T) {
+	tree := fixtureTree(t, "escapemod")
+	hot, hygiene := Directives(tree)
+	if len(hygiene) != 0 {
+		t.Fatalf("unexpected hygiene findings in fixture: %v", hygiene)
+	}
+	if len(hot) != 4 {
+		t.Fatalf("hotpath funcs = %d, want 4 (%v)", len(hot), hot)
+	}
+
+	diags, err := Escape(tree.Root, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiags(t, diags, []wantDiag{
+		{"esc.go", 11, "escape", "escapes to heap inside //dbi:hotpath func Leak"},
+		{"esc.go", 34, "escape", "moved to heap: x inside //dbi:hotpath func Moved"},
+		{"esc.go", 35, "escape", "escapes to heap inside //dbi:hotpath func Moved"},
+	})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Clean") || strings.Contains(d.Message, "Waived") {
+			t.Errorf("diagnostic attributed to a clean or waived function: %s", d)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+// TestHygieneFixture seeds every directive and doc violation the hygiene
+// analyzer knows — unknown verb, detached hotpath, reasonless waiver,
+// waiver outside a hot path, hotpath in a test file, undocumented export —
+// and asserts each surfaces once at its exact position.
+func TestHygieneFixture(t *testing.T) {
+	tree := fixtureTree(t, "hygienemod")
+	hot, diags := Directives(tree)
+	docDiags, err := Docs(tree, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = append(diags, docDiags...)
+	sortDiagnostics(diags)
+
+	if len(hot) != 1 || hot[0].Name != "Hot" {
+		t.Fatalf("hotpath funcs = %v, want just Hot", hot)
+	}
+	checkDiags(t, diags, []wantDiag{
+		{"hyg.go", 7, "hygiene", "unknown directive //dbi:frobnicate"},
+		{"hyg.go", 10, "hygiene", "//dbi:hotpath must be part of a function declaration's doc comment"},
+		{"hyg.go", 20, "hygiene", "//dbi:allow-escape requires a reason"},
+		{"hyg.go", 26, "hygiene", "//dbi:allow-escape outside a //dbi:hotpath function body has no effect"},
+		{"hyg.go", 29, "hygiene", "exported function Undocumented has no doc comment"},
+		{"hyg_test.go", 8, "hygiene", "//dbi:hotpath on TestHotInTestFile is in a _test.go file"},
+	})
+}

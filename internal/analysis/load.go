@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is one parsed Go source file.
+type File struct {
+	Path string // absolute path
+	Rel  string // path relative to the analysis root
+	Src  []byte
+	Ast  *ast.File
+	Test bool // a _test.go file
+}
+
+// Dir is one parsed package directory: every .go file in it, test files
+// included, regardless of build constraints. Analyzers that need a
+// buildable file set (the type-checking loader) re-filter with buildable.
+type Dir struct {
+	Path  string // absolute directory
+	Rel   string // directory relative to the analysis root
+	Files []*File
+}
+
+// Tree is the parsed view of the analyzed module the AST-level analyzers
+// share: one FileSet, every requested package directory.
+type Tree struct {
+	Root string // module root (absolute)
+	Fset *token.FileSet
+	Dirs []*Dir
+}
+
+// ParseTree parses the package directories selected by the go list
+// patterns (defaulting to ./...) under the module rooted at root.
+func ParseTree(root string, patterns ...string) (*Tree, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := listDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Root: root, Fset: token.NewFileSet()}
+	for _, d := range dirs {
+		pd, err := t.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		t.Dirs = append(t.Dirs, pd)
+	}
+	return t, nil
+}
+
+// listDirs expands go list patterns into package directories, using the go
+// command so the selection matches the build exactly (testdata and ignored
+// directories excluded, module boundaries honored).
+func listDirs(root string, patterns []string) ([]string, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	var dirs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			dirs = append(dirs, line)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses every .go file of one directory into the tree's FileSet.
+func (t *Tree) parseDir(dir string) (*Dir, error) {
+	rel, err := filepath.Rel(t.Root, dir)
+	if err != nil {
+		rel = dir
+	}
+	pd := &Dir{Path: dir, Rel: filepath.ToSlash(rel)}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		af, err := parser.ParseFile(t.Fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		frel := name
+		if pd.Rel != "." {
+			frel = pd.Rel + "/" + name
+		}
+		pd.Files = append(pd.Files, &File{
+			Path: path,
+			Rel:  frel,
+			Src:  src,
+			Ast:  af,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+	}
+	return pd, nil
+}
+
+// dir returns the parsed directory whose root-relative path is rel, or nil.
+func (t *Tree) dir(rel string) *Dir {
+	for _, d := range t.Dirs {
+		if d.Rel == rel {
+			return d
+		}
+	}
+	return nil
+}
+
+// buildable reports whether the file participates in a default build
+// (race detector off): its //go:build constraint, if any, must be
+// satisfiable with the host GOOS/GOARCH and no extra tags. Legacy
+// "// +build" lines are not consulted — the repo uses //go:build only.
+func buildable(f *File) bool {
+	for _, cg := range f.Ast.Comments {
+		if cg.End() >= f.Ast.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			return expr.Eval(defaultTag)
+		}
+	}
+	return true
+}
+
+// defaultTag is the build-tag assignment of a plain `go build` on the host:
+// GOOS, GOARCH, the gc compiler, cgo, and every supported go1.N version
+// tag. The race tag is (deliberately) false.
+func defaultTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "cgo":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		if minor, err := strconv.Atoi(rest); err == nil {
+			cur := strings.TrimPrefix(runtime.Version(), "go1.")
+			if dot := strings.IndexByte(cur, '.'); dot >= 0 {
+				cur = cur[:dot]
+			}
+			if curMinor, err := strconv.Atoi(cur); err == nil {
+				return minor <= curMinor
+			}
+		}
+	}
+	return false
+}
+
+// loader type-checks packages of the analyzed module from source. In-module
+// import paths resolve by directory layout under the module root —
+// cwd-independent, which the stdlib source importer is not — and
+// everything else (the stdlib) delegates to the source importer. This is
+// the whole type-checking stack: no export data, no x/tools.
+type loader struct {
+	tree   *Tree
+	module string
+	std    types.ImporterFrom
+	pkgs   map[string]*types.Package
+	info   *types.Info
+}
+
+// newLoader builds a loader for the tree's module.
+func newLoader(t *Tree) (*loader, error) {
+	module, err := modulePath(t.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &loader{
+		tree:   t,
+		module: module,
+		std:    importer.ForCompiler(t.Fset, "source", nil).(types.ImporterFrom),
+		pkgs:   make(map[string]*types.Package),
+		info: &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Uses:  make(map[*ast.Ident]types.Object),
+			Defs:  make(map[*ast.Ident]types.Object),
+		},
+	}, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.tree.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.ImportFrom(path, srcDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check type-checks one in-module package (non-test, buildable files only),
+// resolving its imports through the loader itself. Type information for
+// every checked package accumulates in l.info.
+func (l *loader) check(path string) (*types.Package, error) {
+	rel := "."
+	if path != l.module {
+		rel = strings.TrimPrefix(path, l.module+"/")
+	}
+	d := l.tree.dir(rel)
+	if d == nil {
+		// The package was not in the analyzed pattern set; parse it on
+		// demand so partial trees (single-package analyses) still resolve
+		// their in-module imports.
+		pd, err := l.tree.parseDir(filepath.Join(l.tree.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: resolving import %q: %w", path, err)
+		}
+		d = pd
+	}
+	var files []*ast.File
+	for _, f := range d.Files {
+		if !f.Test && buildable(f) {
+			files = append(files, f.Ast)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files for %q in %s", path, d.Path)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.tree.Fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}

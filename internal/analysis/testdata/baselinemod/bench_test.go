@@ -1,0 +1,24 @@
+package baselinemod
+
+import "testing"
+
+// BenchmarkKept is gated and has a baseline entry: fully consistent.
+func BenchmarkKept(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkUngated has a baseline entry but no gate regex selects it.
+func BenchmarkUngated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// BenchmarkNew is gated but has no baseline entry yet.
+func BenchmarkNew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}

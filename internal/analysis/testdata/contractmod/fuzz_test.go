@@ -1,0 +1,16 @@
+package contractmod
+
+import "testing"
+
+// FuzzMaskEquivalence sweeps the registry, so every registered scheme is
+// fuzz-covered without being named here.
+func FuzzMaskEquivalence(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range Names() {
+			enc := registry[name]()
+			if me, ok := enc.(MaskEncoder); ok {
+				me.EncodeMask(data)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module contractmod
+
+go 1.23

@@ -1,0 +1,10 @@
+package contractmod
+
+import "testing"
+
+// TestGolden pins Good's outcome; Bad and NoGolden are deliberately absent.
+func TestGolden(t *testing.T) {
+	if got := (Good{}).Name(); got != "good" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,39 @@
+// Package escapemod is an escape-gate fixture: one hotpath function with a
+// seeded heap escape, one clean, one with a waived escape, one whose local
+// is moved to the heap by a closure.
+package escapemod
+
+// Leak returns a fresh heap allocation from a hot path: the seeded
+// violation the gate must report.
+//
+//dbi:hotpath
+func Leak() *int {
+	x := new(int)
+	return x
+}
+
+// Clean allocates nothing; the gate must stay silent on it.
+//
+//dbi:hotpath
+func Clean(a, b int) int {
+	return a + b
+}
+
+// Waived allocates, but the line carries a waiver; the gate must honor it.
+//
+//dbi:hotpath
+func Waived() *int {
+	return new(int) //dbi:allow-escape fixture waiver
+}
+
+// Moved captures a local in a returned closure, forcing the compiler to
+// move it to the heap: the other diagnostic verb the gate matches.
+//
+//dbi:hotpath
+func Moved() func() int {
+	x := 0
+	return func() int {
+		x++
+		return x
+	}
+}

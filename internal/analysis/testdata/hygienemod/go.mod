@@ -1,0 +1,3 @@
+module hygienemod
+
+go 1.23

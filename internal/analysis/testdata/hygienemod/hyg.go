@@ -1,0 +1,29 @@
+// Package hygienemod is a directive/doc hygiene fixture: every seeded
+// violation below must surface as exactly one diagnostic.
+package hygienemod
+
+// Frob carries an unknown directive verb.
+//
+//dbi:frobnicate hard
+func Frob() int { return 1 }
+
+//dbi:hotpath
+
+// Stray sits below a detached hotpath directive: the blank line above this
+// comment severs it from the declaration, so it is not a doc comment.
+func Stray() int { return 2 }
+
+// Hot is a valid hot path hosting the waiver violations below.
+//
+//dbi:hotpath
+func Hot(n int) int {
+	m := n * 2 //dbi:allow-escape
+	return m
+}
+
+// Cold is not a hot path, so its waiver has no effect.
+func Cold(n int) int {
+	return n + 1 //dbi:allow-escape pointless here
+}
+
+func Undocumented() int { return 3 }

@@ -1,0 +1,13 @@
+package hygienemod
+
+import "testing"
+
+// TestHotInTestFile carries a hotpath directive in a _test.go file, which
+// the gate cannot enforce.
+//
+//dbi:hotpath
+func TestHotInTestFile(t *testing.T) {
+	if Hot(1) != 2 {
+		t.Fatal("Hot")
+	}
+}

@@ -93,11 +93,13 @@ func ApplyMask(b Burst, m InvMask) Wire {
 // An inverted beat's DQ byte is produced by XOR with an all-ones sign byte,
 // so the fill is branch-free on the data path. len(b) must not exceed
 // MaxMaskBeats.
+//
+//dbi:hotpath
 func (w *Wire) FillMask(b Burst, m InvMask) {
-	checkMaskLen(len(b))
+	checkMaskLen(len(b)) //dbi:allow-escape inlined panic formatting, dead on valid input
 	w.Data = append(w.Data[:0], b...)
 	if cap(w.DBI) < len(b) {
-		w.DBI = make([]bool, len(b))
+		w.DBI = make([]bool, len(b)) //dbi:allow-escape scratch growth, amortized to zero in steady state
 	}
 	w.DBI = w.DBI[:len(b)]
 	for t := range b {
@@ -114,9 +116,11 @@ func (w *Wire) FillMask(b Burst, m InvMask) {
 // the mask XORed with itself shifted by a beat (the pre-burst DBI level
 // shifted in at bit 0). The DQ wires take one table-driven pass. len(b)
 // must not exceed MaxMaskBeats.
+//
+//dbi:hotpath
 func MaskCost(prev LineState, b Burst, m InvMask) Cost {
 	n := len(b)
-	checkMaskLen(n)
+	checkMaskLen(n) //dbi:allow-escape inlined panic formatting, dead on valid input
 	if n == 0 {
 		return Cost{}
 	}
@@ -143,12 +147,14 @@ func MaskCost(prev LineState, b Burst, m InvMask) Cost {
 // returns the transmission's exact activity counts from prev in the same
 // pass — the fused form the streaming hot path runs, sparing one walk over
 // the burst. It is bit-identical to FillMask followed by MaskCost.
+//
+//dbi:hotpath
 func (w *Wire) FillMaskCost(prev LineState, b Burst, m InvMask) Cost {
 	n := len(b)
-	checkMaskLen(n)
+	checkMaskLen(n) //dbi:allow-escape inlined panic formatting, dead on valid input
 	w.Data = append(w.Data[:0], b...)
 	if cap(w.DBI) < n {
-		w.DBI = make([]bool, n)
+		w.DBI = make([]bool, n) //dbi:allow-escape scratch growth, amortized to zero in steady state
 	}
 	w.DBI = w.DBI[:n]
 	if n == 0 {
@@ -178,9 +184,11 @@ func (w *Wire) FillMaskCost(prev LineState, b Burst, m InvMask) Cost {
 
 // MaskFinalState returns the lane state after transmitting burst b with
 // inversion pattern m — the mask-native counterpart of Wire.FinalState.
+//
+//dbi:hotpath
 func MaskFinalState(prev LineState, b Burst, m InvMask) LineState {
 	n := len(b)
-	checkMaskLen(n)
+	checkMaskLen(n) //dbi:allow-escape inlined panic formatting, dead on valid input
 	if n == 0 {
 		return prev
 	}

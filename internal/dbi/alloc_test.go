@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dbiopt/internal/bus"
+	"dbiopt/internal/racetag"
 )
 
 // statelessEncoders returns one registry-constructed instance of every
@@ -38,7 +39,7 @@ func statelessEncoders(t testing.TB) map[string]Encoder {
 // scratch has warmed up, Transmit performs zero heap allocations per burst
 // for every stateless scheme.
 func TestStreamTransmitZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("race instrumentation forces stack scratch to the heap")
 	}
 	rng := rand.New(rand.NewSource(60))
@@ -69,7 +70,7 @@ func TestStreamTransmitZeroAlloc(t *testing.T) {
 // with a capacious dst allocates nothing for bursts within the stack-scratch
 // bound.
 func TestEncodeIntoZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("race instrumentation forces stack scratch to the heap")
 	}
 	rng := rand.New(rand.NewSource(61))
@@ -96,7 +97,7 @@ func TestEncodeIntoZeroAlloc(t *testing.T) {
 // what a shard worker does with a received chunk — allocates nothing per
 // burst: the per-lane streams carry all the scratch.
 func TestPipelineChunkZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("race instrumentation forces stack scratch to the heap")
 	}
 	const lanes, chunkFrames = 4, 16
@@ -138,7 +139,7 @@ func TestPipelineChunkZeroAlloc(t *testing.T) {
 // total allocation count does not grow with the frame count: everything per
 // burst and per chunk is recycled, leaving only per-run setup.
 func TestPipelineRunAllocsAmortised(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("race instrumentation skews allocation counts")
 	}
 	const lanes = 4

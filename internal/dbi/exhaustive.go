@@ -30,10 +30,12 @@ func (e Exhaustive) Encode(prev bus.LineState, b bus.Burst) []bool {
 // flipping one beat and adjusting two precomputed edge costs, instead of
 // recosting all n beats per pattern — and other weights fall back to
 // encodeIntoScan, the full float recost.
+//
+//dbi:hotpath
 func (e Exhaustive) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n > MaxExhaustiveBeats {
-		panic(fmt.Sprintf("dbi: exhaustive search over %d beats (max %d)", n, MaxExhaustiveBeats))
+		panic(fmt.Sprintf("dbi: exhaustive search over %d beats (max %d)", n, MaxExhaustiveBeats)) //dbi:allow-escape panic formatting, dead on valid input
 	}
 	if m, ok := e.EncodeMask(prev, b); ok {
 		return m.AppendBools(dst, n)
@@ -46,6 +48,8 @@ func (e Exhaustive) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bo
 // and decoded once at the end. It is the fallback for weights with no exact
 // integer scale and the equivalence oracle the Gray-code path is pinned
 // against.
+//
+//dbi:hotpath
 func (e Exhaustive) encodeIntoScan(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n == 0 {

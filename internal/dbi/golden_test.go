@@ -49,6 +49,45 @@ func TestFig2Opt(t *testing.T) {
 	}
 }
 
+// TestFig2AllSchemes pins a golden outcome on the Fig. 2 example for every
+// scheme in the registry, constructed directly so each type is covered even
+// if its registration changes. Deterministic schemes pin exact activity
+// counts; the optimal family (OPT and its fixed, quantised and exhaustive
+// variants) pins the optimal total of 52, reachable by two Pareto points.
+func TestFig2AllSchemes(t *testing.T) {
+	quant, err := QuantizeWeights(FixedWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := []struct {
+		enc  Encoder
+		want bus.Cost
+	}{
+		{Raw{}, bus.Cost{Zeros: 28, Transitions: 27}},
+		{DC{}, bus.Cost{Zeros: 26, Transitions: 42}},
+		{AC{}, bus.Cost{Zeros: 43, Transitions: 22}},
+		{ACDC{}, bus.Cost{Zeros: 43, Transitions: 22}},
+		{NewGreedy(FixedWeights), bus.Cost{Zeros: 31, Transitions: 25}},
+	}
+	for _, tc := range exact {
+		if c := CostOf(tc.enc, bus.InitialLineState, fig2Burst); c != tc.want {
+			t.Errorf("%s on Fig. 2 example = %+v, want %+v", tc.enc.Name(), c, tc.want)
+		}
+	}
+	optimal := []Encoder{
+		NewOpt(FixedWeights),
+		OptFixed(),
+		quant,
+		Exhaustive{Weights: FixedWeights},
+	}
+	for _, enc := range optimal {
+		c := CostOf(enc, bus.InitialLineState, fig2Burst)
+		if total := c.Zeros + c.Transitions; total != 52 {
+			t.Errorf("%s on Fig. 2 example total = %d (%+v), want the optimal 52", enc.Name(), total, c)
+		}
+	}
+}
+
 // TestFig2Pareto reproduces the paper's complete Pareto set for the example:
 // the DC and AC corner points plus the three balanced encodings neither
 // conventional scheme can find.

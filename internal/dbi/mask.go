@@ -114,12 +114,16 @@ func init() {
 }
 
 // EncodeMask implements MaskEncoder: RAW never inverts.
+//
+//dbi:hotpath
 func (Raw) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	return 0, len(b) <= bus.MaxMaskBeats
 }
 
 // EncodeMask implements MaskEncoder: the DC rule is a pure per-byte table
 // lookup.
+//
+//dbi:hotpath
 func (DC) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	if len(b) > bus.MaxMaskBeats {
 		return 0, false
@@ -142,6 +146,8 @@ func (DC) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 // (8-y) and the DBI-toggle bias flips sign; working the inequality through
 // both cases lands on the same >= 5 threshold, XORed with the predecessor's
 // inversion. One table lookup and one XOR per beat, no wire state at all.
+//
+//dbi:hotpath
 func acMaskFrom(m bus.InvMask, pp byte, pinv bool, b bus.Burst, from int) bus.InvMask {
 	for t := from; t < len(b); t++ {
 		v := b[t]
@@ -165,6 +171,8 @@ func acSeed(prev bus.LineState) (pp byte, pinv bool) {
 }
 
 // EncodeMask implements MaskEncoder for the JEDEC AC scheme.
+//
+//dbi:hotpath
 func (AC) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	if len(b) > bus.MaxMaskBeats {
 		return 0, false
@@ -175,6 +183,8 @@ func (AC) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 
 // EncodeMask implements MaskEncoder for ACDC: the DC table decides the
 // first beat, the AC recurrence the rest.
+//
+//dbi:hotpath
 func (ACDC) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	if len(b) > bus.MaxMaskBeats {
 		return 0, false
@@ -190,6 +200,8 @@ func (ACDC) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 // fast path requires exactly representable weights so the integer per-beat
 // comparison reproduces the float one bit for bit; other weights decline
 // and the caller falls back to the float EncodeInto.
+//
+//dbi:hotpath
 func (g Greedy) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	if len(b) > bus.MaxMaskBeats {
 		return 0, false
@@ -223,6 +235,8 @@ func (g Greedy) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) 
 // (bit i of fromPlain/fromInv records whether the cheapest path into beat
 // i's plain/inverted node came from the inverted node of beat i-1), so the
 // whole search touches no memory beyond the burst itself.
+//
+//dbi:hotpath
 func trellisMaskInt(prev bus.LineState, b bus.Burst, ia, ib int64) bus.InvMask {
 	n := len(b)
 	pv := int64(bus.Ones(b[0]))
@@ -308,6 +322,8 @@ func trellisMaskFloat(prev bus.LineState, b bus.Burst, w Weights) bus.InvMask {
 // bit. The walk is branch-free: the per-beat state bit selects between the
 // two backpointer registers by masking, not branching, because the
 // direction is data-dependent and would mispredict half the time.
+//
+//dbi:hotpath
 func backtrackMask(fromPlain, fromInv uint64, invCheaper bool, n int) bus.InvMask {
 	var m uint64
 	var s uint64
@@ -325,6 +341,8 @@ func backtrackMask(fromPlain, fromInv uint64, invCheaper bool, n int) bus.InvMas
 // EncodeMask implements MaskEncoder for the optimal encoder: the integer
 // trellis when the weights have an exact integer scale, the float trellis
 // otherwise. Both fit any burst within the mask bound.
+//
+//dbi:hotpath
 func (o Opt) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	n := len(b)
 	if n > bus.MaxMaskBeats {
@@ -342,6 +360,8 @@ func (o Opt) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 // EncodeMask implements MaskEncoder for the quantised encoder: its
 // coefficients are integers by construction, so the integer trellis always
 // applies.
+//
+//dbi:hotpath
 func (q Quantized) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	n := len(b)
 	if n > bus.MaxMaskBeats {
@@ -364,6 +384,8 @@ func (q Quantized) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, boo
 // unchanged). Ties resolve to the numerically smallest pattern, exactly as
 // the ascending binary scan resolved them, so the winning mask is
 // bit-identical to the legacy implementation's.
+//
+//dbi:hotpath
 func (e Exhaustive) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bool) {
 	n := len(b)
 	if n > MaxExhaustiveBeats {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dbiopt/internal/bus"
+	"dbiopt/internal/racetag"
 )
 
 // maskTestWeights are the weight regimes the mask property tests sweep:
@@ -232,7 +233,7 @@ func TestEncodeMaskLongBurstDeclines(t *testing.T) {
 // TestEncodeMaskZeroAlloc pins the bit-parallel paths at zero heap
 // allocations per burst.
 func TestEncodeMaskZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("race instrumentation forces stack scratch to the heap")
 	}
 	rng := rand.New(rand.NewSource(84))

@@ -53,6 +53,8 @@ func (n *Noisy) Encode(prev bus.LineState, b bus.Burst) []bool {
 // EncodeInto implements Encoder. The RNG is consumed once per beat, in beat
 // order, so a fixed seed reproduces the same error pattern regardless of
 // which entry point the caller uses.
+//
+//dbi:hotpath
 func (n *Noisy) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	base := len(dst)
 	dst = n.inner.EncodeInto(dst, prev, b)

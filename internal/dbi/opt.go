@@ -44,6 +44,8 @@ func (o Opt) Encode(prev bus.LineState, b bus.Burst) []bool {
 // exact integer scale, float otherwise) and unpack the resulting mask;
 // longer bursts fall back to encodeIntoTrellis. Either way the only
 // allocation EncodeInto can perform is growing dst.
+//
+//dbi:hotpath
 func (o Opt) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	if m, ok := o.EncodeMask(prev, b); ok {
 		return m.AppendBools(dst, len(b))
@@ -60,13 +62,15 @@ func (o Opt) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 // any length — it is the fallback past bus.MaxMaskBeats — and doubles as
 // the equivalence oracle the mask-path property and fuzz tests pin
 // EncodeMask against.
+//
+//dbi:hotpath
 func (o Opt) encodeIntoTrellis(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n == 0 {
 		return dst
 	}
 	base := len(dst)
-	dst = append(dst, make([]bool, n)...)
+	dst = append(dst, make([]bool, n)...) //dbi:allow-escape dst growth the caller amortizes by reusing the buffer
 	out := dst[base:]
 
 	// fromInv[i][s] records whether the cheapest path into beat i's state s

@@ -39,6 +39,8 @@ type encodeScratch struct {
 // costOf computes the exact from-prev activity counts of encoding b with
 // enc: mask-native when enc has a fast path for the burst, else through the
 // scratch buffers.
+//
+//dbi:hotpath
 func (sc *encodeScratch) costOf(enc Encoder, prev bus.LineState, b bus.Burst) bus.Cost {
 	if m, ok := EncodeMaskOf(enc, prev, b); ok {
 		return bus.MaskCost(prev, b, m)

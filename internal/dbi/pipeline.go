@@ -237,6 +237,33 @@ type frameBatch struct {
 	refs   atomic.Int32
 }
 
+// shardWorker drains one worker's chunk channel, transmitting every frame's
+// bursts on the worker's contiguous lane range [lo, hi) and recycling fully
+// consumed batches through the free list. This is the sharded pipeline's
+// steady-state loop: per chunk it must allocate nothing, which the escape
+// gate pins.
+//
+//dbi:hotpath
+func shardWorker(streams []*Stream, lo, hi int, ch <-chan *frameBatch, free chan<- *frameBatch) {
+	for batch := range ch {
+		for _, f := range batch.frames {
+			for i := lo; i < hi; i++ {
+				streams[i].Transmit(f[i])
+			}
+		}
+		if batch.refs.Add(-1) == 0 {
+			// Drop the frame references before recycling so the batch does
+			// not pin source frames past their chunk.
+			clear(batch.frames)
+			batch.frames = batch.frames[:0]
+			select {
+			case free <- batch:
+			default:
+			}
+		}
+	}
+}
+
 // runSharded fans chunks of frames out to workers, each owning a contiguous
 // lane range. Every worker receives every chunk, in order, through its own
 // channel, so each lane's stream still sees its bursts in source order.
@@ -260,23 +287,7 @@ func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (
 		wg.Add(1)
 		go func(lo, hi int, ch <-chan *frameBatch) {
 			defer wg.Done()
-			for batch := range ch {
-				for _, f := range batch.frames {
-					for i := lo; i < hi; i++ {
-						streams[i].Transmit(f[i])
-					}
-				}
-				if batch.refs.Add(-1) == 0 {
-					// Drop the frame references before recycling so the
-					// batch does not pin source frames past their chunk.
-					clear(batch.frames)
-					batch.frames = batch.frames[:0]
-					select {
-					case free <- batch:
-					default:
-					}
-				}
-			}
+			shardWorker(streams, lo, hi, ch, free)
 		}(lo, hi, ch)
 	}
 

@@ -104,6 +104,8 @@ func (q Quantized) Encode(prev bus.LineState, b bus.Burst) []bool {
 // EncodeInto implements Encoder. Bursts within the mask bound run the
 // register-resident integer trellis of EncodeMask and unpack the mask;
 // longer bursts fall back to encodeIntoTrellis.
+//
+//dbi:hotpath
 func (q Quantized) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	if m, ok := q.EncodeMask(prev, b); ok {
 		return m.AppendBools(dst, len(b))
@@ -116,13 +118,15 @@ func (q Quantized) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []boo
 // the hardware is, sharing the same stack/pooled backpointer scratch. It is
 // the fallback past bus.MaxMaskBeats and the equivalence oracle the mask
 // tests pin EncodeMask against.
+//
+//dbi:hotpath
 func (q Quantized) encodeIntoTrellis(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	n := len(b)
 	if n == 0 {
 		return dst
 	}
 	base := len(dst)
-	dst = append(dst, make([]bool, n)...)
+	dst = append(dst, make([]bool, n)...) //dbi:allow-escape dst growth the caller amortizes by reusing the buffer
 	out := dst[base:]
 
 	var stack [maxStackBeats][2]bool

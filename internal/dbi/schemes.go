@@ -15,8 +15,10 @@ func (r Raw) Encode(prev bus.LineState, b bus.Burst) []bool {
 }
 
 // EncodeInto implements Encoder.
+//
+//dbi:hotpath
 func (Raw) EncodeInto(dst []bool, _ bus.LineState, b bus.Burst) []bool {
-	return append(dst, make([]bool, len(b))...)
+	return append(dst, make([]bool, len(b))...) //dbi:allow-escape dst growth the caller amortizes by reusing the buffer
 }
 
 // DC is the JEDEC DBI DC scheme: each byte is considered in isolation and
@@ -33,6 +35,8 @@ func (d DC) Encode(prev bus.LineState, b bus.Burst) []bool {
 }
 
 // EncodeInto implements Encoder.
+//
+//dbi:hotpath
 func (DC) EncodeInto(dst []bool, _ bus.LineState, b bus.Burst) []bool {
 	for _, v := range b {
 		dst = append(dst, bus.Zeros(v) >= 5)
@@ -55,6 +59,8 @@ func (a AC) Encode(prev bus.LineState, b bus.Burst) []bool {
 }
 
 // EncodeInto implements Encoder.
+//
+//dbi:hotpath
 func (AC) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	s := prev
 	for _, v := range b {
@@ -83,6 +89,8 @@ func (a ACDC) Encode(prev bus.LineState, b bus.Burst) []bool {
 }
 
 // EncodeInto implements Encoder.
+//
+//dbi:hotpath
 func (ACDC) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	if len(b) == 0 {
 		return dst
@@ -123,6 +131,8 @@ func (g Greedy) Encode(prev bus.LineState, b bus.Burst) []bool {
 }
 
 // EncodeInto implements Encoder.
+//
+//dbi:hotpath
 func (g Greedy) EncodeInto(dst []bool, prev bus.LineState, b bus.Burst) []bool {
 	s := prev
 	for _, v := range b {

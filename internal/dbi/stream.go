@@ -122,6 +122,8 @@ func (s *Stream) State() bus.LineState { return s.state }
 // The returned Wire aliases the stream's internal scratch: it is valid until
 // the next Transmit or Reset on this stream. Callers that retain it longer
 // must Clone it.
+//
+//dbi:hotpath
 func (s *Stream) Transmit(b bus.Burst) bus.Wire {
 	enc, menc := s.enc, s.menc
 	if s.adapter != nil {
@@ -240,9 +242,11 @@ func (ls *LaneSet) Lane(i int) *Stream { return ls.lanes[i] }
 // The returned slice and the Wires in it alias the lane set's internal
 // scratch: both are valid until the next Transmit or Reset. Callers that
 // retain them longer must copy the slice and Clone the wires.
+//
+//dbi:hotpath
 func (ls *LaneSet) Transmit(f bus.Frame) []bus.Wire {
 	if f.Lanes() != len(ls.lanes) {
-		panic(fmt.Sprintf("dbi: frame has %d lanes, lane set has %d", f.Lanes(), len(ls.lanes)))
+		panic(fmt.Sprintf("dbi: frame has %d lanes, lane set has %d", f.Lanes(), len(ls.lanes))) //dbi:allow-escape panic formatting, dead on valid input
 	}
 	for i, b := range f {
 		ls.wires[i] = ls.lanes[i].Transmit(b)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package racetag
+
+// Enabled reports whether the race detector is compiled in; see race.go.
+const Enabled = false

@@ -1,0 +1,14 @@
+//go:build race
+
+// Package racetag exposes, as a compile-time constant, whether the race
+// detector is compiled into the current build. The allocation-pinning
+// tests across internal/dbi, internal/adapt and internal/server consult it
+// to skip themselves under -race: race instrumentation forces stack
+// scratch to the heap, so AllocsPerRun assertions only hold (and only
+// run) on the non-race CI leg. The //dbi:hotpath escape gate enforced by
+// cmd/dbivet covers the same zero-allocation guarantees at compile time
+// on every build, race or not.
+package racetag
+
+// Enabled reports whether the race detector is compiled in.
+const Enabled = true

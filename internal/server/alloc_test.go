@@ -8,6 +8,7 @@ import (
 
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
+	"dbiopt/internal/racetag"
 )
 
 // newLoopSession builds a session the way newSession does, but wired to an
@@ -57,7 +58,7 @@ func frameMessage(t testing.TB, f bus.Frame, lanes, beats int) []byte {
 // LaneSet encode, mask packing, reply write, metrics — performs zero heap
 // allocations per frame.
 func TestServeFrameZeroAlloc(t *testing.T) {
-	if raceEnabled {
+	if racetag.Enabled {
 		t.Skip("allocation counts are skewed by -race instrumentation")
 	}
 	const lanes, beats = 8, bus.BurstLength

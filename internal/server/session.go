@@ -253,10 +253,11 @@ func (sess *session) fail(err error) {
 // payload refills the session's frame in place, LaneSet.Transmit runs on
 // the zero-allocation EncodeInto scratch, and the masks pack into a
 // preallocated buffer — no heap allocation per frame.
+//
+//dbi:hotpath
 func (sess *session) handleFrame(n int) error {
 	if n != len(sess.frameBuf) {
-		err := fmt.Errorf("server: frame payload is %d bytes, session geometry %dx%d needs %d",
-			n, sess.cfg.Lanes, sess.cfg.Beats, len(sess.frameBuf))
+		err := fmt.Errorf("server: frame payload is %d bytes, session geometry %dx%d needs %d", n, sess.cfg.Lanes, sess.cfg.Beats, len(sess.frameBuf)) //dbi:allow-escape error formatting on a malformed frame, dead in steady state
 		sess.fail(err)
 		return err
 	}
