@@ -269,6 +269,83 @@ func BenchmarkLaneSet(b *testing.B) {
 	}
 }
 
+// BenchmarkLaneBatch compares the two frame-level encode paths on an
+// 8-lane bus carrying 64-beat bursts: serial (one Stream.Transmit per
+// lane, wire images built) and batch (one LaneSet.TransmitBatch per frame
+// — struct-of-arrays lanes, word-packed masks, no wire images). The batch
+// path is the serving tier's frame loop; ns/burst is the per-lane figure
+// to compare between the sub-benchmarks. Both paths allocate nothing in
+// steady state.
+func BenchmarkLaneBatch(b *testing.B) {
+	const lanes, frames, beats = 8, 256, 64
+	src := trace.NewUniform(5)
+	workload := make([]dbiopt.Frame, frames)
+	for i := range workload {
+		f := make(dbiopt.Frame, lanes)
+		for l := range f {
+			f[l] = dbiopt.Burst(src.Next(beats))
+		}
+		workload[i] = f
+	}
+	for _, name := range []string{"DC", "ACDC", "GREEDY", "OPT-FIXED"} {
+		enc, err := dbiopt.NewEncoder(name, dbiopt.Weights{Alpha: 1, Beta: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/serial", func(b *testing.B) {
+			ls := dbiopt.NewLaneSet(enc, lanes)
+			b.SetBytes(int64(lanes * beats))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ls.Transmit(workload[i%frames])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/burst")
+		})
+		b.Run(name+"/batch", func(b *testing.B) {
+			ls := dbiopt.NewLaneSet(enc, lanes)
+			b.SetBytes(int64(lanes * beats))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ls.TransmitBatch(workload[i%frames])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/burst")
+		})
+	}
+}
+
+// BenchmarkWideMask measures Stream.Transmit past the single-word mask
+// bound, where the multi-word WideMask path keeps the encode mask-native
+// (and, within MaxInlineWideBeats, allocation-free) instead of falling
+// back to the per-beat []bool walk.
+func BenchmarkWideMask(b *testing.B) {
+	for _, name := range []string{"DC", "OPT-FIXED"} {
+		enc, err := dbiopt.NewEncoder(name, dbiopt.Weights{Alpha: 1, Beta: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, beats := range []int{128, 256} {
+			b.Run(fmt.Sprintf("%s/beats=%d", name, beats), func(b *testing.B) {
+				src := trace.NewUniform(11)
+				workload := make([]dbiopt.Burst, 256)
+				for i := range workload {
+					workload[i] = dbiopt.Burst(src.Next(beats))
+				}
+				st := dbiopt.NewStream(enc)
+				b.SetBytes(int64(beats))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.Transmit(workload[i%len(workload)])
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPipeline measures the sharded streaming pipeline across lane and
 // worker counts on the same workloads as BenchmarkLaneSet. With idle cores
 // available, throughput scales near-linearly in workers until workers

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dbibench [-out results] [-bursts 10000] [-seed 2018] [-quick] [-workers n] [-profile cpu.pprof]
+//	dbibench [-out results] [-bursts 10000] [-seed 2018] [-quick] [-workers n] [-profile cpu.pprof] [-lanes n]
 //
 // Outputs (in -out):
 //
@@ -43,6 +43,7 @@ func run() error {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablation studies")
 	workers := flag.Int("workers", 1, "goroutines for per-burst cost evaluation; 0 = all cores (results are identical for any value)")
 	profile := flag.String("profile", "", "write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+	lanes := flag.Int("lanes", 0, "run the lane-batch throughput study (serial Transmit vs TransmitBatch) with this many lanes instead of the figures")
 	flag.Parse()
 
 	if *quick {
@@ -68,14 +69,24 @@ func run() error {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return err
-	}
-
 	cfg := experiments.DefaultConfig()
 	cfg.Bursts = *bursts
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+
+	// The lane study is a dedicated mode: it drives the frame-level batch
+	// encode path (LaneSet.TransmitBatch) against the serial per-lane path
+	// and prints the speedup table, without regenerating the figures.
+	if *lanes > 0 {
+		study, err := experiments.LaneStudy(cfg, *lanes)
+		if err != nil {
+			return err
+		}
+		return study.Table().WriteText(os.Stdout)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
 
 	// Fig. 2 — the worked example.
 	fig2 := experiments.Fig2()

@@ -63,6 +63,26 @@ type (
 	// scheme implements it; Stream and the parallel drivers use it
 	// automatically.
 	MaskEncoder = dbi.MaskEncoder
+	// WideMask is a multi-word packed inversion pattern — one bit per beat,
+	// 64 beats per word — extending the InvMask representation to bursts of
+	// any length. Patterns up to MaxInlineWideBeats live in an inline array,
+	// so resetting and refilling a reused WideMask allocates nothing.
+	WideMask = bus.WideMask
+	// WideMaskEncoder is the multi-word fast path of an Encoder:
+	// EncodeMaskWords fills a caller-provided zeroed word slice (one bit per
+	// beat) for bursts past MaxMaskBeats. Every built-in scheme implements
+	// it; Stream and the parallel drivers use it automatically.
+	WideMaskEncoder = dbi.WideMaskEncoder
+	// LaneBatch is the struct-of-arrays encode state of one frame: all
+	// lanes' prior states, payload bytes, word-packed masks, exact costs and
+	// post-burst states in contiguous arrays. Produced by
+	// LaneSet.TransmitBatch and EncodeLaneBatch.
+	LaneBatch = dbi.LaneBatch
+	// BatchEncoder is the frame-level fast path of an Encoder: EncodeBatch
+	// fills every lane's mask words of a LaneBatch in one call. The
+	// table-driven built-ins implement it natively; other schemes run
+	// through the generic per-lane driver inside EncodeLaneBatch.
+	BatchEncoder = dbi.BatchEncoder
 	// Weights are the per-transition (Alpha) and per-zero (Beta) costs the
 	// optimal encoder minimises.
 	Weights = dbi.Weights
@@ -93,8 +113,12 @@ var InitialLineState = bus.InitialLineState
 const BurstLength = bus.BurstLength
 
 // MaxMaskBeats is the longest burst an InvMask can describe (one bit per
-// beat of a 64-bit word); longer bursts take the []bool encode path.
+// beat of a 64-bit word); longer bursts take the multi-word WideMask path.
 const MaxMaskBeats = bus.MaxMaskBeats
+
+// MaxInlineWideBeats is the longest burst a WideMask holds without heap
+// allocation; longer patterns spill to a grown-once backing slice.
+const MaxInlineWideBeats = bus.MaxInlineWideBeats
 
 // Unit constants for readable physical literals.
 const (
@@ -190,6 +214,38 @@ func ApplyMask(b Burst, m InvMask) Wire { return bus.ApplyMask(b, m) }
 // pattern m from prev — bit-identical to ApplyMask(b, m).Cost(prev), with
 // the DBI wire accounted bit-parallel.
 func MaskCost(prev LineState, b Burst, m InvMask) Cost { return bus.MaskCost(prev, b, m) }
+
+// EncodeWideMask runs enc's multi-word fast path: the inversion pattern of
+// b packed into m (reset to len(b) beats first), at any burst length. ok is
+// false when enc has no wide path or declines the burst; fall back to
+// Encode then. When ok, the pattern is bit-identical to Encode's.
+func EncodeWideMask(enc Encoder, prev LineState, b Burst, m *WideMask) bool {
+	return dbi.EncodeWideMaskOf(enc, prev, b, m)
+}
+
+// ApplyWideMask produces the wire image of transmitting b with the packed
+// pattern m, the wide counterpart of ApplyMask. m must hold len(b) beats.
+func ApplyWideMask(b Burst, m *WideMask) Wire { return bus.ApplyWideMask(b, m) }
+
+// WideMaskCost returns the exact activity counts of transmitting b with
+// pattern m from prev — bit-identical to ApplyWideMask(b, m).Cost(prev).
+func WideMaskCost(prev LineState, b Burst, m *WideMask) Cost { return bus.WideMaskCost(prev, b, m) }
+
+// WideMaskFinalState returns the lane state after transmitting b with
+// pattern m from prev, without building the wire image.
+func WideMaskFinalState(prev LineState, b Burst, m *WideMask) LineState {
+	return bus.WideMaskFinalState(prev, b, m)
+}
+
+// PlainCost returns the exact activity counts of transmitting b uncoded
+// (no inversions) from prev — the RAW baseline, bit-parallel at any length.
+func PlainCost(prev LineState, b Burst) Cost { return bus.PlainCost(prev, b) }
+
+// EncodeLaneBatch encodes every lane of a prepared LaneBatch with enc —
+// natively for schemes with a frame-level batch path, else lane by lane
+// over the batch arrays — and settles per-lane costs and post-burst states.
+// Results are bit-identical to encoding each lane with its own Stream.
+func EncodeLaneBatch(enc Encoder, lb *LaneBatch) { dbi.EncodeLaneBatch(enc, lb) }
 
 // NewStream returns a streaming encoder starting from the idle line state.
 // Steady-state Transmit performs zero heap allocations; the returned Wire

@@ -156,17 +156,19 @@ func (cfg Config) Validate() error {
 
 // candidate is one scheme's shadow lane: the encoder, the line state its
 // chain has reached since the last switch point, its trailing-window cost,
-// and reusable encode scratch. menc caches the encoder's bit-parallel fast
-// path so shadow encodes run mask-native (packed pattern, table-driven
-// cost) with the []bool scratch kept only for schemes — or bursts — the
-// fast path declines.
+// and reusable encode scratch. menc and wenc cache the encoder's
+// bit-parallel fast paths — single-word and multi-word — so shadow encodes
+// run mask-native (packed pattern, table-driven cost) at any burst length,
+// with the []bool scratch kept only for schemes the fast paths decline.
 type candidate struct {
 	name  string
 	enc   dbi.Encoder
-	menc  dbi.MaskEncoder // nil when enc has no bit-parallel fast path
+	menc  dbi.MaskEncoder     // nil when enc has no single-word fast path
+	wenc  dbi.WideMaskEncoder // nil when enc has no multi-word fast path
 	state bus.LineState
 	win   bus.Cost
 	inv   []bool
+	wmask bus.WideMask
 }
 
 // Controller is the windowed online scheme selector for one lane. It
@@ -196,7 +198,8 @@ func New(cfg Config) (*Controller, error) {
 			return nil, fmt.Errorf("adapt: candidate: %w", err)
 		}
 		me, _ := enc.(dbi.MaskEncoder)
-		c.cands[i] = candidate{name: name, enc: enc, menc: me, state: bus.InitialLineState}
+		we, _ := enc.(dbi.WideMaskEncoder)
+		c.cands[i] = candidate{name: name, enc: enc, menc: me, wenc: we, state: bus.InitialLineState}
 	}
 	return c, nil
 }
@@ -270,11 +273,20 @@ func (c *Controller) Observe(b bus.Burst, cost bus.Cost, next bus.LineState) {
 			continue
 		}
 		// Mask-native shadow encode: pattern, cost and post-burst state all
-		// come from the packed representation, no per-beat walk.
-		if cd.menc != nil {
+		// come from the packed representation, no per-beat walk — single
+		// word within bus.MaxMaskBeats, word-packed wide beyond.
+		if cd.menc != nil && len(b) <= bus.MaxMaskBeats {
 			if m, ok := cd.menc.EncodeMask(cd.state, b); ok {
 				cd.win = cd.win.Add(bus.MaskCost(cd.state, b, m))
 				cd.state = bus.MaskFinalState(cd.state, b, m)
+				continue
+			}
+		}
+		if cd.wenc != nil {
+			cd.wmask.Reset(len(b)) //dbi:allow-escape wide-mask spill growth past the inline bound, amortized across bursts
+			if cd.wenc.EncodeMaskWords(cd.state, b, cd.wmask.Words()) {
+				cd.win = cd.win.Add(bus.MaskWordsCost(cd.state, b, cd.wmask.Words()))
+				cd.state = bus.MaskWordsFinalState(cd.state, b, cd.wmask.Words())
 				continue
 			}
 		}

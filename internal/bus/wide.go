@@ -1,0 +1,371 @@
+package bus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// WideMask is the multi-word generalisation of InvMask: the packed per-beat
+// inversion pattern of a burst of any length, one bit per beat, 64 beats per
+// word. Bursts up to MaxInlineWideBeats live in a fixed inline array, so the
+// wide fast paths stay allocation-free for every realistic burst length
+// (the serving protocol caps bursts at 255 beats); longer bursts spill to a
+// heap-backed word slice that is reused across Resets.
+//
+// A WideMask is always used through a pointer: Words returns a view into the
+// inline array, so copying the struct by value would detach outstanding
+// views. Bits at or above the burst length are zero by construction (Reset
+// clears every word) and ignored by every consumer in this package.
+type WideMask struct {
+	beats  int
+	inline [wideInlineWords]uint64
+	ext    []uint64 // backing words when beats > MaxInlineWideBeats
+}
+
+// MaxInlineWideBeats is the longest burst a WideMask describes without heap
+// allocation: four inline 64-bit words.
+const MaxInlineWideBeats = wideInlineWords * 64
+
+// wideInlineWords is the size of the inline small-array.
+const wideInlineWords = 4
+
+// WideWords returns the number of 64-bit words needed to hold one bit per
+// beat of an n-beat burst.
+func WideWords(n int) int { return (n + 63) / 64 }
+
+// Reset prepares the mask for an n-beat burst: sizes the backing words and
+// clears them all. It allocates only when n exceeds MaxInlineWideBeats and
+// the spill slice has not yet grown to n beats.
+//
+//dbi:hotpath
+func (m *WideMask) Reset(n int) {
+	m.beats = n
+	if n <= MaxInlineWideBeats {
+		m.inline = [wideInlineWords]uint64{}
+		return
+	}
+	w := WideWords(n)
+	if cap(m.ext) < w {
+		m.ext = make([]uint64, w) //dbi:allow-escape spill growth past the inline bound, amortized across Resets
+		return
+	}
+	m.ext = m.ext[:w]
+	clear(m.ext)
+}
+
+// Beats returns the burst length the mask was Reset for.
+func (m *WideMask) Beats() int { return m.beats }
+
+// Words returns the mask's backing words, least significant beat first:
+// beat t is bit t&63 of word t>>6. The slice aliases the mask (for inline
+// masks, its inline array) and is valid until the next Reset.
+func (m *WideMask) Words() []uint64 {
+	if m.beats <= MaxInlineWideBeats {
+		return m.inline[:WideWords(m.beats)]
+	}
+	return m.ext
+}
+
+// Bit reports whether beat t is inverted.
+func (m *WideMask) Bit(t int) bool {
+	return m.Words()[t>>6]>>(t&63)&1 == 1
+}
+
+// SetBit marks beat t inverted. t must be within the Reset length.
+func (m *WideMask) SetBit(t int) {
+	m.Words()[t>>6] |= 1 << (t & 63)
+}
+
+// FromBools packs a []bool inversion pattern of any length, resetting the
+// mask to len(inv) beats first.
+func (m *WideMask) FromBools(inv []bool) {
+	m.Reset(len(inv))
+	words := m.Words()
+	for t, f := range inv {
+		if f {
+			words[t>>6] |= 1 << (t & 63)
+		}
+	}
+}
+
+// FromMask resets the mask to n beats holding the single-word pattern sm,
+// bridging the ≤ MaxMaskBeats fast path into the wide representation. n must
+// not exceed MaxMaskBeats.
+func (m *WideMask) FromMask(sm InvMask, n int) {
+	checkMaskLen(n)
+	m.Reset(n)
+	if n > 0 {
+		m.Words()[0] = sm.usedBits(n)
+	}
+}
+
+// AppendBools appends the mask's beats to dst as one bool per beat, the
+// []bool convention of Encoder.EncodeInto. It allocates only when dst lacks
+// capacity.
+func (m *WideMask) AppendBools(dst []bool) []bool {
+	words := m.Words()
+	for t := 0; t < m.beats; t++ {
+		dst = append(dst, words[t>>6]>>(t&63)&1 == 1)
+	}
+	return dst
+}
+
+// checkWideWords panics when the word slice cannot describe an n-beat burst,
+// mirroring checkMaskLen: a caller bug, not a data error.
+func checkWideWords(n, words int) {
+	if words < WideWords(n) {
+		panic(fmt.Sprintf("bus: %d mask words cannot describe a %d-beat burst", words, n))
+	}
+}
+
+// expandMaskBits spreads the low 8 bits of g across the 8 bytes of a word:
+// byte k of the result is 0xFF when bit k of g is set and 0x00 otherwise —
+// the per-group XOR operand that applies 8 beats of conditional inversion in
+// one 64-bit operation. The multiply replicates g into every byte, the
+// AND isolates bit k in byte k, and the add/AND pair turns any nonzero byte
+// into its sign bit; no step carries across byte boundaries.
+func expandMaskBits(g uint64) uint64 {
+	x := g * 0x0101010101010101 & 0x8040201008040201
+	x = (x + 0x7f7f7f7f7f7f7f7f) & 0x8080808080808080
+	return x >> 7 * 0xff
+}
+
+// dbiWordsCost returns the DBI wire's share of the activity counts for the
+// first n beats of a word-packed inversion pattern: per word, zeros are one
+// popcount of the used bits and transitions one popcount of the used bits
+// XORed with themselves shifted by a beat, the previous word's last beat (or
+// the pre-burst DBI level) shifted in at bit 0 — the multi-word form of the
+// two-popcount identity MaskCost uses.
+//
+//dbi:hotpath
+func dbiWordsCost(prevDBI bool, words []uint64, n int) Cost {
+	var carry uint64 // inversion level entering the current word's beat 0
+	if !prevDBI {
+		carry = 1
+	}
+	var c Cost
+	for k := 0; n > 0; k++ {
+		used := words[k]
+		nb := n
+		if nb > 64 {
+			nb = 64
+		}
+		x := used ^ (used<<1 | carry)
+		if nb < 64 {
+			tail := ^uint64(0) >> (64 - nb)
+			used &= tail
+			x &= tail
+		}
+		c.Zeros += bits.OnesCount64(used)
+		c.Transitions += bits.OnesCount64(x)
+		carry = used >> 63
+		n -= nb
+	}
+	return c
+}
+
+// MaskWordsCost returns the exact zero and transition counts of transmitting
+// burst b with the word-packed inversion pattern words from lane state prev
+// — the any-length counterpart of MaskCost, bit-identical to applying the
+// pattern and recounting the wires. The DBI share is popcount-parallel per
+// word; the DQ share processes 8 beats per iteration: one 64-bit load of the
+// payload, one XOR with the expanded mask byte, then a popcount for zeros
+// and a shifted-XOR popcount for transitions (the previous beat's byte
+// carried in at byte 0). len(words) must cover len(b) beats.
+//
+//dbi:hotpath
+func MaskWordsCost(prev LineState, b Burst, words []uint64) Cost {
+	n := len(b)
+	checkWideWords(n, len(words)) //dbi:allow-escape inlined panic formatting, dead on valid input
+	if n == 0 {
+		return Cost{}
+	}
+	c := dbiWordsCost(prev.DBI, words, n)
+	d := prev.Data
+	t := 0
+	for ; t+8 <= n; t += 8 {
+		g := words[t>>6] >> (t & 63) & 0xff // 8-beat groups never span words
+		w8 := binary.LittleEndian.Uint64(b[t:]) ^ expandMaskBits(g)
+		c.Zeros += 64 - bits.OnesCount64(w8)
+		c.Transitions += bits.OnesCount64(w8 ^ (w8<<8 | uint64(d)))
+		d = byte(w8 >> 56)
+	}
+	for ; t < n; t++ {
+		v := b[t] ^ -byte(words[t>>6]>>(t&63)&1)
+		c.Zeros += int(zerosTab[v])
+		c.Transitions += int(onesTab[d^v])
+		d = v
+	}
+	return c
+}
+
+// MaskWordsFinalState returns the lane state after transmitting burst b with
+// the word-packed pattern words — the any-length counterpart of
+// MaskFinalState.
+//
+//dbi:hotpath
+func MaskWordsFinalState(prev LineState, b Burst, words []uint64) LineState {
+	n := len(b)
+	checkWideWords(n, len(words)) //dbi:allow-escape inlined panic formatting, dead on valid input
+	if n == 0 {
+		return prev
+	}
+	t := n - 1
+	return Advance(prev, b[t], words[t>>6]>>(t&63)&1 == 1)
+}
+
+// FillMaskWords rebuilds the wire image in place from burst b and the
+// word-packed inversion pattern, reusing the Wire's backing arrays exactly
+// like FillMask but without the MaxMaskBeats bound.
+//
+//dbi:hotpath
+func (w *Wire) FillMaskWords(b Burst, words []uint64) {
+	checkWideWords(len(b), len(words)) //dbi:allow-escape inlined panic formatting, dead on valid input
+	w.Data = append(w.Data[:0], b...)
+	if cap(w.DBI) < len(b) {
+		w.DBI = make([]bool, len(b)) //dbi:allow-escape scratch growth, amortized to zero in steady state
+	}
+	w.DBI = w.DBI[:len(b)]
+	for t := range b {
+		bit := byte(words[t>>6] >> (t & 63) & 1)
+		w.Data[t] ^= -bit // 0x00 or 0xFF: conditional inversion without a branch
+		w.DBI[t] = bit == 0
+	}
+}
+
+// FillMaskWordsCost rebuilds the wire image exactly like FillMaskWords and
+// returns the transmission's exact activity counts from prev in the same
+// pass — the fused form the wide streaming path runs. The data fill is
+// 8 beats per iteration (load, XOR with the expanded mask byte, store), with
+// the zero and transition popcounts taken from the already-inverted word.
+// It is bit-identical to FillMaskWords followed by MaskWordsCost.
+//
+//dbi:hotpath
+func (w *Wire) FillMaskWordsCost(prev LineState, b Burst, words []uint64) Cost {
+	n := len(b)
+	checkWideWords(n, len(words)) //dbi:allow-escape inlined panic formatting, dead on valid input
+	w.Data = append(w.Data[:0], b...)
+	if cap(w.DBI) < n {
+		w.DBI = make([]bool, n) //dbi:allow-escape scratch growth, amortized to zero in steady state
+	}
+	w.DBI = w.DBI[:n]
+	if n == 0 {
+		return Cost{}
+	}
+	c := dbiWordsCost(prev.DBI, words, n)
+	d := prev.Data
+	t := 0
+	for ; t+8 <= n; t += 8 {
+		g := words[t>>6] >> (t & 63) & 0xff
+		w8 := binary.LittleEndian.Uint64(w.Data[t:]) ^ expandMaskBits(g)
+		binary.LittleEndian.PutUint64(w.Data[t:], w8)
+		c.Zeros += 64 - bits.OnesCount64(w8)
+		c.Transitions += bits.OnesCount64(w8 ^ (w8<<8 | uint64(d)))
+		d = byte(w8 >> 56)
+		for j := 0; j < 8; j++ {
+			w.DBI[t+j] = g>>j&1 == 0
+		}
+	}
+	for ; t < n; t++ {
+		bit := byte(words[t>>6] >> (t & 63) & 1)
+		v := w.Data[t] ^ -bit
+		w.Data[t] = v
+		w.DBI[t] = bit == 0
+		c.Zeros += int(zerosTab[v])
+		c.Transitions += int(onesTab[d^v])
+		d = v
+	}
+	return c
+}
+
+// PlainCost returns the exact activity counts of transmitting b uncoded
+// (no beat inverted, DBI wire held high) from prev — MaskCost with an
+// all-zero mask, but without the MaxMaskBeats bound and with the DQ share
+// processed 8 beats per 64-bit load. This is the raw-baseline accounting of
+// the serving layer.
+//
+//dbi:hotpath
+func PlainCost(prev LineState, b Burst) Cost {
+	n := len(b)
+	if n == 0 {
+		return Cost{}
+	}
+	var c Cost
+	if !prev.DBI {
+		c.Transitions = 1 // DBI wire returns high on beat 0 and stays there
+	}
+	d := prev.Data
+	t := 0
+	for ; t+8 <= n; t += 8 {
+		w8 := binary.LittleEndian.Uint64(b[t:])
+		c.Zeros += 64 - bits.OnesCount64(w8)
+		c.Transitions += bits.OnesCount64(w8 ^ (w8<<8 | uint64(d)))
+		d = byte(w8 >> 56)
+	}
+	for ; t < n; t++ {
+		v := b[t]
+		c.Zeros += int(zerosTab[v])
+		c.Transitions += int(onesTab[d^v])
+		d = v
+	}
+	return c
+}
+
+// ApplyWideMask produces the wire-level image of transmitting burst b with
+// the packed inversion pattern m, the wide counterpart of ApplyMask.
+// m must have been Reset for len(b) beats.
+func ApplyWideMask(b Burst, m *WideMask) Wire {
+	w := Wire{Data: make([]byte, 0, len(b)), DBI: make([]bool, 0, len(b))}
+	w.FillWideMask(b, m)
+	return w
+}
+
+// checkWideBeats panics when the mask was Reset for a different burst
+// length than the one presented.
+func checkWideBeats(m *WideMask, n int) {
+	if m.beats != n {
+		panic(fmt.Sprintf("bus: wide mask holds %d beats, burst has %d", m.beats, n))
+	}
+}
+
+// FillWideMask rebuilds the wire image in place from burst b and m, the wide
+// counterpart of FillMask.
+func (w *Wire) FillWideMask(b Burst, m *WideMask) {
+	checkWideBeats(m, len(b))
+	w.FillMaskWords(b, m.Words())
+}
+
+// FillWideMaskCost rebuilds the wire image like FillWideMask and returns the
+// exact activity counts from prev in the same pass, the wide counterpart of
+// FillMaskCost.
+func (w *Wire) FillWideMaskCost(prev LineState, b Burst, m *WideMask) Cost {
+	checkWideBeats(m, len(b))
+	return w.FillMaskWordsCost(prev, b, m.Words())
+}
+
+// WideMaskCost returns the exact activity counts of transmitting b with m
+// from prev, the wide counterpart of MaskCost.
+func WideMaskCost(prev LineState, b Burst, m *WideMask) Cost {
+	checkWideBeats(m, len(b))
+	return MaskWordsCost(prev, b, m.Words())
+}
+
+// WideMaskFinalState returns the lane state after transmitting b with m, the
+// wide counterpart of MaskFinalState.
+func WideMaskFinalState(prev LineState, b Burst, m *WideMask) LineState {
+	checkWideBeats(m, len(b))
+	return MaskWordsFinalState(prev, b, m.Words())
+}
+
+// WideInvMask packs the inversion pattern a wire image carries on its DBI
+// wire into m, the any-length counterpart of Wire.InvMask.
+func (w Wire) WideInvMask(m *WideMask) {
+	m.Reset(len(w.DBI))
+	words := m.Words()
+	for t, high := range w.DBI {
+		if !high {
+			words[t>>6] |= 1 << (t & 63)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbiopt/internal/racetag"
+)
+
+// randomWideCase synthesises one (prev, burst, mask) triple of up to
+// maxBeats beats, returning the wide mask and the equivalent []bool pattern.
+func randomWideCase(rng *rand.Rand, maxBeats int) (LineState, Burst, *WideMask, []bool) {
+	n := rng.Intn(maxBeats + 1)
+	b := make(Burst, n)
+	inv := make([]bool, n)
+	for t := range b {
+		b[t] = byte(rng.Intn(256))
+		inv[t] = rng.Intn(2) == 1
+	}
+	m := new(WideMask)
+	m.FromBools(inv)
+	prev := LineState{Data: byte(rng.Intn(256)), DBI: rng.Intn(2) == 1}
+	return prev, b, m, inv
+}
+
+// wideLengths are the burst lengths the directed wide tests sweep: both
+// sides of every boundary the kernels care about — the 8-beat SWAR group,
+// the 64-beat word, the inline bound, and ragged tails of each.
+var wideLengths = []int{0, 1, 7, 8, 9, 63, 64, 65, 127, 128, 129, 192, 255, 256, 257, 320, 511, 512}
+
+// TestWideMaskFromBoolsRoundTrip pins the pack/unpack pair across word
+// boundaries, and Bit against the source pattern.
+func TestWideMaskFromBoolsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for i := 0; i < 300; i++ {
+		_, _, m, inv := randomWideCase(rng, 512)
+		if m.Beats() != len(inv) {
+			t.Fatalf("Beats = %d, want %d", m.Beats(), len(inv))
+		}
+		back := m.AppendBools(nil)
+		for t2 := range inv {
+			if back[t2] != inv[t2] || m.Bit(t2) != inv[t2] {
+				t.Fatalf("beat %d: AppendBools %v Bit %v, want %v", t2, back[t2], m.Bit(t2), inv[t2])
+			}
+		}
+	}
+}
+
+// TestWideMaskFromMask: the single-word bridge agrees with the bool path and
+// discards bits past the burst length.
+func TestWideMaskFromMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	var m WideMask
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(MaxMaskBeats + 1)
+		sm := InvMask(rng.Uint64())
+		m.FromMask(sm, n)
+		for t2 := 0; t2 < n; t2++ {
+			if m.Bit(t2) != sm.Bit(t2) {
+				t.Fatalf("n=%d beat %d: wide %v, narrow %v", n, t2, m.Bit(t2), sm.Bit(t2))
+			}
+		}
+		if n < MaxMaskBeats && len(m.Words()) > 0 && m.Words()[0] != sm.usedBits(n) {
+			t.Fatalf("n=%d: word %b carries bits past the burst, want %b", n, m.Words()[0], sm.usedBits(n))
+		}
+	}
+}
+
+// TestMaskWordsCostMatchesWireCost: the word-parallel accounting is
+// bit-identical to applying the pattern and recounting the wires, for every
+// boundary length and at random.
+func TestMaskWordsCostMatchesWireCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	check := func(prev LineState, b Burst, m *WideMask, inv []bool) {
+		t.Helper()
+		wire := Apply(b, inv)
+		want := wire.Cost(prev)
+		if got := MaskWordsCost(prev, b, m.Words()); got != want {
+			t.Fatalf("n=%d: MaskWordsCost %+v != wire cost %+v", len(b), got, want)
+		}
+		if got := WideMaskCost(prev, b, m); got != want {
+			t.Fatalf("n=%d: WideMaskCost %+v != wire cost %+v", len(b), got, want)
+		}
+		if gs, ws := MaskWordsFinalState(prev, b, m.Words()), wire.FinalState(prev); gs != ws {
+			t.Fatalf("n=%d: MaskWordsFinalState %+v != wire final state %+v", len(b), gs, ws)
+		}
+		if gs, ws := WideMaskFinalState(prev, b, m), wire.FinalState(prev); gs != ws {
+			t.Fatalf("n=%d: WideMaskFinalState %+v != wire final state %+v", len(b), gs, ws)
+		}
+	}
+	for _, n := range wideLengths {
+		b := make(Burst, n)
+		inv := make([]bool, n)
+		for t2 := range b {
+			b[t2] = byte(rng.Intn(256))
+			inv[t2] = rng.Intn(2) == 1
+		}
+		m := new(WideMask)
+		m.FromBools(inv)
+		check(LineState{Data: 0xFF, DBI: true}, b, m, inv)
+		check(LineState{Data: 0x00, DBI: false}, b, m, inv)
+	}
+	for i := 0; i < 500; i++ {
+		check(randomWideCase(rng, 520))
+	}
+}
+
+// TestMaskWordsCostMatchesNarrow: within the single-word bound the wide and
+// narrow kernels agree exactly.
+func TestMaskWordsCostMatchesNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for i := 0; i < 500; i++ {
+		prev, b, m, inv := randomWideCase(rng, MaxMaskBeats)
+		sm, ok := MaskFromBools(inv)
+		if !ok {
+			t.Fatal("narrow pack refused")
+		}
+		if wide, narrow := MaskWordsCost(prev, b, m.Words()), MaskCost(prev, b, sm); wide != narrow {
+			t.Fatalf("n=%d: wide %+v != narrow %+v", len(b), wide, narrow)
+		}
+	}
+}
+
+// TestApplyWideMaskMatchesApply: the wide wire image is bit-identical to the
+// []bool one, and WideInvMask recovers the pattern.
+func TestApplyWideMaskMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for i := 0; i < 300; i++ {
+		_, b, m, inv := randomWideCase(rng, 512)
+		want := Apply(b, inv)
+		got := ApplyWideMask(b, m)
+		for t2 := range want.Data {
+			if got.Data[t2] != want.Data[t2] || got.DBI[t2] != want.DBI[t2] {
+				t.Fatalf("beat %d: got %02x/%v, want %02x/%v",
+					t2, got.Data[t2], got.DBI[t2], want.Data[t2], want.DBI[t2])
+			}
+		}
+		var rm WideMask
+		got.WideInvMask(&rm)
+		if rm.Beats() != len(b) {
+			t.Fatalf("WideInvMask beats %d, want %d", rm.Beats(), len(b))
+		}
+		for t2 := range inv {
+			if rm.Bit(t2) != inv[t2] {
+				t.Fatalf("round-trip beat %d = %v, want %v", t2, rm.Bit(t2), inv[t2])
+			}
+		}
+	}
+}
+
+// TestFillMaskWordsCostMatchesSplit: the fused fill+cost is bit-identical to
+// FillMaskWords followed by MaskWordsCost, and both reuse grown buffers.
+func TestFillMaskWordsCostMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	var fused, split Wire
+	for i := 0; i < 300; i++ {
+		prev, b, m, _ := randomWideCase(rng, 512)
+		split.FillMaskWords(b, m.Words())
+		want := MaskWordsCost(prev, b, m.Words())
+		got := fused.FillMaskWordsCost(prev, b, m.Words())
+		if got != want {
+			t.Fatalf("n=%d: fused cost %+v != split cost %+v", len(b), got, want)
+		}
+		for t2 := range split.Data {
+			if fused.Data[t2] != split.Data[t2] || fused.DBI[t2] != split.DBI[t2] {
+				t.Fatalf("beat %d: fused %02x/%v != split %02x/%v",
+					t2, fused.Data[t2], fused.DBI[t2], split.Data[t2], split.DBI[t2])
+			}
+		}
+		if got := fused.FillWideMaskCost(prev, b, m); got != want {
+			t.Fatalf("n=%d: FillWideMaskCost %+v != %+v", len(b), got, want)
+		}
+	}
+}
+
+// TestPlainCost: the uncoded SWAR accounting matches an all-high wire image
+// and, within the single-word bound, MaskCost with a zero mask.
+func TestPlainCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	for _, n := range wideLengths {
+		b := make(Burst, n)
+		for t2 := range b {
+			b[t2] = byte(rng.Intn(256))
+		}
+		for _, prev := range []LineState{InitialLineState, {Data: 0x00, DBI: false}, {Data: 0xA5, DBI: true}} {
+			want := Apply(b, make([]bool, n)).Cost(prev)
+			if got := PlainCost(prev, b); got != want {
+				t.Fatalf("n=%d prev=%+v: PlainCost %+v != wire cost %+v", n, prev, got, want)
+			}
+			if n <= MaxMaskBeats {
+				if got, narrow := PlainCost(prev, b), MaskCost(prev, b, 0); got != narrow {
+					t.Fatalf("n=%d: PlainCost %+v != MaskCost(0) %+v", n, got, narrow)
+				}
+			}
+		}
+	}
+}
+
+// TestWideMaskResetClears: a reused mask never leaks bits from a previous,
+// longer burst — across the inline/spill boundary in both directions.
+func TestWideMaskResetClears(t *testing.T) {
+	var m WideMask
+	for _, n := range []int{512, 256, 64, 300, 8, 511, 0, 65} {
+		m.Reset(n)
+		if m.Beats() != n {
+			t.Fatalf("Beats = %d, want %d", m.Beats(), n)
+		}
+		words := m.Words()
+		if len(words) != WideWords(n) {
+			t.Fatalf("n=%d: %d words, want %d", n, len(words), WideWords(n))
+		}
+		for k, w := range words {
+			if w != 0 {
+				t.Fatalf("n=%d: word %d not cleared: %b", n, k, w)
+			}
+		}
+		for t2 := 0; t2 < n; t2 += 63 {
+			m.SetBit(t2)
+		}
+	}
+}
+
+// TestWideMaskInlineZeroAlloc pins the allocation contract: for bursts
+// within MaxInlineWideBeats, Reset and every wide kernel are allocation-free
+// once the wire scratch has grown.
+func TestWideMaskInlineZeroAlloc(t *testing.T) {
+	if racetag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(97))
+	b := make(Burst, MaxInlineWideBeats)
+	for t2 := range b {
+		b[t2] = byte(rng.Intn(256))
+	}
+	m := new(WideMask)
+	var w Wire
+	prev := InitialLineState
+	run := func() {
+		m.Reset(len(b))
+		for t2 := 0; t2 < len(b); t2 += 3 {
+			m.SetBit(t2)
+		}
+		c := w.FillMaskWordsCost(prev, b, m.Words())
+		if c2 := MaskWordsCost(prev, b, m.Words()); c != c2 {
+			t.Fatal("cost mismatch")
+		}
+		_ = MaskWordsFinalState(prev, b, m.Words())
+		_ = PlainCost(prev, b)
+	}
+	run() // warm the wire scratch
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Fatalf("wide inline path allocated %v times per run, want 0", n)
+	}
+}
+
+// TestWideMaskPanics: geometry bugs panic exactly like the narrow kernels.
+func TestWideMaskPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	b := make(Burst, 65)
+	expectPanic("MaskWordsCost short words", func() {
+		MaskWordsCost(InitialLineState, b, make([]uint64, 1))
+	})
+	expectPanic("FillMaskWords short words", func() {
+		var w Wire
+		w.FillMaskWords(b, make([]uint64, 1))
+	})
+	expectPanic("WideMaskCost beat mismatch", func() {
+		var m WideMask
+		m.Reset(64)
+		WideMaskCost(InitialLineState, b, &m)
+	})
+	expectPanic("FromMask beyond MaxMaskBeats", func() {
+		var m WideMask
+		m.FromMask(0, MaxMaskBeats+1)
+	})
+}

@@ -175,6 +175,73 @@ func FuzzMaskEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzWideMaskEquivalence is FuzzMaskEquivalence past the single-word
+// bound: for every registered scheme, bursts of 65–512 beats must produce
+// identical inversion patterns, costs and final states through the []bool
+// EncodeInto oracle and the multi-word EncodeMaskWords fast path. The
+// fuzzed payload tiles up to the fuzzed length, so the corpus explores
+// periodic data (the trellis' worst case for tie-breaking) as well as
+// arbitrary bytes. A scheme that declines the burst is skipped — the
+// []bool fallback is authoritative there (EXHAUSTIVE always declines
+// these lengths).
+func FuzzWideMaskEquivalence(f *testing.F) {
+	f.Add([]byte{0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4}, byte(0xFF), true, uint8(1), uint8(1), uint16(65))
+	f.Add([]byte{0x00, 0xFF}, byte(0xAA), false, uint8(3), uint8(5), uint16(128))
+	f.Add([]byte{0x55, 0xAA, 0x55, 0xAA, 0x55}, byte(0x0F), true, uint8(7), uint8(0), uint16(256))
+	f.Add([]byte{0x01}, byte(0x00), false, uint8(0), uint8(2), uint16(512))
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, byte(0x3C), true, uint8(2), uint8(4), uint16(300))
+	f.Fuzz(func(t *testing.T, payload []byte, prevData byte, prevDBI bool, qa, qb uint8, rawN uint16) {
+		n := int(rawN)%(512-65+1) + 65
+		b := make(bus.Burst, n)
+		if len(payload) == 0 {
+			payload = []byte{0x5A}
+		}
+		for t2 := range b {
+			b[t2] = payload[t2%len(payload)]
+		}
+		prev := bus.LineState{Data: prevData, DBI: prevDBI}
+		weightCases := []Weights{
+			{Alpha: float64(qa % 8), Beta: float64(qb%8) + 1},
+			{Alpha: float64(qa%8) + 0.5, Beta: float64(qb%8) + 0.25},
+			{Alpha: float64(qa%8) + 0.3, Beta: float64(qb%8) + 0.7},
+		}
+		var m bus.WideMask
+		for _, w := range weightCases {
+			for _, name := range Names() {
+				enc, err := Lookup(name, w)
+				if err != nil {
+					continue // weights this scheme refuses (validated elsewhere)
+				}
+				if !Stateless(enc) {
+					continue
+				}
+				we, ok := enc.(WideMaskEncoder)
+				if !ok {
+					t.Fatalf("%s does not implement WideMaskEncoder", name)
+				}
+				m.Reset(n)
+				if !we.EncodeMaskWords(prev, b, m.Words()) {
+					continue // declined: []bool fallback is authoritative
+				}
+				inv := enc.Encode(prev, b)
+				for t2 := range inv {
+					if m.Bit(t2) != inv[t2] {
+						t.Fatalf("%s w=%+v n=%d: wide beat %d = %v, oracle %v on tile %v from %+v",
+							name, w, n, t2, m.Bit(t2), inv[t2], payload, prev)
+					}
+				}
+				wire := bus.Apply(b, inv)
+				if mc, wc := bus.WideMaskCost(prev, b, &m), wire.Cost(prev); mc != wc {
+					t.Fatalf("%s w=%+v n=%d: WideMaskCost %+v != wire cost %+v", name, w, n, mc, wc)
+				}
+				if ms, ws := bus.WideMaskFinalState(prev, b, &m), wire.FinalState(prev); ms != ws {
+					t.Fatalf("%s w=%+v n=%d: final state %+v != %+v", name, w, n, ms, ws)
+				}
+			}
+		}
+	})
+}
+
 // FuzzOptNeverWorseThanBaselines: optimality against the per-byte schemes
 // for arbitrary payloads.
 func FuzzOptNeverWorseThanBaselines(f *testing.F) {

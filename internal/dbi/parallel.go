@@ -26,24 +26,34 @@ func Stateless(enc Encoder) bool {
 }
 
 // encodeScratch is the reusable per-goroutine encode state of the parallel
-// drivers: one inversion-pattern buffer and one wire image, recycled across
-// bursts so the per-burst cost evaluation performs zero heap allocations in
-// steady state. The fast path never touches the buffers at all: encoders
-// with a bit-parallel mask path cost the burst straight from the packed
-// pattern.
+// drivers: one inversion-pattern buffer, one wire image and one wide mask,
+// recycled across bursts so the per-burst cost evaluation performs zero
+// heap allocations in steady state. The fast paths never touch the bool
+// buffers at all: encoders with a bit-parallel mask path cost the burst
+// straight from the packed pattern, single-word or wide.
 type encodeScratch struct {
-	inv  []bool
-	wire bus.Wire
+	inv   []bool
+	wire  bus.Wire
+	wmask bus.WideMask
 }
 
 // costOf computes the exact from-prev activity counts of encoding b with
-// enc: mask-native when enc has a fast path for the burst, else through the
+// enc: mask-native when enc has a fast path for the burst — single-word
+// within bus.MaxMaskBeats, word-packed wide beyond — else through the
 // scratch buffers.
 //
 //dbi:hotpath
 func (sc *encodeScratch) costOf(enc Encoder, prev bus.LineState, b bus.Burst) bus.Cost {
-	if m, ok := EncodeMaskOf(enc, prev, b); ok {
-		return bus.MaskCost(prev, b, m)
+	if len(b) <= bus.MaxMaskBeats {
+		if m, ok := EncodeMaskOf(enc, prev, b); ok {
+			return bus.MaskCost(prev, b, m)
+		}
+	}
+	if we := wideMaskEncoderOf(enc); we != nil {
+		sc.wmask.Reset(len(b)) //dbi:allow-escape wide-mask spill growth past the inline bound, amortized across bursts
+		if we.EncodeMaskWords(prev, b, sc.wmask.Words()) {
+			return bus.MaskWordsCost(prev, b, sc.wmask.Words())
+		}
 	}
 	sc.inv = enc.EncodeInto(sc.inv[:0], prev, b)
 	sc.wire.Fill(b, sc.inv)

@@ -157,7 +157,7 @@ func (p *Pipeline) Run(src FrameSource) (*PipelineResult, error) {
 	if workers := p.Workers(); workers <= 1 || !Stateless(p.enc) {
 		frames, err = p.runSerial(src, streams)
 	} else {
-		frames, err = p.runSharded(src, streams, workers)
+		frames, err = p.runSharded(src, streams, p.enc, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -195,7 +195,10 @@ func (p *Pipeline) RunLanes(src FrameSource, ls *LaneSet) (int, error) {
 	if workers <= 1 || !ls.shardable() {
 		return p.runSerial(src, ls.lanes)
 	}
-	return p.runSharded(src, ls.lanes, workers)
+	// ls.enc is nil for adaptive lane sets, which routes every frame
+	// through the per-lane path inside the workers — adapters must observe
+	// their own lane's bursts one at a time.
+	return p.runSharded(src, ls.lanes, ls.enc, workers)
 }
 
 // checkFrame validates one frame's geometry against the pipeline.
@@ -239,14 +242,23 @@ type frameBatch struct {
 
 // shardWorker drains one worker's chunk channel, transmitting every frame's
 // bursts on the worker's contiguous lane range [lo, hi) and recycling fully
-// consumed batches through the free list. This is the sharded pipeline's
-// steady-state loop: per chunk it must allocate nothing, which the escape
-// gate pins.
+// consumed batches through the free list. With a uniform stateless policy
+// (enc non-nil) each frame's lane range encodes as one struct-of-arrays
+// LaneBatch — no per-lane interface dispatch, no wire images — through a
+// batch recycled in laneBatchPool across runs; adaptive lane sets (enc
+// nil) and ragged frames fall back to per-lane Transmit. This is the
+// sharded pipeline's steady-state loop: per chunk it must allocate
+// nothing, which the escape gate pins.
 //
 //dbi:hotpath
-func shardWorker(streams []*Stream, lo, hi int, ch <-chan *frameBatch, free chan<- *frameBatch) {
+func shardWorker(enc Encoder, streams []*Stream, lo, hi int, ch <-chan *frameBatch, free chan<- *frameBatch) {
+	lb := getLaneBatch()
+	defer putLaneBatch(lb)
 	for batch := range ch {
 		for _, f := range batch.frames {
+			if enc != nil && transmitBatch(enc, streams, f, lo, hi, lb) {
+				continue
+			}
 			for i := lo; i < hi; i++ {
 				streams[i].Transmit(f[i])
 			}
@@ -269,7 +281,7 @@ func shardWorker(streams []*Stream, lo, hi int, ch <-chan *frameBatch, free chan
 // channel, so each lane's stream still sees its bursts in source order.
 // Chunk buffers are recycled through a refcounted free list, so a
 // steady-state run allocates nothing per chunk.
-func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (int, error) {
+func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, enc Encoder, workers int) (int, error) {
 	chunkFrames := p.ChunkFrames()
 	chans := make([]chan *frameBatch, workers)
 	// At most workers*(cap+1)+1 batches can be in flight (queued, being
@@ -287,7 +299,7 @@ func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, workers int) (
 		wg.Add(1)
 		go func(lo, hi int, ch <-chan *frameBatch) {
 			defer wg.Done()
-			shardWorker(streams, lo, hi, ch, free)
+			shardWorker(enc, streams, lo, hi, ch, free)
 		}(lo, hi, ch)
 	}
 

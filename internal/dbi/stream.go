@@ -44,30 +44,32 @@ type Adapter interface {
 // zero heap allocations for every stateless scheme.
 type Stream struct {
 	enc     Encoder
-	menc    MaskEncoder // enc's bit-parallel fast path; nil when absent
-	adapter Adapter     // nil for fixed-scheme streams
+	menc    MaskEncoder     // enc's single-word fast path; nil when absent
+	wenc    WideMaskEncoder // enc's multi-word fast path; nil when absent
+	adapter Adapter         // nil for fixed-scheme streams
 	state   bus.LineState
 	total   bus.Cost
 	beats   int
-	// inv and wire are reusable scratch: the inversion pattern of the
-	// current burst and the wire image built from it. They grow to the
+	// inv, wire and wmask are reusable scratch: the inversion pattern of
+	// the current burst and the wire image built from it. They grow to the
 	// largest burst seen and are then recycled on every Transmit. inv is
-	// only touched on the []bool fallback path; the mask fast path keeps
-	// the whole pattern in a register.
-	inv  []bool
-	wire bus.Wire
+	// only touched on the []bool fallback path; the mask fast paths keep
+	// the whole pattern in registers (wmask, for bursts past one word).
+	inv   []bool
+	wire  bus.Wire
+	wmask bus.WideMask
 }
 
 // NewStream returns a streaming encoder starting from the idle (all-ones)
 // line state.
 func NewStream(enc Encoder) *Stream {
-	return &Stream{enc: enc, menc: maskEncoderOf(enc), state: bus.InitialLineState}
+	return &Stream{enc: enc, menc: maskEncoderOf(enc), wenc: wideMaskEncoderOf(enc), state: bus.InitialLineState}
 }
 
 // NewStreamFrom returns a streaming encoder starting from an explicit line
 // state.
 func NewStreamFrom(enc Encoder, state bus.LineState) *Stream {
-	return &Stream{enc: enc, menc: maskEncoderOf(enc), state: state}
+	return &Stream{enc: enc, menc: maskEncoderOf(enc), wenc: wideMaskEncoderOf(enc), state: state}
 }
 
 // NewAdaptiveStream returns a streaming encoder whose scheme is chosen
@@ -115,9 +117,12 @@ func (s *Stream) State() bus.LineState { return s.state }
 // Encoders with a bit-parallel fast path (every built-in scheme) run
 // mask-native: the inversion pattern stays packed in one register, the wire
 // image fills branch-free, and the activity counts come from the
-// table-driven bus.MaskCost instead of a per-beat walk. Schemes without a
-// MaskEncoder — and bursts beyond bus.MaxMaskBeats — take the []bool path,
-// bit-identical by the mask equivalence contract.
+// table-driven bus.MaskCost instead of a per-beat walk. Past
+// bus.MaxMaskBeats the pattern packs into a bus.WideMask instead — one
+// word per 64 beats, still allocation-free through
+// bus.MaxInlineWideBeats — so wide bursts keep the same fast path. Only
+// schemes without any mask form (the *Noisy wrapper) take the []bool path,
+// bit-identical by the mask equivalence contracts.
 //
 // The returned Wire aliases the stream's internal scratch: it is valid until
 // the next Transmit or Reset on this stream. Callers that retain it longer
@@ -125,18 +130,26 @@ func (s *Stream) State() bus.LineState { return s.state }
 //
 //dbi:hotpath
 func (s *Stream) Transmit(b bus.Burst) bus.Wire {
-	enc, menc := s.enc, s.menc
+	enc, menc, wenc := s.enc, s.menc, s.wenc
 	if s.adapter != nil {
 		// Adaptive streams re-probe per burst: the live scheme can change
 		// at any window boundary.
 		enc = s.adapter.Current()
 		menc = maskEncoderOf(enc)
+		wenc = wideMaskEncoderOf(enc)
 	}
 	var cost bus.Cost
 	encoded := false
-	if menc != nil {
+	if menc != nil && len(b) <= bus.MaxMaskBeats {
 		if m, ok := menc.EncodeMask(s.state, b); ok {
 			cost = s.wire.FillMaskCost(s.state, b, m)
+			encoded = true
+		}
+	}
+	if !encoded && wenc != nil {
+		s.wmask.Reset(len(b)) //dbi:allow-escape wide-mask spill growth past the inline bound, amortized across bursts
+		if wenc.EncodeMaskWords(s.state, b, s.wmask.Words()) {
+			cost = s.wire.FillMaskWordsCost(s.state, b, s.wmask.Words())
 			encoded = true
 		}
 	}
@@ -185,8 +198,15 @@ func (s *Stream) String() string {
 // x16/x32 device do.
 type LaneSet struct {
 	lanes []*Stream
+	// enc is the uniform policy shared by every lane, nil for adaptive
+	// lane sets (whose lanes may diverge). It is what TransmitBatch keys
+	// its frame-level fast path on.
+	enc Encoder
 	// wires is the reusable per-frame result slice handed out by Transmit.
 	wires []bus.Wire
+	// batch is TransmitBatch's reusable struct-of-arrays frame state,
+	// allocated on first use.
+	batch *LaneBatch
 }
 
 // NewLaneSet creates n independent streams sharing one policy. The policy
@@ -195,7 +215,7 @@ func NewLaneSet(enc Encoder, n int) *LaneSet {
 	if n <= 0 {
 		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", n))
 	}
-	ls := &LaneSet{lanes: make([]*Stream, n), wires: make([]bus.Wire, n)}
+	ls := &LaneSet{lanes: make([]*Stream, n), enc: enc, wires: make([]bus.Wire, n)}
 	for i := range ls.lanes {
 		ls.lanes[i] = NewStream(enc)
 	}
@@ -252,6 +272,96 @@ func (ls *LaneSet) Transmit(f bus.Frame) []bus.Wire {
 		ls.wires[i] = ls.lanes[i].Transmit(b)
 	}
 	return ls.wires
+}
+
+// transmitBatch encodes lanes [lo,hi) of f as one LaneBatch with enc and
+// folds the results into the corresponding streams' accumulators: one
+// EncodeLaneBatch call instead of hi-lo interface dispatches, and no wire
+// images are built — the batch carries word-packed masks, costs and states
+// only. It reports false (streams untouched) when the lane slice is
+// ragged, the geometry the batch kernels do not model; the caller then
+// falls back to per-lane Transmit. Shared by LaneSet.TransmitBatch and the
+// pipeline's shard workers.
+//
+//dbi:hotpath
+func transmitBatch(enc Encoder, streams []*Stream, f bus.Frame, lo, hi int, lb *LaneBatch) bool {
+	n := hi - lo
+	if n == 0 {
+		lb.Reset(0, 0)
+		return true
+	}
+	beats := len(f[lo])
+	for i := lo + 1; i < hi; i++ {
+		if len(f[i]) != beats {
+			return false
+		}
+	}
+	lb.Reset(n, beats)
+	for i := 0; i < n; i++ {
+		lb.SetPrev(i, streams[lo+i].state)
+		lb.SetLane(i, f[lo+i])
+	}
+	EncodeLaneBatch(enc, lb)
+	for i := 0; i < n; i++ {
+		s := streams[lo+i]
+		s.total = s.total.Add(lb.Cost(i))
+		s.state = lb.Next(i)
+		s.beats += beats
+	}
+	return true
+}
+
+// TransmitBatch encodes one frame as a single struct-of-arrays batch and
+// returns it: per-lane word-packed inversion patterns, exact costs and
+// post-burst states, with the streams' accumulators advanced exactly as N
+// Transmit calls would — but without building per-lane wire images, which
+// is what makes it the fast path for frame-level callers (the serving tier
+// packs masks straight from the batch words). Adaptive lane sets and
+// ragged frames fall back to per-lane Transmit internally, with the wire
+// results repacked into the same batch form.
+//
+// The returned batch aliases the lane set's internal scratch: it is valid
+// until the next TransmitBatch or Reset.
+//
+//dbi:hotpath
+func (ls *LaneSet) TransmitBatch(f bus.Frame) *LaneBatch {
+	if f.Lanes() != len(ls.lanes) {
+		panic(fmt.Sprintf("dbi: frame has %d lanes, lane set has %d", f.Lanes(), len(ls.lanes))) //dbi:allow-escape panic formatting, dead on valid input
+	}
+	if ls.batch == nil {
+		ls.batch = new(LaneBatch) //dbi:allow-escape one-time scratch, amortized across frames
+	}
+	lb := ls.batch
+	if ls.enc != nil && transmitBatch(ls.enc, ls.lanes, f, 0, len(ls.lanes), lb) {
+		return lb
+	}
+	// Per-lane fallback: adaptive lanes need their per-burst Observe, and
+	// ragged frames have no uniform batch geometry. Transmit does the work;
+	// the wire's inversion pattern and the accumulator deltas repack into
+	// the batch so callers see one result shape either way.
+	beats := 0
+	for _, b := range f {
+		if len(b) > beats {
+			beats = len(b)
+		}
+	}
+	lb.Reset(len(ls.lanes), beats)
+	var wm bus.WideMask
+	for i, b := range f {
+		s := ls.lanes[i]
+		lb.SetPrev(i, s.state)
+		lb.SetLane(i, b)
+		before := s.total
+		w := s.Transmit(b)
+		w.WideInvMask(&wm)
+		copy(lb.MaskWords(i), wm.Words())
+		lb.costs[i] = bus.Cost{
+			Zeros:       s.total.Zeros - before.Zeros,
+			Transitions: s.total.Transitions - before.Transitions,
+		}
+		lb.next[i] = s.state
+	}
+	return lb
 }
 
 // TotalCost sums the activity counts over all lanes.

@@ -1,0 +1,121 @@
+// batch.go is the lane-batch throughput study behind dbibench -lanes: the
+// same frames pushed through the serial per-lane Transmit path and the
+// struct-of-arrays TransmitBatch path, with the accumulated activity counts
+// cross-checked so the speedup report doubles as an end-to-end equivalence
+// run of the batch encode layer.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/dbi"
+	"dbiopt/internal/stats"
+	"dbiopt/internal/trace"
+)
+
+// laneStudyBeats are the burst geometries the study sweeps: the paper's
+// BL8, the single-mask-word boundary, and the wide multi-word regime.
+var laneStudyBeats = []int{8, 64, 256}
+
+// laneStudySchemes are the schemes the study drives — the table-driven
+// batch kernels plus the trellis (which exercises the generic per-lane
+// batch driver).
+var laneStudySchemes = []string{"RAW", "DC", "AC", "ACDC", "GREEDY", "OPT-FIXED"}
+
+// LaneStudyRow is one (scheme, burst length) measurement of the study.
+type LaneStudyRow struct {
+	Scheme string
+	Beats  int
+	// SerialNs and BatchNs are wall-clock nanoseconds per burst (one lane's
+	// share of a frame) for the per-lane and batch paths.
+	SerialNs float64
+	BatchNs  float64
+	// Speedup is SerialNs / BatchNs.
+	Speedup float64
+	// Cost is the total activity both paths accumulated (they must agree;
+	// LaneStudy fails otherwise).
+	Cost bus.Cost
+}
+
+// LaneStudyResult is the dbibench -lanes report.
+type LaneStudyResult struct {
+	Lanes  int
+	Frames int
+	Rows   []LaneStudyRow
+}
+
+// LaneStudy replays cfg.Bursts random bursts as frames of the given width
+// through both frame paths of a LaneSet — serial Transmit and
+// TransmitBatch — and reports per-burst wall-clock time and the batch
+// speedup for every scheme and burst geometry. The two paths must
+// accumulate bit-identical totals; any divergence is returned as an error
+// rather than a number, so the study is also an equivalence check.
+func LaneStudy(cfg Config, lanes int) (LaneStudyResult, error) {
+	if lanes <= 0 {
+		return LaneStudyResult{}, fmt.Errorf("experiments: lane study needs a positive lane count, got %d", lanes)
+	}
+	if err := cfg.Validate(); err != nil {
+		return LaneStudyResult{}, err
+	}
+	frames := cfg.Bursts / lanes
+	if frames < 1 {
+		frames = 1
+	}
+	res := LaneStudyResult{Lanes: lanes, Frames: frames}
+	for _, beats := range laneStudyBeats {
+		src := trace.NewUniform(cfg.Seed)
+		fs := make([]bus.Frame, frames)
+		for i := range fs {
+			f := make(bus.Frame, lanes)
+			for l := range f {
+				f[l] = src.Next(beats)
+			}
+			fs[i] = f
+		}
+		for _, name := range laneStudySchemes {
+			enc := scheme(name, dbi.FixedWeights)
+			serial := dbi.NewLaneSet(enc, lanes)
+			t0 := time.Now()
+			for _, f := range fs {
+				serial.Transmit(f)
+			}
+			serialNs := float64(time.Since(t0).Nanoseconds())
+			batch := dbi.NewLaneSet(enc, lanes)
+			t0 = time.Now()
+			for _, f := range fs {
+				batch.TransmitBatch(f)
+			}
+			batchNs := float64(time.Since(t0).Nanoseconds())
+			if serial.TotalCost() != batch.TotalCost() {
+				return LaneStudyResult{}, fmt.Errorf("experiments: %s at %d beats: serial total %+v != batch total %+v",
+					name, beats, serial.TotalCost(), batch.TotalCost())
+			}
+			bursts := float64(frames * lanes)
+			res.Rows = append(res.Rows, LaneStudyRow{
+				Scheme:   name,
+				Beats:    beats,
+				SerialNs: serialNs / bursts,
+				BatchNs:  batchNs / bursts,
+				Speedup:  serialNs / batchNs,
+				Cost:     batch.TotalCost(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the study for terminal output.
+func (r LaneStudyResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Lane batch study — %d lanes × %d frames, serial Transmit vs TransmitBatch", r.Lanes, r.Frames),
+		Columns: []string{"Scheme", "Beats", "Serial ns/burst", "Batch ns/burst", "Speedup"},
+	}
+	for _, row := range r.Rows {
+		_ = t.AddRow(row.Scheme, fmt.Sprint(row.Beats),
+			fmt.Sprintf("%.1f", row.SerialNs), fmt.Sprintf("%.1f", row.BatchNs),
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	return t
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"dbiopt/internal/bus"
+)
+
+// TestLaneStudy runs the dbibench -lanes study on a small workload: every
+// (scheme, beats) pair must produce a row, and the built-in equivalence
+// check (serial vs batch totals) must hold — a failure surfaces as an error
+// from LaneStudy itself.
+func TestLaneStudy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bursts = 64
+	res, err := LaneStudy(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lanes != 8 || res.Frames != 8 {
+		t.Fatalf("geometry: %d lanes × %d frames", res.Lanes, res.Frames)
+	}
+	want := len(laneStudyBeats) * len(laneStudySchemes)
+	if len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row.Cost == (bus.Cost{}) {
+			t.Errorf("%s/%d: zero total cost", row.Scheme, row.Beats)
+		}
+	}
+	if res.Table() == nil {
+		t.Fatal("nil table")
+	}
+}
+
+// TestLaneStudyRejectsBadLanes pins the argument validation.
+func TestLaneStudyRejectsBadLanes(t *testing.T) {
+	if _, err := LaneStudy(DefaultConfig(), 0); err == nil {
+		t.Fatal("lanes=0 accepted")
+	}
+}

@@ -250,9 +250,10 @@ func (sess *session) fail(err error) {
 
 // handleFrame encodes one frame through the session's lane set and answers
 // with the packed inversion masks. This is the steady-state hot path: the
-// payload refills the session's frame in place, LaneSet.Transmit runs on
-// the zero-allocation EncodeInto scratch, and the masks pack into a
-// preallocated buffer — no heap allocation per frame.
+// payload refills the session's frame in place, LaneSet.TransmitBatch
+// encodes all lanes as one struct-of-arrays batch — word-packed masks,
+// no per-lane wire images at all — and the reply bytes copy straight out
+// of the batch's mask words. No heap allocation per frame.
 //
 //dbi:hotpath
 func (sess *session) handleFrame(n int) error {
@@ -266,23 +267,17 @@ func (sess *session) handleFrame(n int) error {
 	}
 	start := time.Now()
 	sess.accumulateRaw(sess.frame)
-	wires := sess.ls.Transmit(sess.frame)
+	lb := sess.ls.TransmitBatch(sess.frame)
 	mb := maskBytes(sess.cfg.Beats)
-	clear(sess.maskBuf)
-	for l, w := range wires {
+	for l := 0; l < lb.Lanes(); l++ {
+		// The protocol's mask layout (beat t → byte t/8, bit t%8) is the
+		// little-endian byte order of the batch's mask words, so each reply
+		// byte is one shift out of a word. Bits past the burst are zero in
+		// the words, so every byte is fully overwritten — no buffer clear.
+		words := lb.MaskWords(l)
 		dst := sess.maskBuf[l*mb : (l+1)*mb]
-		if m, ok := w.InvMask(); ok {
-			// The packed mask's bit/byte layout is exactly the protocol's:
-			// beat t → byte t/8, bit t%8.
-			for k := range dst {
-				dst[k] = byte(m >> (8 * k))
-			}
-			continue
-		}
-		for t, high := range w.DBI {
-			if !high { // DBI low = inverted beat
-				dst[t/8] |= 1 << (t % 8)
-			}
+		for k := range dst {
+			dst[k] = byte(words[k>>3] >> ((k & 7) * 8))
 		}
 	}
 	sess.totals.Frames++
@@ -371,20 +366,15 @@ func (sess *session) handleBatch(n int) error {
 }
 
 // accumulateRaw advances the uncoded baseline over one frame. The raw
-// baseline is the all-zeros inversion mask, so bursts within the mask
-// bound cost through the bit-parallel bus.MaskCost; only bursts beyond it
-// take the per-beat walk.
+// baseline is the all-plain wire, so every burst — any length — costs
+// through the bit-parallel bus.PlainCost, and the final state is just the
+// last beat driven uninverted.
 func (sess *session) accumulateRaw(f bus.Frame) {
 	for l, b := range f {
 		st := sess.rawStates[l]
-		if len(b) <= bus.MaxMaskBeats {
-			sess.totals.Raw = sess.totals.Raw.Add(bus.MaskCost(st, b, 0))
-			st = bus.MaskFinalState(st, b, 0)
-		} else {
-			for _, v := range b {
-				sess.totals.Raw = sess.totals.Raw.Add(bus.BeatCost(st, v, false))
-				st = bus.Advance(st, v, false)
-			}
+		sess.totals.Raw = sess.totals.Raw.Add(bus.PlainCost(st, b))
+		if len(b) > 0 {
+			st = bus.Advance(st, b[len(b)-1], false)
 		}
 		sess.rawStates[l] = st
 	}
