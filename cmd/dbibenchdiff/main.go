@@ -36,6 +36,16 @@
 // machine-readable report (path, or '-' for stdout); CI uploads it as an
 // artifact so the performance trajectory can be tracked across commits.
 //
+// A second mode gates serving latency instead of benchmark output: -load
+// takes a dbiload -json report and judges its p50/p99 latency and
+// throughput against the baseline's "latency" entry for that scenario —
+// p50 and p99 may at most (1+max-lat)× the baseline (default 1.0, i.e.
+// ≤2×, deliberately loose because shared CI runners are noisy), throughput
+// must stay ≥ min-tput× the baseline (default 0.5). CI's load-smoke job
+// runs this against a loopback dbiserve. -update with -load rewrites just
+// that scenario's latency entry and leaves the benchmark map untouched
+// (and the bench-mode -update likewise preserves the latency map).
+//
 // Exit status: 0 clean, 1 regression (or baseline/bench mismatch), 2 bad
 // invocation or unparseable input.
 package main
@@ -58,6 +68,13 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// LatencyEntry is one dbiload scenario's baseline record, gated by -load.
+type LatencyEntry struct {
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
 // Baseline is the committed bench_baseline.json schema.
 type Baseline struct {
 	// Note documents how to regenerate the file.
@@ -65,6 +82,21 @@ type Baseline struct {
 	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to
 	// its reference numbers.
 	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Latency maps a dbiload scenario (preset) name to its reference
+	// serving numbers; dbivet cross-checks the keys against the presets
+	// cmd/dbiload actually defines.
+	Latency map[string]LatencyEntry `json:"latency,omitempty"`
+}
+
+// loadReport mirrors the fields of server.LoadReport the latency gate
+// reads from a dbiload -json report (decoded structurally to keep this
+// command free of internal imports).
+type loadReport struct {
+	Scenario     string  `json:"scenario"`
+	Sessions     int     `json:"sessions"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	FramesPerSec float64 `json:"frames_per_sec"`
 }
 
 // regenerateNote is the Note stamped into the baseline by -update: the
@@ -86,8 +118,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	update := fs.Bool("update", false, "rewrite the baseline from the measured results instead of comparing")
 	allowMissing := fs.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the results")
 	jsonPath := fs.String("json", "", "also write the comparison as a machine-readable JSON report to this path ('-' = stdout)")
+	loadPath := fs.String("load", "", "judge a dbiload -json report against the baseline latency entry instead of bench output")
+	maxLat := fs.Float64("max-lat", 1.0, "maximum tolerated fractional p50/p99 latency regression in -load mode")
+	minTput := fs.Float64("min-tput", 0.5, "minimum tolerated fraction of baseline throughput in -load mode")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *loadPath != "" {
+		return runLoadMode(*loadPath, *baselinePath, *maxLat, *minTput, *update, stdout, stderr)
 	}
 
 	in := stdin
@@ -112,6 +151,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	if *update {
 		b := Baseline{Note: regenerateNote, Benchmarks: got}
+		// A bench-mode update must not discard the latency entries the
+		// -load mode gates on: carry them over from the existing file.
+		if old, err := readBaseline(*baselinePath); err == nil {
+			b.Latency = old.Latency
+		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, "dbibenchdiff:", err)
@@ -125,14 +169,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	data, err := os.ReadFile(*baselinePath)
+	base, err := readBaseline(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "dbibenchdiff:", err)
-		return 2
-	}
-	var base Baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(stderr, "dbibenchdiff: parsing %s: %v\n", *baselinePath, err)
 		return 2
 	}
 
@@ -153,6 +192,102 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "ok: %d benchmark(s) within ns/op +%.0f%% and alloc budget\n",
 		report.checked, *maxNs*100)
+	return 0
+}
+
+// readBaseline loads and parses the committed baseline file.
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// writeBaseline serialises b back to path with stable formatting.
+func writeBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runLoadMode is the -load gate: judge one dbiload JSON report against the
+// baseline's latency entry for its scenario, or with update rewrite that
+// entry in place (leaving the benchmark map and other scenarios alone).
+func runLoadMode(loadPath, baselinePath string, maxLat, minTput float64, update bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(loadPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "dbibenchdiff:", err)
+		return 2
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(stderr, "dbibenchdiff: parsing %s: %v\n", loadPath, err)
+		return 2
+	}
+	if rep.Scenario == "" || rep.P50Ns <= 0 || rep.P99Ns <= 0 || rep.FramesPerSec <= 0 {
+		fmt.Fprintf(stderr, "dbibenchdiff: %s is not a usable dbiload report (scenario %q, p50 %d, p99 %d, tput %.0f)\n",
+			loadPath, rep.Scenario, rep.P50Ns, rep.P99Ns, rep.FramesPerSec)
+		return 2
+	}
+
+	if update {
+		b, err := readBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "dbibenchdiff:", err)
+			return 2
+		}
+		if b.Latency == nil {
+			b.Latency = make(map[string]LatencyEntry)
+		}
+		b.Latency[rep.Scenario] = LatencyEntry{P50Ns: rep.P50Ns, P99Ns: rep.P99Ns, FramesPerSec: rep.FramesPerSec}
+		if err := writeBaseline(baselinePath, b); err != nil {
+			fmt.Fprintln(stderr, "dbibenchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s (latency entry %q)\n", baselinePath, rep.Scenario)
+		return 0
+	}
+
+	b, err := readBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "dbibenchdiff:", err)
+		return 2
+	}
+	ref, ok := b.Latency[rep.Scenario]
+	if !ok {
+		fmt.Fprintf(stdout, "REGRESS  scenario %q has no latency entry in %s (adopt with -load %s -update)\n",
+			rep.Scenario, baselinePath, loadPath)
+		return 1
+	}
+
+	fail := 0
+	judge := func(what string, got, base float64, worse bool, budget string) {
+		status := "ok      "
+		if worse {
+			status = "REGRESS "
+			fail++
+		}
+		fmt.Fprintf(stdout, "%s %-10s %-12s %.0f -> %.0f (%s)\n", status, rep.Scenario, what, base, got, budget)
+	}
+	judge("p50_ns", float64(rep.P50Ns), float64(ref.P50Ns),
+		float64(rep.P50Ns) > float64(ref.P50Ns)*(1+maxLat), fmt.Sprintf("budget +%.0f%%", maxLat*100))
+	judge("p99_ns", float64(rep.P99Ns), float64(ref.P99Ns),
+		float64(rep.P99Ns) > float64(ref.P99Ns)*(1+maxLat), fmt.Sprintf("budget +%.0f%%", maxLat*100))
+	judge("frames/s", rep.FramesPerSec, ref.FramesPerSec,
+		rep.FramesPerSec < ref.FramesPerSec*minTput, fmt.Sprintf("floor %.0f%%", minTput*100))
+	if fail > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d latency regression(s) for scenario %q against %s\n", fail, rep.Scenario, baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: scenario %q within latency +%.0f%% and throughput floor %.0f%%\n",
+		rep.Scenario, maxLat*100, minTput*100)
 	return 0
 }
 

@@ -1,0 +1,160 @@
+// Command dbiload is the serving tier's load generator: it drives N
+// multiplexed protocol-v3 connections × M logical sessions each against a
+// dbiserve instance, pipelines frames through every session with a bounded
+// in-flight window, and reports throughput plus per-frame latency
+// percentiles from a fixed-bucket histogram (nothing allocates on the
+// measurement path). With no -addr it spins up an in-process server on a
+// loopback port, so one invocation is a complete serving benchmark — the
+// form the CI load-smoke job runs and gates through dbibenchdiff -load.
+//
+// Usage:
+//
+//	dbiload [-preset name] [-addr host:port] [-conns n] [-sessions m]
+//	        [-frames k] [-lanes l] [-beats b] [-scheme name]
+//	        [-alpha a] [-beta b] [-window w] [-warmup f] [-seed s]
+//	        [-json report.json]
+//
+// Explicit flags override the chosen preset field by field.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dbiopt/internal/server"
+)
+
+// presets are the named load scenarios. Their names are contract: the
+// latency entries in bench_baseline.json and the ci.yml load-smoke job
+// refer to scenarios by these keys, and the dbivet baseline analyzer
+// cross-checks all three.
+var presets = map[string]server.LoadConfig{
+	// ci-smoke is the CI gate: small enough to finish in a couple of
+	// seconds on a shared runner, windowed enough to measure pipelined
+	// throughput rather than ping-pong latency.
+	"ci-smoke": {
+		Conns: 4, SessionsPerConn: 64, Frames: 200,
+		Lanes: 1, Beats: 8, Window: 128, Warmup: 64,
+	},
+	// mux-100k is the session-scale scenario: one hundred thousand
+	// concurrently open multiplexed sessions on one server process, a few
+	// frames each. Open cost dominates; reported but not CI-gated.
+	"mux-100k": {
+		Conns: 8, SessionsPerConn: 12500, Frames: 2,
+		Lanes: 1, Beats: 8, Window: 256,
+	},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dbiload", flag.ExitOnError)
+	var (
+		preset   = fs.String("preset", "", "named scenario to start from (ci-smoke, mux-100k)")
+		addr     = fs.String("addr", "", "server address; empty spins up an in-process server")
+		conns    = fs.Int("conns", 0, "connection count")
+		sessions = fs.Int("sessions", 0, "multiplexed sessions per connection")
+		frames   = fs.Int("frames", 0, "frames per session")
+		lanes    = fs.Int("lanes", 0, "lanes per session")
+		beats    = fs.Int("beats", 0, "beats per burst")
+		scheme   = fs.String("scheme", "", "coding scheme (empty: server default)")
+		alpha    = fs.Float64("alpha", 0, "zero-weight (0 with beta 0: server default)")
+		beta     = fs.Float64("beta", 0, "transition-weight")
+		window   = fs.Int("window", 0, "in-flight frames per connection")
+		warmup   = fs.Int("warmup", 0, "leading frame latencies to discard per connection")
+		seed     = fs.Int64("seed", 0, "workload seed")
+		jsonPath = fs.String("json", "", "write the JSON report here")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	cfg := server.LoadConfig{}
+	scenario := "custom"
+	if *preset != "" {
+		p, ok := presets[*preset]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dbiload: unknown preset %q\n", *preset)
+			return 2
+		}
+		cfg = p
+		scenario = *preset
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "conns":
+			cfg.Conns = *conns
+		case "sessions":
+			cfg.SessionsPerConn = *sessions
+		case "frames":
+			cfg.Frames = *frames
+		case "lanes":
+			cfg.Lanes = *lanes
+		case "beats":
+			cfg.Beats = *beats
+		case "scheme":
+			cfg.Scheme = *scheme
+		case "alpha":
+			cfg.Alpha = *alpha
+		case "beta":
+			cfg.Beta = *beta
+		case "window":
+			cfg.Window = *window
+		case "warmup":
+			cfg.Warmup = *warmup
+		case "seed":
+			cfg.Seed = *seed
+		}
+	})
+	cfg.Addr = *addr
+
+	// Self-serve: bind an in-process server on a loopback port so the
+	// invocation measures the serving stack without external setup.
+	if cfg.Addr == "" {
+		srv, err := server.New(server.Config{Addr: "127.0.0.1:0", MaxConns: cfg.Conns + 8})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbiload: %v\n", err)
+			return 1
+		}
+		if err := srv.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "dbiload: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		cfg.Addr = srv.Addr().String()
+		fmt.Printf("dbiload: in-process server on %s\n", cfg.Addr)
+	}
+
+	rep, err := server.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbiload: %v\n", err)
+		return 1
+	}
+	rep.Scenario = scenario
+
+	d := func(ns int64) time.Duration { return time.Duration(ns) }
+	fmt.Printf("dbiload: scenario=%s conns=%d sessions=%d frames=%d geometry=%dx%d\n",
+		rep.Scenario, rep.Conns, rep.Sessions, rep.Frames, rep.Lanes, rep.Beats)
+	fmt.Printf("  duration %v (opens %v)  throughput %.0f frames/s\n",
+		d(rep.DurationNs).Round(time.Millisecond), d(rep.OpenNs).Round(time.Millisecond), rep.FramesPerSec)
+	fmt.Printf("  latency mean %v  p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
+		d(rep.MeanNs), d(rep.P50Ns), d(rep.P90Ns), d(rep.P95Ns), d(rep.P99Ns), d(rep.MaxNs))
+	fmt.Printf("  coded %+v raw %+v toggles saved %d\n", rep.Totals.Coded, rep.Totals.Raw, rep.Totals.TogglesSaved())
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbiload: %v\n", err)
+			return 1
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dbiload: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	dbiserve [-addr 127.0.0.1:8421] [-scheme OPT-FIXED] [-workers 0]
-//	         [-max-conns 64] [-metrics-every 0]
+//	         [-max-conns 64] [-max-sessions 1048576] [-metrics-every 0]
+//	         [-metrics-addr host:port]
 //	         [-adapt] [-adapt-window 64] [-adapt-margin 0.05]
 //	         [-adapt-schemes DC,AC,OPT-FIXED]
 //
@@ -15,8 +16,16 @@
 // -alpha/-beta only set the defaults used when a session requests none.
 // -scheme help lists the registered names. Batch messages fan out across
 // -workers goroutines through the lane-sharded pipeline; -max-conns bounds
-// the concurrently served sessions (excess connections queue in the kernel
-// backlog — the connection-level backpressure contract).
+// the concurrently served connections (excess connections queue in the
+// kernel backlog — the connection-level backpressure contract), and
+// -max-sessions bounds the logical sessions across all of them: protocol
+// v3 clients multiplex thousands of sessions onto one connection, so the
+// two limits are separate knobs.
+//
+// With -metrics-addr, the counters are additionally exported over HTTP in
+// Prometheus text format at /metrics, next to a /healthz probe that flips
+// to 503 the moment a drain starts (so load balancers stop routing while
+// the drain is watched from outside).
 //
 // With -adapt, sessions that request no scheme are served adaptively: a
 // windowed controller per lane (DESIGN.md §7) tracks every candidate
@@ -62,7 +71,9 @@ func run() error {
 	beta := flag.Float64("beta", 1, "default zero weight for weighted schemes")
 	workers := flag.Int("workers", 0, "encoding goroutines per batch message; 0 = all cores (results are identical for any value)")
 	chunk := flag.Int("chunk", 0, "frames per pipeline batch hand-off; 0 = default")
-	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "maximum concurrently served sessions")
+	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "maximum concurrently served connections")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open logical sessions over all connections")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for Prometheus /metrics and /healthz (empty = no HTTP endpoint)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 	metricsEvery := flag.Duration("metrics-every", 0, "periodically print the metrics table (0 = only at shutdown)")
 	adaptDefault := flag.Bool("adapt", false, "serve scheme-less sessions adaptively: a windowed controller switches schemes online as the traffic shifts")
@@ -90,6 +101,8 @@ func run() error {
 		Workers:         *workers,
 		ChunkFrames:     *chunk,
 		MaxConns:        *maxConns,
+		MaxSessions:     *maxSessions,
+		MetricsAddr:     *metricsAddr,
 		Adapt:           *adaptDefault,
 		AdaptWindow:     *adaptWindow,
 		AdaptMargin:     *adaptMargin,
@@ -105,8 +118,11 @@ func run() error {
 	if *adaptDefault {
 		mode = "adaptive by default"
 	}
-	fmt.Printf("dbiserve: listening on %s (%s, max %d sessions)\n",
-		srv.Addr(), mode, *maxConns)
+	fmt.Printf("dbiserve: listening on %s (%s, max %d conns, %d sessions)\n",
+		srv.Addr(), mode, *maxConns, *maxSessions)
+	if ma := srv.MetricsAddr(); ma != nil {
+		fmt.Printf("dbiserve: metrics on http://%s/metrics\n", ma)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -23,6 +25,11 @@ type BaselineConfig struct {
 	// BenchDir is the root-relative directory of the package declaring the
 	// gate benchmarks ("." for the module root).
 	BenchDir string
+	// LoadDir is the root-relative directory of the load-generator command
+	// whose `presets` map declares the dbiload scenarios; the baseline's
+	// latency entries and the workflow's `-preset` runs are cross-checked
+	// against it. Empty disables the latency checks.
+	LoadDir string
 }
 
 // DefaultBaseline is the repo's bench-gate wiring.
@@ -30,12 +37,14 @@ var DefaultBaseline = BaselineConfig{
 	BaselineFile: "bench_baseline.json",
 	WorkflowFile: ".github/workflows/ci.yml",
 	BenchDir:     ".",
+	LoadDir:      "cmd/dbiload",
 }
 
 // baselineDoc mirrors cmd/dbibenchdiff's baseline schema; only the
-// benchmark names matter here.
+// benchmark and scenario names matter here.
 type baselineDoc struct {
 	Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	Latency    map[string]json.RawMessage `json:"latency"`
 }
 
 // benchSelect matches the workflow's benchmark selections, single-quoted as
@@ -146,8 +155,140 @@ func Baseline(t *Tree, cfg BaselineConfig) ([]Diagnostic, error) {
 		}
 	}
 
+	if cfg.LoadDir != "" {
+		ld, err := latencyDrift(t, cfg, raw, doc, string(wf))
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ld...)
+	}
+
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// presetRun matches the workflow's dbiload scenario selections: -preset
+// <name>, as the load-smoke job writes them.
+var presetRun = regexp.MustCompile(`-preset ([A-Za-z0-9._-]+)`)
+
+// latencyDrift is the serving-tier counterpart of the bench cross-check:
+// the baseline's latency entries, the presets the load-generator command
+// declares, and the -preset runs the CI workflow performs must agree. A
+// stale latency entry, a workflow run naming a ghost preset, a latency
+// entry no workflow run exercises, and a workflow-run preset with no
+// latency entry each fail lint with a position — all four otherwise
+// surface only as a confusing load-smoke miss (dbiload rejects an unknown
+// preset at run time; dbibenchdiff -load fails on an unadopted scenario).
+func latencyDrift(t *Tree, cfg BaselineConfig, raw []byte, doc baselineDoc, wf string) ([]Diagnostic, error) {
+	presets, err := declaredPresets(t, cfg.LoadDir)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	gated := make(map[string]bool)
+	for _, r := range workflowPresets(wf) {
+		if !presets[r.expr] {
+			diags = append(diags, Diagnostic{
+				File: cfg.WorkflowFile, Line: r.line, Analyzer: "baseline",
+				Message: fmt.Sprintf("load run names preset %q, which %s does not declare: the job would fail at dbiload startup", r.expr, cfg.LoadDir),
+			})
+			continue
+		}
+		gated[r.expr] = true
+	}
+
+	for name := range doc.Latency {
+		line := jsonKeyLine(raw, name)
+		if !presets[name] {
+			diags = append(diags, Diagnostic{
+				File: cfg.BaselineFile, Line: line, Analyzer: "baseline",
+				Message: fmt.Sprintf("latency entry %q has no declared preset in %s: stale entry, delete or regenerate", name, cfg.LoadDir),
+			})
+			continue
+		}
+		if !gated[name] {
+			diags = append(diags, Diagnostic{
+				File: cfg.BaselineFile, Line: line, Analyzer: "baseline",
+				Message: fmt.Sprintf("latency entry %q is not exercised by any -preset run in %s: it can drift without the gate noticing", name, cfg.WorkflowFile),
+			})
+		}
+	}
+
+	for name := range gated {
+		if _, ok := doc.Latency[name]; !ok {
+			diags = append(diags, Diagnostic{
+				File: cfg.BaselineFile, Line: 1, Analyzer: "baseline",
+				Message: fmt.Sprintf("workflow-run preset %q has no latency entry in %s: adopt it with dbibenchdiff -load <report> -update", name, cfg.BaselineFile),
+			})
+		}
+	}
+	return diags, nil
+}
+
+// declaredPresets collects the string keys of the load-generator command's
+// `presets` map literal.
+func declaredPresets(t *Tree, rel string) (map[string]bool, error) {
+	d := t.dir(rel)
+	if d == nil {
+		return nil, fmt.Errorf("analysis: load command dir %q not in the analyzed tree", rel)
+	}
+	found := false
+	names := make(map[string]bool)
+	for _, f := range d.Files {
+		if f.Test {
+			continue
+		}
+		for _, dd := range f.Ast.Decls {
+			gd, ok := dd.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != "presets" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					found = true
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if name, err := strconv.Unquote(lit.Value); err == nil {
+								names[name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("analysis: no `presets` map literal found in %s", rel)
+	}
+	return names, nil
+}
+
+// workflowPresets extracts every -preset <name> of the workflow, with line
+// numbers.
+func workflowPresets(wf string) []gateSel {
+	var sels []gateSel
+	for i, line := range strings.Split(wf, "\n") {
+		for _, m := range presetRun.FindAllStringSubmatch(line, -1) {
+			sels = append(sels, gateSel{expr: m[1], line: i + 1})
+		}
+	}
+	return sels
 }
 
 // declaredBenchmarks collects the Benchmark* function names of the bench

@@ -7,12 +7,16 @@ var baselineFixture = BaselineConfig{
 	BaselineFile: "bench_baseline.json",
 	WorkflowFile: "ci.yml",
 	BenchDir:     ".",
+	LoadDir:      "loadcmd",
 }
 
-// TestBaselineFixture seeds all four drift shapes — a gate regex naming a
-// ghost benchmark, a stale baseline entry, a baseline entry no gate runs
-// (as a sub-benchmark, exercising name reduction), and a gated benchmark
-// with no baseline entry — and asserts each surfaces once.
+// TestBaselineFixture seeds every drift shape on both sides of the gate —
+// for benchmarks: a gate regex naming a ghost benchmark, a stale baseline
+// entry, a baseline entry no gate runs (as a sub-benchmark, exercising
+// name reduction), and a gated benchmark with no baseline entry; for load
+// scenarios: a workflow run naming a ghost preset, a stale latency entry,
+// a latency entry no workflow run exercises, and a workflow-run preset
+// with no latency entry — and asserts each surfaces once.
 func TestBaselineFixture(t *testing.T) {
 	tree := fixtureTree(t, "baselinemod")
 	diags, err := Baseline(tree, baselineFixture)
@@ -21,8 +25,12 @@ func TestBaselineFixture(t *testing.T) {
 	}
 	checkDiags(t, diags, []wantDiag{
 		{"bench_baseline.json", 1, "baseline", "gated benchmark BenchmarkNew has no entry"},
+		{"bench_baseline.json", 1, "baseline", `workflow-run preset "unadopted" has no latency entry`},
 		{"bench_baseline.json", 8, "baseline", `baseline entry "BenchmarkGone" has no declared Benchmark function`},
 		{"bench_baseline.json", 12, "baseline", `baseline entry "BenchmarkUngated/sub=1" is not selected by any -bench regex`},
+		{"bench_baseline.json", 23, "baseline", `latency entry "big" is not exercised by any -preset run`},
+		{"bench_baseline.json", 28, "baseline", `latency entry "vanished" has no declared preset`},
 		{"ci.yml", 7, "baseline", "bench selection names BenchmarkGhost, which is not declared"},
+		{"ci.yml", 14, "baseline", `load run names preset "phantom"`},
 	})
 }

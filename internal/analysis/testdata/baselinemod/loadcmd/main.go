@@ -1,0 +1,22 @@
+// Command loadcmd stands in for the load generator in the baseline-drift
+// fixture; only the presets map's keys matter to the analyzer.
+package main
+
+// scenario is a stand-in for the load configuration the real command keys
+// its presets on.
+type scenario struct {
+	conns int
+}
+
+var presets = map[string]scenario{
+	// smoke is declared, workflow-run, and baselined: fully consistent.
+	"smoke": {conns: 1},
+	// big is declared and baselined but no workflow run exercises it.
+	"big": {conns: 8},
+	// unadopted is declared and workflow-run but missing from the baseline.
+	"unadopted": {conns: 2},
+}
+
+func main() {
+	_ = presets
+}

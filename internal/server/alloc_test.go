@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 
@@ -11,18 +12,31 @@ import (
 	"dbiopt/internal/racetag"
 )
 
-// newLoopSession builds a session the way newSession does, but wired to an
-// in-memory reader/writer so the encode path can be exercised without a
-// network (and therefore measured by AllocsPerRun deterministically).
-func newLoopSession(t testing.TB, srv *Server, cfg SessionConfig, w io.Writer) *session {
+// newLoopConn builds a connection with one open session the way newConn
+// does, but wired to an in-memory reader/writer so the encode path can be
+// exercised without a network (and therefore measured by AllocsPerRun
+// deterministically). mux selects the multiplexed framing.
+func newLoopConn(t testing.TB, srv *Server, cfg SessionConfig, mux bool, w io.Writer) (*conn, *sessState) {
 	t.Helper()
+	c := &conn{
+		srv:     srv,
+		m:       srv.metrics.shard(),
+		w:       bufio.NewWriter(w),
+		version: protocolVersion,
+		mux:     mux,
+		def:     SessionConfig{Alpha: srv.cfg.Alpha, Beta: srv.cfg.Beta},
+	}
 	enc, err := dbi.Lookup(cfg.Scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := &session{
-		srv:       srv,
-		w:         bufio.NewWriter(w),
+	var sid uint64
+	if mux {
+		sid = 7
+	}
+	st := &sessState{
+		id:        sid,
+		m:         c.m,
 		cfg:       cfg,
 		scheme:    cfg.Scheme,
 		ls:        dbi.NewLaneSet(enc, cfg.Lanes),
@@ -32,25 +46,63 @@ func newLoopSession(t testing.TB, srv *Server, cfg SessionConfig, w io.Writer) *
 		maskBuf:   make([]byte, cfg.Lanes*maskBytes(cfg.Beats)),
 		rawStates: make([]bus.LineState, cfg.Lanes),
 	}
-	for l := range sess.frame {
-		sess.frame[l] = bus.Burst(sess.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
+	for l := range st.frame {
+		st.frame[l] = bus.Burst(st.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
 	}
-	for l := range sess.rawStates {
-		sess.rawStates[l] = bus.InitialLineState
+	for l := range st.rawStates {
+		st.rawStates[l] = bus.InitialLineState
 	}
-	return sess
+	if mux {
+		c.sessions = map[uint64]*sessState{sid: st}
+	} else {
+		c.single = st
+	}
+	return c, st
 }
 
-// frameMessage serialises one msgFrame for the given workload frame.
-func frameMessage(t testing.TB, f bus.Frame, lanes, beats int) []byte {
+// frameMessage serialises one msgFrame for the given workload frame; sid
+// adds the mux session-id prefix when nonzero.
+func frameMessage(t testing.TB, f bus.Frame, lanes, beats int, sid uint64) []byte {
 	t.Helper()
+	var prefix []byte
+	if sid != 0 {
+		var sb [binary.MaxVarintLen64]byte
+		prefix = sb[:binary.PutUvarint(sb[:], sid)]
+	}
 	var hdr [5]byte
-	putHeader(&hdr, msgFrame, lanes*beats)
+	putHeader(&hdr, msgFrame, len(prefix)+lanes*beats)
 	msg := append([]byte(nil), hdr[:]...)
+	msg = append(msg, prefix...)
 	for _, b := range f {
 		msg = append(msg, b...)
 	}
 	return msg
+}
+
+// runFrameAllocs replays pre-serialised frame messages through the
+// connection's dispatch path and returns AllocsPerRun over it.
+func runFrameAllocs(t *testing.T, c *conn, msgs [][]byte) float64 {
+	t.Helper()
+	br := bytes.NewReader(nil)
+	c.r = bufio.NewReader(br)
+	i := 0
+	return testing.AllocsPerRun(400, func() {
+		br.Reset(msgs[i%len(msgs)])
+		c.r.Reset(br)
+		typ, n, err := readHeader(c.r, &c.hdr)
+		if err != nil || typ != msgFrame {
+			t.Fatalf("header: %q %v", typ, err)
+		}
+		if c.mux {
+			err = c.muxFrame(n)
+		} else {
+			err = c.handleFrame(c.single, n)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
 }
 
 // TestServeFrameZeroAlloc pins the serving property the acceptance criteria
@@ -66,32 +118,44 @@ func TestServeFrameZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := newLoopSession(t, srv, SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: beats}, io.Discard)
+	c, st := newLoopConn(t, srv, SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: beats}, false, io.Discard)
 
 	fs := randomFrames(21, 16, lanes, beats)
 	msgs := make([][]byte, len(fs))
 	for i, f := range fs {
-		msgs[i] = frameMessage(t, f, lanes, beats)
+		msgs[i] = frameMessage(t, f, lanes, beats, 0)
 	}
-	br := bytes.NewReader(nil)
-	sess.r = bufio.NewReader(br)
-	i := 0
-	allocs := testing.AllocsPerRun(400, func() {
-		br.Reset(msgs[i%len(msgs)])
-		sess.r.Reset(br)
-		typ, n, err := readHeader(sess.r, &sess.hdr)
-		if err != nil || typ != msgFrame {
-			t.Fatalf("header: %q %v", typ, err)
-		}
-		if err := sess.handleFrame(n); err != nil {
-			t.Fatal(err)
-		}
-		i++
-	})
-	if allocs != 0 {
+	if allocs := runFrameAllocs(t, c, msgs); allocs != 0 {
 		t.Errorf("steady-state frame path allocates %.1f times per frame, want 0", allocs)
 	}
-	if sess.totals.Frames == 0 || sess.ls.TotalCost() == (Cost{}) {
+	if st.totals.Frames == 0 || st.ls.TotalCost() == (Cost{}) {
+		t.Fatal("no work was actually done")
+	}
+}
+
+// TestServeMuxFrameZeroAlloc pins the same property on the multiplexed
+// path: session-id varint read, shard-map lookup, sid-prefixed reply — all
+// on top of the encode — still zero heap allocations per frame.
+func TestServeMuxFrameZeroAlloc(t *testing.T) {
+	if racetag.Enabled {
+		t.Skip("allocation counts are skewed by -race instrumentation")
+	}
+	const lanes, beats = 8, bus.BurstLength
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, st := newLoopConn(t, srv, SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: beats}, true, io.Discard)
+
+	fs := randomFrames(33, 16, lanes, beats)
+	msgs := make([][]byte, len(fs))
+	for i, f := range fs {
+		msgs[i] = frameMessage(t, f, lanes, beats, st.id)
+	}
+	if allocs := runFrameAllocs(t, c, msgs); allocs != 0 {
+		t.Errorf("steady-state mux frame path allocates %.1f times per frame, want 0", allocs)
+	}
+	if st.totals.Frames == 0 || st.ls.TotalCost() == (Cost{}) {
 		t.Fatal("no work was actually done")
 	}
 }

@@ -11,10 +11,13 @@ import (
 	"dbiopt/internal/trace"
 )
 
-// Client is the Go-side speaker of the dbiserve protocol: one client is one
-// session, with one scheme and one continuous per-lane wire state on the
-// server. A Client is not safe for concurrent use — the protocol is strictly
-// request/response per session; open more clients for more concurrency.
+// Client is the Go-side speaker of the single-session dbiserve protocol
+// (v2 on the wire): one client is one session, with one scheme and one
+// continuous per-lane wire state on the server. A Client is not safe for
+// concurrent use — the protocol is strictly request/response per
+// connection. For concurrency, open more clients (one connection each) or
+// use a MuxClient, which multiplexes many sessions over one socket and is
+// safe to share across goroutines.
 type Client struct {
 	conn   net.Conn
 	r      *bufio.Reader
@@ -58,7 +61,7 @@ func Dial(addr string, cfg SessionConfig) (*Client, error) {
 		frameBuf: make([]byte, cfg.Lanes*cfg.Beats),
 		inv:      make([]bool, cfg.Beats),
 	}
-	if err := writeHandshake(c.w, cfg); err != nil {
+	if err := writeHandshake(c.w, protocolV2, false, cfg); err != nil {
 		conn.Close()
 		return nil, err
 	}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// fuzzStream serialises a well-formed client byte stream to seed the fuzzer
+// with conversations whose mutations land near valid protocol shapes.
+func fuzzStream(hs func(w io.Writer) error, msgs ...[]byte) []byte {
+	var buf bytes.Buffer
+	if hs != nil {
+		if err := hs(&buf); err != nil {
+			panic(err)
+		}
+	}
+	for _, m := range msgs {
+		var hdr [5]byte
+		putHeader(&hdr, m[0], len(m)-1)
+		buf.Write(hdr[:])
+		buf.Write(m[1:])
+	}
+	return buf.Bytes()
+}
+
+// FuzzProtocolRoundTrip fuzzes both protocol versions at two levels. The
+// parsers are checked for serialisation round-trips: any input a parser
+// accepts must re-serialise to bytes the parser maps to the same value
+// (compared in serialised form, so NaN weight payloads are held bit-exact
+// rather than tripping float equality). And a live server is fed the input
+// as a raw client byte stream — bare, or behind a valid v2 or v3-mux
+// handshake so mutations reach the framing, session-id varint, batch and
+// config-body paths — and must answer every malformation with a clean
+// error or close: a panic crashes the fuzz worker, a hang trips the
+// read deadline.
+func FuzzProtocolRoundTrip(f *testing.F) {
+	srv, err := New(Config{Addr: "127.0.0.1:0", MaxConns: 32})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.Close() })
+	addr := srv.Addr().String()
+
+	static := SessionConfig{Scheme: "DC", Lanes: 2, Beats: 8}
+	v2hs := func(w io.Writer) error { return writeHandshake(w, protocolV2, false, static) }
+	v3hs := func(w io.Writer) error {
+		return writeHandshake(w, protocolV3, true, SessionConfig{Lanes: 2, Beats: 8})
+	}
+	payload := make([]byte, 2*8)
+	for i := range payload {
+		payload[i] = byte(i * 37)
+	}
+
+	f.Add(byte(0), fuzzStream(v2hs))
+	f.Add(byte(0), fuzzStream(v3hs))
+	f.Add(byte(0), fuzzStream(v2hs,
+		append([]byte{msgFrame}, payload...),
+		[]byte{msgTotals},
+		[]byte{msgQuit}))
+	f.Add(byte(2), fuzzStream(nil,
+		append([]byte{msgOpen, 1}, appendConfigBody(nil, static, false)...),
+		append([]byte{msgFrame, 1}, payload...),
+		[]byte{msgCloseSess, 1},
+		[]byte{msgQuit}))
+	f.Add(byte(1), fuzzStream(nil, append([]byte{msgBatch}, "DBIT"...)))
+	f.Add(byte(0), appendOpenReply(nil, 9, false, "nope"))
+	f.Add(byte(1), appendSwitchNote(nil, SwitchNote{Lane: 1, Ordinal: 2, Burst: 3, From: "DC", To: "AC"}))
+
+	f.Fuzz(func(t *testing.T, variant byte, data []byte) {
+		fuzzParsers(t, data)
+		fuzzServer(t, addr, variant%3, data)
+	})
+}
+
+// fuzzParsers checks every stateless parser for the round-trip property on
+// one input.
+func fuzzParsers(t *testing.T, data []byte) {
+	if c, version, mux, err := readHandshake(bytes.NewReader(data)); err == nil {
+		var b1, b2 bytes.Buffer
+		if err := writeHandshake(&b1, version, mux, c); err != nil {
+			t.Fatalf("accepted handshake does not re-serialise: %v", err)
+		}
+		c2, v2, m2, err := readHandshake(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialised handshake rejected: %v", err)
+		}
+		if err := writeHandshake(&b2, v2, m2, c2); err != nil || !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("handshake round-trip diverged:\n %x\n %x (%v)", b1.Bytes(), b2.Bytes(), err)
+		}
+	}
+	for _, version := range []int{protocolV2, protocolV3} {
+		if c, err := parseConfigBody(data, version); err == nil {
+			b1 := appendConfigBody(nil, c, false)
+			c2, err := parseConfigBody(b1, version)
+			if err != nil {
+				t.Fatalf("re-serialised config body rejected (v%d): %v", version, err)
+			}
+			if b2 := appendConfigBody(nil, c2, false); !bytes.Equal(b1, b2) {
+				t.Fatalf("config body round-trip diverged (v%d):\n %x\n %x", version, b1, b2)
+			}
+		}
+	}
+	if sid, ok, msg, err := parseOpenReply(data); err == nil {
+		b1 := appendOpenReply(nil, sid, ok, msg)
+		sid2, ok2, msg2, err := parseOpenReply(b1)
+		if err != nil || sid2 != sid || ok2 != ok || msg2 != msg {
+			t.Fatalf("open-reply round-trip diverged: (%d %v %q) -> (%d %v %q), %v",
+				sid, ok, msg, sid2, ok2, msg2, err)
+		}
+	}
+	if n, err := parseSwitchNote(data); err == nil {
+		b1 := appendSwitchNote(nil, n)
+		n2, err := parseSwitchNote(b1)
+		if err != nil || n2 != n {
+			t.Fatalf("switch-note round-trip diverged: %+v -> %+v, %v", n, n2, err)
+		}
+	}
+	if len(data) >= totalsLen {
+		tot := parseTotals(data)
+		buf := make([]byte, totalsLen)
+		putTotals(buf, tot)
+		if got := parseTotals(buf); got != tot {
+			t.Fatalf("totals round-trip diverged: %+v -> %+v", tot, got)
+		}
+	}
+}
+
+// fuzzServer feeds one byte stream to a live server — optionally behind a
+// known-good handshake — and requires the connection to wind down cleanly
+// once the stream ends.
+func fuzzServer(t *testing.T, addr string, variant byte, data []byte) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := nc.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain concurrently so server replies never fill the socket buffers
+	// and stall the write side.
+	drained := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, nc)
+		drained <- err
+	}()
+
+	var buf bytes.Buffer
+	switch variant {
+	case 1:
+		writeHandshake(&buf, protocolV2, false, SessionConfig{Scheme: "DC", Lanes: 2, Beats: 8}) //nolint:errcheck
+	case 2:
+		writeHandshake(&buf, protocolV3, true, SessionConfig{Lanes: 2, Beats: 8}) //nolint:errcheck
+	}
+	buf.Write(data)
+	if _, err := nc.Write(buf.Bytes()); err != nil {
+		// The server is allowed to slam the door on garbage mid-write;
+		// it just may not hang or crash.
+		return
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.CloseWrite() //nolint:errcheck
+	}
+	// EOF (or a reset from an aborted connection) must arrive well before
+	// the deadline; a deadline error here means the server hung on input.
+	if err := <-drained; err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("server did not wind down the connection: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"math"
+	"math/bits"
+)
+
+// histBuckets sizes the Histogram bucket array: 16 linear buckets under 16,
+// then 16 sub-buckets per power of two up to 2^63 (bucket 975 is the last
+// one reachable), rounded up so the array is a power of two.
+const histBuckets = 1024
+
+// Histogram is a fixed-bucket log-linear latency histogram: 16 sub-buckets
+// per power of two, so any quantile is resolved to within ~6% of its true
+// value over the full int64 nanosecond range. Observe touches one array
+// slot and four scalars — no allocation, no locking — which is what lets
+// the load generator record every frame's latency on the measurement path.
+// A Histogram is not safe for concurrent use; record per worker and Merge.
+type Histogram struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// histIndex maps a value to its bucket: values under 16 map linearly, and
+// beyond that the bucket is the exponent (position of the most significant
+// bit) with the next four bits as the linear sub-bucket.
+func histIndex(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	top := bits.Len64(v) - 1
+	sub := int((v >> uint(top-4)) & 15)
+	return 16*(top-3) + sub
+}
+
+// histMid is the representative (midpoint) value of one bucket.
+func histMid(idx int) int64 {
+	if idx < 16 {
+		return int64(idx)
+	}
+	block := idx / 16
+	sub := idx % 16
+	shift := uint(block - 1) // top-4 for this block's exponent
+	lower := int64(16+sub) << shift
+	return lower + int64(1)<<shift/2
+}
+
+// Observe records one sample (negative samples clamp to zero).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histIndex(uint64(ns))]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the largest sample recorded, 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the samples, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at quantile q in [0, 1], resolved to the
+// midpoint of its bucket (within ~6%) and capped at the observed maximum.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			mid := histMid(i)
+			if mid > h.max {
+				return h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}

@@ -1,5 +1,5 @@
 // Package server implements dbiserve, a long-lived batched streaming encode
-// service over TCP: clients open a session, pick a coding scheme by registry
+// service over TCP: clients open sessions, pick a coding scheme by registry
 // name, and stream framed bursts that the server encodes through persistent
 // per-lane wire state — the serving-side counterpart of the offline
 // Stream/LaneSet/Pipeline drivers, with bit-identical results.
@@ -7,8 +7,9 @@
 // The wire protocol (DESIGN.md §6) deliberately reuses the vocabulary the
 // offline tools already speak:
 //
-//   - a session opens with a fixed handshake naming the scheme, the weights
-//     and the bus geometry (lanes × beats);
+//   - a connection opens with a fixed handshake naming the protocol version
+//     and (for single-session connections) the scheme, the weights and the
+//     bus geometry (lanes × beats);
 //   - single frames travel as the raw lanes×beats payload bytes, answered
 //     with the per-beat DBI inversion masks — payload plus mask is the whole
 //     wire image, exactly as bus.Wire defines it;
@@ -17,6 +18,13 @@
 //     trace.FrameReader), answered with cumulative activity totals; batches
 //     are encoded through the lane-sharded pipeline.
 //
+// Protocol v3 adds multiplexed connections: with the mux handshake flag,
+// one socket carries thousands of logical sessions, each its own LaneSet
+// and scheme (or adaptive controller). Every message on a mux connection
+// prefixes its payload with the session id as a uvarint; sessions open and
+// close explicitly with msgOpen/msgCloseSess. v2 single-session clients are
+// still accepted bit-identically.
+//
 // Per-session state lives in one LaneSet, so interleaved frames and batches
 // see one continuous per-lane Markov chain, and the steady-state frame path
 // performs zero heap allocations per burst (the PR 2 EncodeInto property,
@@ -24,22 +32,33 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 )
 
-// Protocol constants. All integers are little-endian.
+// Protocol constants. All integers are little-endian; session ids are
+// unsigned varints (encoding/binary uvarint).
 const (
 	// helloMagic opens every client handshake.
 	helloMagic = "DBIS"
 	// replyMagic opens the server's handshake response.
 	replyMagic = "DBIO"
-	// protocolVersion is the current protocol revision. v2 added the
+	// protocolV2 is the single-session protocol revision: one session per
+	// TCP connection, negotiated entirely in the handshake. v2 added the
 	// handshake flags byte, the adaptive-session block, the SWITCH notice
 	// and the Switches totals counter.
-	protocolVersion = 2
+	protocolV2 = 2
+	// protocolV3 adds multiplexed connections (the flagMux handshake bit):
+	// every message payload is prefixed with a uvarint session id, and
+	// sessions open/close explicitly with msgOpen/msgCloseSess. A v3
+	// handshake without flagMux behaves exactly like v2 (one implicit
+	// session), apart from the version byte echoed in the reply.
+	protocolV3 = 3
+	// protocolVersion is the newest protocol revision this package speaks.
+	protocolVersion = protocolV3
 
 	// MaxLanes bounds the per-session lane count a handshake may request.
 	MaxLanes = 4096
@@ -52,60 +71,88 @@ const (
 // Message types, client to server.
 const (
 	// msgFrame carries one frame as lanes×beats raw payload bytes; the
-	// server answers msgMasks.
+	// server answers msgMasks. On mux connections the payload is prefixed
+	// with the uvarint session id.
 	msgFrame = 'F'
 	// msgBatch carries a complete "DBIT" trace blob (internal/trace binary
-	// format); the server pipelines it and answers msgTotals.
+	// format); the server pipelines it and answers msgTotals. Mux: uvarint
+	// session id prefix.
 	msgBatch = 'B'
 	// msgTotals requests the session's cumulative totals; answered with
-	// msgTotalsReply.
+	// msgTotalsReply. Mux: the payload is the uvarint session id.
 	msgTotals = 'T'
 	// msgMetrics requests the server-wide metrics text; answered with
-	// msgMetricsReply.
+	// msgMetricsReply. Connection-scoped: never carries a session id.
 	msgMetrics = 'S'
-	// msgQuit ends the session: the server answers msgTotalsReply with the
-	// final totals and closes the connection.
+	// msgQuit ends the connection: the server answers msgTotalsReply with
+	// the final totals (on mux connections: the aggregate over every
+	// still-open session, session id 0) and closes the connection.
 	msgQuit = 'Q'
+	// msgOpen (v3 mux only) opens a logical session: uvarint session id
+	// (client-chosen, nonzero, unused) followed by a session-config body —
+	// the same encoding the handshake uses after its magic and version
+	// bytes. Answered with msgOpenReply; a failed open rejects that
+	// session only, the connection survives.
+	msgOpen = 'O'
+	// msgCloseSess (v3 mux only) closes one logical session: the payload
+	// is the uvarint session id, the answer the session's final
+	// msgTotalsReply.
+	msgCloseSess = 'D'
 )
 
 // Message types, server to client.
 const (
 	// msgMasks carries the per-lane inversion masks of one encoded frame:
 	// lanes × ⌈beats/8⌉ bytes, lane-major, bit t (LSB first) set when beat
-	// t transmits inverted.
+	// t transmits inverted. Mux: uvarint session id prefix.
 	msgMasks = 'M'
-	// msgTotalsReply carries the session's cumulative Totals.
+	// msgTotalsReply carries a session's cumulative Totals. Mux: uvarint
+	// session id prefix (0 for the msgQuit aggregate).
 	msgTotalsReply = 'C'
 	// msgMetricsReply carries the server-wide metrics rendered as text.
 	msgMetricsReply = 'X'
-	// msgError carries an error description; the server closes the
-	// connection after sending it.
+	// msgError carries an error description. On v2 connections the server
+	// closes after sending it. On mux connections the payload starts with
+	// the uvarint session id of the session the error concerns, and the
+	// connection survives; session id 0 marks a connection-fatal error.
 	msgError = 'E'
 	// msgSwitch is the SWITCH marker of an adaptive session: the server's
 	// controller changed the live scheme on one lane. Notices are queued
 	// and sent immediately before the next reply, so a client always
 	// learns about a renegotiation no later than the reply to the message
-	// whose encoding caused it. Payload: lane u16 | ordinal u32 |
-	// burst u64 | fromLen u8 | from | toLen u8 | to.
+	// whose encoding caused it. Payload (after the mux session-id prefix):
+	// lane u16 | ordinal u32 | burst u64 | fromLen u8 | from | toLen u8 |
+	// to.
 	msgSwitch = 'W'
+	// msgOpenReply (v3 mux only) answers msgOpen: uvarint session id,
+	// status u8 (0 = accepted), u16 text length, then the resolved scheme
+	// name (accepted) or the rejection reason.
+	msgOpenReply = 'R'
 )
 
-// handshake flag bits (v2).
+// Handshake flag bits.
 const (
-	// flagAdapt marks an adaptive-session request: the handshake carries
-	// the adaptive block (window, margin, candidate names) after the
-	// scheme name.
+	// flagAdapt (v2) marks an adaptive-session request: the config body
+	// carries the adaptive block (window, margin, candidate names) after
+	// the scheme name.
 	flagAdapt = 1 << 0
+	// flagMux (v3) marks a multiplexed connection: no implicit session is
+	// created, the handshake's scheme and weights become the connection's
+	// defaults for msgOpen, and every subsequent message carries a uvarint
+	// session-id prefix.
+	flagMux = 1 << 1
 )
 
-// SessionConfig is what a client asks of the server at handshake time.
+// SessionConfig is what a client asks of the server when opening a session
+// (the v2 handshake, or one msgOpen on a v3 mux connection).
 type SessionConfig struct {
 	// Scheme is the registered scheme name ("OPT-FIXED", "DC", ...); empty
-	// selects the server's default scheme.
+	// selects the connection's default (the mux handshake scheme), falling
+	// back to the server's default scheme.
 	Scheme string
 	// Alpha and Beta are the weights for weighted schemes (and the
 	// comparison weights of an adaptive session). Both zero selects the
-	// server's default weights; weight-free schemes ignore them either
+	// connection/server defaults; weight-free schemes ignore them either
 	// way.
 	Alpha, Beta float64
 	// Lanes is the byte-lane count of the session's bus (1..MaxLanes).
@@ -160,123 +207,176 @@ func (c SessionConfig) Validate() error {
 	return nil
 }
 
-// handshakeLen is the fixed part of the client handshake: magic, version,
-// beats, lanes, alpha, beta, scheme-name length, flags. Flagged requests
-// append their blocks after the scheme name (flagAdapt: window u32,
-// margin f64, candidate count u8, then length-prefixed candidate names).
-const handshakeLen = 4 + 1 + 1 + 2 + 8 + 8 + 1 + 1
+// Wire layout of a session-config body, shared verbatim by the handshake
+// (after its 5-byte magic+version prelude) and by msgOpen (after the
+// uvarint session id): beats u8 | lanes u16 | alpha f64 | beta f64 |
+// schemeLen u8 | flags u8 | scheme name | [flagAdapt: window u32 |
+// margin f64 | candCount u8 | (nameLen u8 | name)*].
+const configFixedLen = 1 + 2 + 8 + 8 + 1 + 1
 
-// handshakeLenV1 is the v1 fixed part: everything up to and including the
-// scheme-name length, without the v2 flags byte. readHandshake reads this
-// much before checking the version, so an old client's (shorter)
-// handshake is answered with a version error instead of blocking the
-// accept slot forever on bytes that will never arrive.
+// handshakeLen is the fixed part of the client handshake: magic, version,
+// then the fixed part of the config body.
+const handshakeLen = 4 + 1 + configFixedLen
+
+// handshakeLenV1 is the v1 fixed handshake length — one byte shorter (no
+// flags byte). Kept for the regression test that pins v1 rejection without
+// hanging: the version is checked before any version-dependent bytes are
+// read.
 const handshakeLenV1 = handshakeLen - 1
 
-// writeHandshake serialises the session request onto w.
-func writeHandshake(w io.Writer, c SessionConfig) error {
-	if err := c.Validate(); err != nil {
-		return err
-	}
-	buf := make([]byte, handshakeLen, handshakeLen+len(c.Scheme))
-	copy(buf, helloMagic)
-	buf[4] = protocolVersion
-	buf[5] = byte(c.Beats)
-	binary.LittleEndian.PutUint16(buf[6:8], uint16(c.Lanes))
-	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(c.Alpha))
-	binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(c.Beta))
-	buf[24] = byte(len(c.Scheme))
+// appendConfigBody serialises the session-config body onto dst. mux is
+// only meaningful on the handshake (v3), never on msgOpen.
+func appendConfigBody(dst []byte, c SessionConfig, mux bool) []byte {
+	var fixed [configFixedLen]byte
+	fixed[0] = byte(c.Beats)
+	binary.LittleEndian.PutUint16(fixed[1:3], uint16(c.Lanes))
+	binary.LittleEndian.PutUint64(fixed[3:11], math.Float64bits(c.Alpha))
+	binary.LittleEndian.PutUint64(fixed[11:19], math.Float64bits(c.Beta))
+	fixed[19] = byte(len(c.Scheme))
 	if c.Adapt {
-		buf[25] |= flagAdapt
+		fixed[20] |= flagAdapt
 	}
-	buf = append(buf, c.Scheme...)
+	if mux {
+		fixed[20] |= flagMux
+	}
+	dst = append(dst, fixed[:]...)
+	dst = append(dst, c.Scheme...)
 	if c.Adapt {
 		var blk [13]byte
 		binary.LittleEndian.PutUint32(blk[0:4], uint32(c.AdaptWindow))
 		binary.LittleEndian.PutUint64(blk[4:12], math.Float64bits(c.AdaptMargin))
 		blk[12] = byte(len(c.AdaptCandidates))
-		buf = append(buf, blk[:]...)
+		dst = append(dst, blk[:]...)
 		for _, name := range c.AdaptCandidates {
-			buf = append(buf, byte(len(name)))
-			buf = append(buf, name...)
+			dst = append(dst, byte(len(name)))
+			dst = append(dst, name...)
 		}
 	}
-	_, err := w.Write(buf)
-	return err
+	return dst
 }
 
-// readHandshake parses a session request from r.
-func readHandshake(r io.Reader) (SessionConfig, error) {
-	var buf [handshakeLen]byte
-	// Read only the version-independent prefix first: a v1 client sends
-	// one byte less, and waiting for the v2 flags byte before checking
-	// the version would hang on it instead of rejecting it.
-	if _, err := io.ReadFull(r, buf[:handshakeLenV1]); err != nil {
-		return SessionConfig{}, fmt.Errorf("server: reading handshake: %w", err)
+// readConfigBody parses a session-config body from r. Unknown flag bits are
+// rejected, not ignored: a flag implies an appended block this version
+// would not consume, which would desync the message stream into confusing
+// downstream errors. flagMux is only known to v3.
+func readConfigBody(r io.Reader, version int) (c SessionConfig, mux bool, err error) {
+	var fixed [configFixedLen]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return SessionConfig{}, false, fmt.Errorf("server: reading handshake: %w", err)
 	}
-	if string(buf[:4]) != helloMagic {
-		return SessionConfig{}, fmt.Errorf("server: bad handshake magic %q", buf[:4])
+	known := byte(flagAdapt)
+	if version >= protocolV3 {
+		known |= flagMux
 	}
-	if buf[4] != protocolVersion {
-		return SessionConfig{}, fmt.Errorf("server: unsupported protocol version %d", buf[4])
+	flags := fixed[20]
+	if unknown := flags &^ known; unknown != 0 {
+		return SessionConfig{}, false, fmt.Errorf("server: unsupported handshake flags %#x", unknown)
 	}
-	if _, err := io.ReadFull(r, buf[handshakeLenV1:]); err != nil {
-		return SessionConfig{}, fmt.Errorf("server: reading handshake: %w", err)
+	c = SessionConfig{
+		Beats: int(fixed[0]),
+		Lanes: int(binary.LittleEndian.Uint16(fixed[1:3])),
+		Alpha: math.Float64frombits(binary.LittleEndian.Uint64(fixed[3:11])),
+		Beta:  math.Float64frombits(binary.LittleEndian.Uint64(fixed[11:19])),
+		Adapt: flags&flagAdapt != 0,
 	}
-	// Unknown flag bits are rejected, not ignored: a flag implies an
-	// appended block this version would not consume, which would desync
-	// the message stream into confusing downstream errors.
-	if unknown := buf[25] &^ flagAdapt; unknown != 0 {
-		return SessionConfig{}, fmt.Errorf("server: unsupported handshake flags %#x", unknown)
-	}
-	c := SessionConfig{
-		Beats: int(buf[5]),
-		Lanes: int(binary.LittleEndian.Uint16(buf[6:8])),
-		Alpha: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
-		Beta:  math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24])),
-		Adapt: buf[25]&flagAdapt != 0,
-	}
-	if n := int(buf[24]); n > 0 {
+	if n := int(fixed[19]); n > 0 {
 		name := make([]byte, n)
 		if _, err := io.ReadFull(r, name); err != nil {
-			return SessionConfig{}, fmt.Errorf("server: reading scheme name: %w", err)
+			return SessionConfig{}, false, fmt.Errorf("server: reading scheme name: %w", err)
 		}
 		c.Scheme = string(name)
 	}
 	if c.Adapt {
 		var blk [13]byte
 		if _, err := io.ReadFull(r, blk[:]); err != nil {
-			return SessionConfig{}, fmt.Errorf("server: reading adapt block: %w", err)
+			return SessionConfig{}, false, fmt.Errorf("server: reading adapt block: %w", err)
 		}
 		c.AdaptWindow = int(binary.LittleEndian.Uint32(blk[0:4]))
 		c.AdaptMargin = math.Float64frombits(binary.LittleEndian.Uint64(blk[4:12]))
 		for i := 0; i < int(blk[12]); i++ {
 			var ln [1]byte
 			if _, err := io.ReadFull(r, ln[:]); err != nil {
-				return SessionConfig{}, fmt.Errorf("server: reading adapt candidate: %w", err)
+				return SessionConfig{}, false, fmt.Errorf("server: reading adapt candidate: %w", err)
 			}
 			name := make([]byte, ln[0])
 			if _, err := io.ReadFull(r, name); err != nil {
-				return SessionConfig{}, fmt.Errorf("server: reading adapt candidate: %w", err)
+				return SessionConfig{}, false, fmt.Errorf("server: reading adapt candidate: %w", err)
 			}
 			c.AdaptCandidates = append(c.AdaptCandidates, string(name))
 		}
 	}
 	if err := c.Validate(); err != nil {
+		return SessionConfig{}, false, err
+	}
+	return c, flags&flagMux != 0, nil
+}
+
+// parseConfigBody parses a session-config body from a complete payload
+// slice (the msgOpen path), rejecting trailing bytes.
+func parseConfigBody(b []byte, version int) (SessionConfig, error) {
+	br := bytes.NewReader(b)
+	c, _, err := readConfigBody(br, version)
+	if err != nil {
 		return SessionConfig{}, err
+	}
+	if br.Len() != 0 {
+		return SessionConfig{}, fmt.Errorf("server: %d trailing bytes after session config", br.Len())
 	}
 	return c, nil
 }
 
-// writeReply sends the server's handshake response: ok carries the resolved
-// scheme name, !ok the error text (after which the server closes).
-func writeReply(w io.Writer, ok bool, msg string) error {
+// writeHandshake serialises a connection request onto w: magic, version,
+// then the session-config body (for a mux connection, the config is the
+// connection's defaults for msgOpen rather than an implicit session).
+func writeHandshake(w io.Writer, version int, mux bool, c SessionConfig) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	buf := make([]byte, 5, handshakeLen+len(c.Scheme))
+	copy(buf, helloMagic)
+	buf[4] = byte(version)
+	buf = appendConfigBody(buf, c, mux)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readHandshake parses a connection request from r. The version is checked
+// before any version-dependent bytes are read, so an old client's (shorter)
+// handshake is answered with a version error instead of blocking the accept
+// slot forever on bytes that will never arrive.
+func readHandshake(r io.Reader) (c SessionConfig, version int, mux bool, err error) {
+	var pre [5]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return SessionConfig{}, 0, false, fmt.Errorf("server: reading handshake: %w", err)
+	}
+	if string(pre[:4]) != helloMagic {
+		return SessionConfig{}, 0, false, fmt.Errorf("server: bad handshake magic %q", pre[:4])
+	}
+	version = int(pre[4])
+	if version != protocolV2 && version != protocolV3 {
+		return SessionConfig{}, 0, false, fmt.Errorf("server: unsupported protocol version %d", version)
+	}
+	c, mux, err = readConfigBody(r, version)
+	if err != nil {
+		return SessionConfig{}, 0, false, err
+	}
+	if mux && version < protocolV3 {
+		return SessionConfig{}, 0, false, fmt.Errorf("server: multiplexing requires protocol v3")
+	}
+	return c, version, mux, nil
+}
+
+// writeReply sends the server's handshake response, echoing the negotiated
+// protocol version: ok carries the resolved scheme name (empty on a mux
+// connection, whose sessions resolve at msgOpen), !ok the error text (after
+// which the server closes).
+func writeReply(w io.Writer, version int, ok bool, msg string) error {
 	if len(msg) > math.MaxUint16 {
 		msg = msg[:math.MaxUint16]
 	}
 	buf := make([]byte, 8, 8+len(msg))
 	copy(buf, replyMagic)
-	buf[4] = protocolVersion
+	buf[4] = byte(version)
 	if !ok {
 		buf[5] = 1
 	}
@@ -287,7 +387,9 @@ func writeReply(w io.Writer, ok bool, msg string) error {
 }
 
 // readReply parses the server's handshake response, returning the resolved
-// scheme name or the server's rejection as an error.
+// scheme name or the server's rejection as an error. Both v2 and v3
+// version bytes are accepted: the server echoes whatever the client spoke
+// (and answers an unparseable handshake with the newest version).
 func readReply(r io.Reader) (string, error) {
 	var buf [8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -296,7 +398,7 @@ func readReply(r io.Reader) (string, error) {
 	if string(buf[:4]) != replyMagic {
 		return "", fmt.Errorf("server: bad reply magic %q", buf[:4])
 	}
-	if buf[4] != protocolVersion {
+	if buf[4] != protocolV2 && buf[4] != protocolV3 {
 		return "", fmt.Errorf("server: unsupported protocol version %d", buf[4])
 	}
 	msg := make([]byte, binary.LittleEndian.Uint16(buf[6:8]))
@@ -326,6 +428,55 @@ func readHeader(r io.Reader, hdr *[5]byte) (typ byte, payloadLen int, err error)
 		return 0, 0, fmt.Errorf("server: payload of %d bytes exceeds the %d byte limit", n, MaxPayload)
 	}
 	return hdr[0], int(n), nil
+}
+
+// uvarintLen returns the encoded size of v as a uvarint (1..10 bytes), the
+// session-id prefix length mux message framing must account for.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendOpenReply serialises a msgOpenReply payload: session id, status,
+// and the resolved scheme name (ok) or rejection reason (!ok).
+func appendOpenReply(dst []byte, sid uint64, ok bool, msg string) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	var sb [binary.MaxVarintLen64]byte
+	dst = append(dst, sb[:binary.PutUvarint(sb[:], sid)]...)
+	if ok {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+	}
+	var ln [2]byte
+	binary.LittleEndian.PutUint16(ln[:], uint16(len(msg)))
+	dst = append(dst, ln[:]...)
+	dst = append(dst, msg...)
+	return dst
+}
+
+// parseOpenReply deserialises a msgOpenReply payload.
+func parseOpenReply(b []byte) (sid uint64, ok bool, msg string, err error) {
+	sid, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, false, "", fmt.Errorf("server: open reply with bad session id varint")
+	}
+	rest := b[n:]
+	if len(rest) < 3 {
+		return 0, false, "", fmt.Errorf("server: open reply of %d bytes is truncated", len(b))
+	}
+	status := rest[0]
+	ln := int(binary.LittleEndian.Uint16(rest[1:3]))
+	if len(rest) != 3+ln {
+		return 0, false, "", fmt.Errorf("server: open reply of %d bytes is malformed", len(b))
+	}
+	return sid, status == 0, string(rest[3:]), nil
 }
 
 // maskBytes is the per-lane size of a packed inversion mask.
@@ -379,6 +530,16 @@ func (t Totals) TogglesSaved() int { return t.Raw.Transitions - t.Coded.Transiti
 // ZerosSaved returns how many transmitted zeros the coding avoided versus
 // the raw baseline.
 func (t Totals) ZerosSaved() int { return t.Raw.Zeros - t.Coded.Zeros }
+
+// add accumulates o into t, the aggregation msgQuit performs over a mux
+// connection's still-open sessions.
+func (t *Totals) add(o Totals) {
+	t.Frames += o.Frames
+	t.Beats += o.Beats
+	t.Coded = t.Coded.Add(o.Coded)
+	t.Raw = t.Raw.Add(o.Raw)
+	t.Switches += o.Switches
+}
 
 // putTotals serialises t into a totalsLen-sized buffer.
 func putTotals(dst []byte, t Totals) {

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dbiopt/internal/adapt"
 	"dbiopt/internal/bus"
@@ -21,6 +24,11 @@ type Config struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:8421". Empty selects
 	// DefaultAddr.
 	Addr string
+	// MetricsAddr, when non-empty, binds an HTTP listener exporting the
+	// server counters in Prometheus text format at /metrics (plus a
+	// /healthz probe that turns 503 during a drain). The listener stays up
+	// through Shutdown so a drain can be watched from outside.
+	MetricsAddr string
 	// Scheme is the default scheme name for sessions whose handshake names
 	// none. Empty selects DefaultScheme.
 	Scheme string
@@ -34,11 +42,19 @@ type Config struct {
 	// ChunkFrames is the pipeline batching granularity; <= 0 selects
 	// dbi.DefaultChunkFrames.
 	ChunkFrames int
-	// MaxConns caps the concurrently served sessions; <= 0 selects
-	// DefaultMaxConns. Connections beyond the cap are not accepted until a
-	// session ends — they queue in the kernel backlog, which is the
-	// connection-level half of the backpressure contract.
+	// MaxConns caps the concurrently served connections; <= 0 selects
+	// DefaultMaxConns. Connections beyond the cap are not accepted until
+	// one ends — they queue in the kernel backlog, which is the
+	// connection-level half of the backpressure contract. A multiplexed
+	// connection counts once however many sessions it carries; MaxSessions
+	// bounds those.
 	MaxConns int
+	// MaxSessions caps the logical sessions open at once over all
+	// connections; <= 0 selects DefaultMaxSessions. Opens beyond the cap
+	// are rejected (msgOpenReply on mux connections, a refused handshake
+	// on v2 ones) rather than queued: a mux client saturating the session
+	// table gets told, not stalled.
+	MaxSessions int
 
 	// Adapt makes sessions that request no scheme adaptive by default:
 	// they run the internal/adapt windowed controller per lane over the
@@ -57,10 +73,23 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	DefaultAddr     = "127.0.0.1:8421"
-	DefaultScheme   = "OPT-FIXED"
-	DefaultMaxConns = 64
+	DefaultAddr        = "127.0.0.1:8421"
+	DefaultScheme      = "OPT-FIXED"
+	DefaultMaxConns    = 64
+	DefaultMaxSessions = 1 << 20
 )
+
+// connShard is one shard of the live-connection table. Connections are
+// assigned round-robin at accept time; after that a connection only ever
+// touches its own shard, so the per-shard mutexes never see cross-core
+// contention on the frame path (they are not on the frame path at all —
+// only accept and teardown lock them). Padded so adjacent shards do not
+// share cache lines.
+type connShard struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	_     [112]byte
+}
 
 // Server is a long-lived encode service. Construct with New, start with
 // Start (or Serve on an existing listener), stop with Shutdown or Close.
@@ -68,13 +97,29 @@ type Server struct {
 	cfg     Config
 	metrics Metrics
 
-	mu       sync.Mutex
-	lis      net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
-	done     chan struct{} // closed when the accept loop exits
+	shards    []connShard
+	acceptSeq atomic.Uint64
+	sessions  atomic.Int64 // open logical sessions, bounded by MaxSessions
 
-	wg sync.WaitGroup // live session handlers
+	mu   sync.Mutex
+	lis  net.Listener
+	mlis net.Listener
+	msrv *http.Server
+	done chan struct{} // closed when the accept loop exits
+
+	metricsOnce sync.Once // closes the metrics listener exactly once
+
+	wg sync.WaitGroup // live connection handlers
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1), so shard selection
+// is a mask instead of a modulo.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // New validates cfg, fills its defaults and returns an unstarted server.
@@ -91,6 +136,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConns <= 0 {
 		cfg.MaxConns = DefaultMaxConns
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
 	// Fail at construction, not at the first handshake, if the default
 	// scheme cannot be built.
 	if _, err := dbi.Lookup(cfg.Scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta}); err != nil {
@@ -106,11 +154,16 @@ func New(cfg Config) (*Server, error) {
 	}).Validate(); err != nil {
 		return nil, fmt.Errorf("server: adaptive defaults: %w", err)
 	}
-	return &Server{
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
-	}, nil
+	s := &Server{
+		cfg:    cfg,
+		shards: make([]connShard, nextPow2(runtime.GOMAXPROCS(0))),
+		done:   make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].conns = make(map[net.Conn]struct{})
+	}
+	s.metrics.init(len(s.shards))
+	return s, nil
 }
 
 // Metrics returns the server's live counters.
@@ -124,6 +177,17 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.lis.Addr()
+}
+
+// MetricsAddr returns the bound metrics-endpoint address, or nil when no
+// MetricsAddr was configured (or before Start/Serve).
+func (s *Server) MetricsAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mlis == nil {
+		return nil
+	}
+	return s.mlis.Addr()
 }
 
 // Start binds the configured address and serves it on a background
@@ -142,9 +206,10 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// Serve accepts sessions on lis until the listener fails or Shutdown/Close
-// is called. The accept loop admits at most MaxConns concurrent sessions;
-// excess connections wait in the kernel's accept backlog.
+// Serve accepts connections on lis until the listener fails or
+// Shutdown/Close is called. The accept loop admits at most MaxConns
+// concurrent connections; excess connections wait in the kernel's accept
+// backlog.
 func (s *Server) Serve(lis net.Listener) error {
 	if err := s.register(lis); err != nil {
 		lis.Close()
@@ -153,19 +218,48 @@ func (s *Server) Serve(lis net.Listener) error {
 	return s.serve(lis)
 }
 
-// register installs the listener; a server serves exactly one listener in
-// its lifetime.
+// register installs the listener (a server serves exactly one listener in
+// its lifetime) and, when configured, binds the metrics endpoint.
 func (s *Server) register(lis net.Listener) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.draining {
+	if s.metrics.draining.Load() {
 		return errors.New("server: already shut down")
 	}
 	if s.lis != nil {
 		return errors.New("server: already serving")
 	}
+	if s.cfg.MetricsAddr != "" && s.mlis == nil {
+		mlis, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("server: metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", s.serveMetricsHTTP)
+		mux.HandleFunc("/healthz", s.serveHealthz)
+		s.mlis = mlis
+		s.msrv = &http.Server{Handler: mux}
+		go s.msrv.Serve(mlis)
+	}
 	s.lis = lis
 	return nil
+}
+
+// serveMetricsHTTP is the GET /metrics handler: the aggregated counter
+// snapshot in Prometheus text exposition format.
+func (s *Server) serveMetricsHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Snapshot().WritePrometheus(w)
+}
+
+// serveHealthz is the GET /healthz handler: 200 while serving, 503 once a
+// drain begins (load balancers stop routing; scrapes keep working).
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.metrics.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // serve is the accept loop over a registered listener.
@@ -180,15 +274,13 @@ func (s *Server) serve(lis net.Listener) error {
 		conn, err := lis.Accept()
 		if err != nil {
 			<-sem
-			s.mu.Lock()
-			draining := s.draining
-			s.mu.Unlock()
-			if draining {
+			if s.metrics.draining.Load() {
 				return nil
 			}
 			return err
 		}
-		if !s.track(conn) {
+		shard := &s.shards[s.acceptSeq.Add(1)&uint64(len(s.shards)-1)]
+		if !s.track(shard, conn) {
 			conn.Close()
 			<-sem
 			return nil
@@ -196,7 +288,7 @@ func (s *Server) serve(lis net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer func() {
-				s.untrack(conn)
+				s.untrack(shard, conn)
 				conn.Close()
 				s.wg.Done()
 				<-sem
@@ -206,32 +298,48 @@ func (s *Server) serve(lis net.Listener) error {
 	}
 }
 
-// track registers a live connection; it refuses (returning false) once the
-// server is draining.
-func (s *Server) track(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
+// track registers a live connection in its shard; it refuses (returning
+// false) once the server is draining.
+func (s *Server) track(shard *connShard, conn net.Conn) bool {
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if s.metrics.draining.Load() {
 		return false
 	}
-	s.conns[conn] = struct{}{}
+	shard.conns[conn] = struct{}{}
 	return true
 }
 
-// untrack removes a finished connection.
-func (s *Server) untrack(conn net.Conn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.conns, conn)
+// untrack removes a finished connection from its shard.
+func (s *Server) untrack(shard *connShard, conn net.Conn) {
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	delete(shard.conns, conn)
 }
 
+// reserveSession claims one slot of the MaxSessions budget; the caller must
+// releaseSession when the session ends.
+func (s *Server) reserveSession() bool {
+	if s.sessions.Add(1) > int64(s.cfg.MaxSessions) {
+		s.sessions.Add(-1)
+		return false
+	}
+	return true
+}
+
+// releaseSession returns one MaxSessions slot.
+func (s *Server) releaseSession() { s.sessions.Add(-1) }
+
 // Shutdown drains the server gracefully: it stops accepting, then waits for
-// every in-flight session to finish — a session finishes when its client
-// sends msgQuit or closes its connection, so long-lived clients must be told
-// to go away out of band (or the caller bounds the wait with ctx). When ctx
-// expires the remaining connections are closed hard, as Close does.
+// every in-flight connection to finish — a connection finishes when its
+// client sends msgQuit or closes, so long-lived clients must be told to go
+// away out of band (or the caller bounds the wait with ctx). When ctx
+// expires the remaining connections are closed hard, as Close does. The
+// metrics endpoint keeps answering until the drain completes, so the drain
+// itself is observable; it is closed before Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeListener()
+	defer s.closeMetricsListener()
 	finished := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -247,52 +355,71 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Close stops the server immediately: the listener and every live session
+// Close stops the server immediately: the listeners and every live
 // connection are closed without waiting for in-flight work.
 func (s *Server) Close() error {
 	s.closeListener()
 	s.closeConns()
 	s.wg.Wait()
+	s.closeMetricsListener()
 	return nil
 }
 
-// closeListener marks the server draining and closes the listener, which
-// unblocks the accept loop.
+// closeListener marks the server draining and closes the session listener,
+// which unblocks the accept loop. The metrics listener is left up.
 func (s *Server) closeListener() {
+	s.metrics.draining.Store(true)
 	s.mu.Lock()
 	lis := s.lis
-	s.draining = true
 	s.mu.Unlock()
 	if lis != nil {
 		lis.Close()
 	}
 }
 
-// closeConns closes every live session connection.
+// closeMetricsListener tears down the metrics endpoint, if one was bound.
+func (s *Server) closeMetricsListener() {
+	s.metricsOnce.Do(func() {
+		s.mu.Lock()
+		msrv := s.msrv
+		s.mu.Unlock()
+		if msrv != nil {
+			msrv.Close()
+		}
+	})
+}
+
+// closeConns closes every live connection, shard by shard.
 func (s *Server) closeConns() {
-	s.mu.Lock()
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
+	for i := range s.shards {
+		shard := &s.shards[i]
+		shard.mu.Lock()
+		conns := make([]net.Conn, 0, len(shard.conns))
+		for c := range shard.conns {
+			conns = append(conns, c)
+		}
+		shard.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
 	}
 }
 
-// handle runs one session: handshake, then the message loop until quit,
-// client close, or a protocol error.
-func (s *Server) handle(conn net.Conn) {
-	sess, err := s.newSession(conn)
+// handle runs one connection: handshake, then the message loop until quit,
+// client close, or a connection-fatal protocol error. The connection's
+// counter shard is chosen here, once, so everything the connection records
+// lands on one shard.
+func (s *Server) handle(nc net.Conn) {
+	m := s.metrics.shard()
+	m.noteConn()
+	c, err := s.newConn(nc, m)
 	if err != nil {
-		s.metrics.noteSession(false)
+		// A failed handshake is a refused session open: on a v2
+		// connection that is literally what happened, and a mux client
+		// whose handshake cannot be parsed never gets to open one.
+		m.noteSession(false)
 		return
 	}
-	s.metrics.noteSession(true)
-	if sess.adaptive {
-		s.metrics.noteAdaptive()
-	}
-	defer s.metrics.noteClose()
-	sess.loop()
+	defer c.closeAll()
+	c.loop()
 }

@@ -280,7 +280,7 @@ func TestServeFrameGeometryError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeHandshake(conn, SessionConfig{Lanes: 2, Beats: 8}); err != nil {
+	if err := writeHandshake(conn, protocolV2, false, SessionConfig{Lanes: 2, Beats: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := readReply(conn); err != nil {
@@ -391,7 +391,7 @@ func TestServeMaxConnsBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeHandshake(conn, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
+	if err := writeHandshake(conn, protocolV2, false, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
@@ -666,12 +666,15 @@ func TestHandshakeRoundTripAdapt(t *testing.T) {
 			AdaptCandidates: []string{"DC", "AC", "OPT-FIXED"}, Alpha: 4, Beta: 1},
 	} {
 		var buf bytes.Buffer
-		if err := writeHandshake(&buf, cfg); err != nil {
+		if err := writeHandshake(&buf, protocolV2, false, cfg); err != nil {
 			t.Fatal(err)
 		}
-		got, err := readHandshake(&buf)
+		got, version, mux, err := readHandshake(&buf)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if version != protocolV2 || mux {
+			t.Errorf("handshake negotiated version %d mux %v, want v2 non-mux", version, mux)
 		}
 		if !reflect.DeepEqual(got, cfg) {
 			t.Errorf("handshake round trip %+v != %+v", got, cfg)
@@ -684,13 +687,25 @@ func TestHandshakeRoundTripAdapt(t *testing.T) {
 // refused outright instead of desyncing the message stream.
 func TestHandshakeRejectsUnknownFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeHandshake(&buf, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
+	if err := writeHandshake(&buf, protocolV2, false, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	raw[25] |= 0x02 // a future flag bit
-	if _, err := readHandshake(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "unsupported handshake flags") {
+	// 0x02 is flagMux on v3, but on a v2 handshake it is an unknown future
+	// bit and must still be refused — the flag check is version-gated.
+	raw[25] |= 0x02
+	if _, _, _, err := readHandshake(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "unsupported handshake flags") {
 		t.Errorf("unknown flag bit not refused: %v", err)
+	}
+	// On v3 the same bit is the mux flag and parses.
+	raw[4] = protocolV3
+	if _, _, mux, err := readHandshake(bytes.NewReader(raw)); err != nil || !mux {
+		t.Errorf("v3 mux flag: mux=%v err=%v, want mux accepted", mux, err)
+	}
+	// An unknown bit beyond flagMux is refused on v3 too.
+	raw[25] |= 0x04
+	if _, _, _, err := readHandshake(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "unsupported handshake flags") {
+		t.Errorf("unknown v3 flag bit not refused: %v", err)
 	}
 }
 
@@ -707,7 +722,7 @@ func TestHandshakeRejectsV1WithoutHanging(t *testing.T) {
 	// A v1 handshake with an empty scheme name: 25 bytes total, then the
 	// client waits for the reply.
 	var buf bytes.Buffer
-	if err := writeHandshake(&buf, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
+	if err := writeHandshake(&buf, protocolV2, false, SessionConfig{Lanes: 1, Beats: 8}); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()[:handshakeLenV1]

@@ -3,9 +3,11 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -16,28 +18,55 @@ import (
 	"dbiopt/internal/trace"
 )
 
-// session is the server side of one connection: the resolved scheme, the
-// persistent per-lane encode state, and the reusable buffers that keep the
-// single-frame path allocation-free in steady state.
-type session struct {
+// conn is the server side of one connection: the negotiated protocol
+// version, the framing state, and the open sessions. A v2 (or non-mux v3)
+// connection carries exactly one implicit session; a mux connection a
+// whole table of them, opened and closed by msgOpen/msgCloseSess.
+type conn struct {
 	srv *Server
+	m   *metricsShard // this connection's counter shard
 	r   *bufio.Reader
 	w   *bufio.Writer
 
+	version int
+	mux     bool
+	// def holds the connection's session defaults: for a mux connection
+	// the handshake config (weights already resolved against the server),
+	// for a single-session connection just the server weights.
+	def SessionConfig
+
+	single   *sessState            // the implicit session of a non-mux connection
+	sessions map[uint64]*sessState // open sessions of a mux connection, by id
+
+	// Reusable scratch shared by every session on the connection — the
+	// message loop is single-goroutine, so one set suffices: hdr is the
+	// header, sidBuf the session-id prefix of mux replies, totalsBuf the
+	// serialised Totals, noticeBuf the switch/open-reply serialisation
+	// scratch, batchBuf the (grown on demand) payload buffer of the
+	// non-hot messages.
+	hdr       [5]byte
+	sidBuf    [binary.MaxVarintLen64]byte
+	totalsBuf [totalsLen]byte
+	noticeBuf []byte
+	batchBuf  []byte
+}
+
+// sessState is one logical session: the resolved scheme, the persistent
+// per-lane encode state, and the per-session buffers that keep the
+// single-frame path allocation-free in steady state.
+type sessState struct {
+	id     uint64
+	m      *metricsShard
 	cfg    SessionConfig // resolved geometry and weights
 	scheme string        // resolved registry name
 	ls     *dbi.LaneSet  // the session's per-lane streams — all encode state
 	pipe   *dbi.Pipeline // sharded driver for batch messages, over ls
 
-	// Reusable scratch. frame aliases frameBuf lane by lane, so refilling
-	// frameBuf refills the frame; maskBuf holds the packed reply;
-	// totalsBuf the serialised Totals; hdr the message header.
-	frameBuf  []byte
-	frame     bus.Frame
-	maskBuf   []byte
-	totalsBuf [totalsLen]byte
-	hdr       [5]byte
-	batchBuf  []byte // grown on demand; batches are not on the 0-alloc path
+	// frame aliases frameBuf lane by lane, so refilling frameBuf refills
+	// the frame; maskBuf holds the packed reply.
+	frameBuf []byte
+	frame    bus.Frame
+	maskBuf  []byte
 
 	// rawStates carries the per-lane line state of the uncoded baseline,
 	// advanced in lockstep with the coded streams so Totals.Raw is exact.
@@ -56,34 +85,88 @@ type session struct {
 	switchMu sync.Mutex
 	pending  []SwitchNote
 	switches int
-	// noticeBuf is the reusable serialisation scratch of flushSwitches.
-	noticeBuf []byte
 }
 
-// newSession performs the handshake on conn: it resolves the requested
-// scheme through the registry (falling back to the server defaults), builds
-// the per-lane state, and sends the accept/reject reply. A rejected
-// handshake returns an error after telling the client why.
-func (s *Server) newSession(conn net.Conn) (*session, error) {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	cfg, err := readHandshake(r)
+// newConn performs the handshake on nc. On a single-session connection it
+// resolves and opens the implicit session and replies with its scheme; on a
+// mux connection it records the defaults and replies immediately — sessions
+// resolve at msgOpen. A rejected handshake returns an error after telling
+// the client why.
+func (s *Server) newConn(nc net.Conn, m *metricsShard) (*conn, error) {
+	r := bufio.NewReader(nc)
+	w := bufio.NewWriter(nc)
+	cfg, version, mux, err := readHandshake(r)
 	if err != nil {
 		// The handshake never parsed; there may be no protocol speaker on
-		// the other side at all, so reply best-effort and bail.
-		writeReply(w, false, err.Error()) //nolint:errcheck
-		w.Flush()                         //nolint:errcheck
+		// the other side at all, so reply best-effort (with the newest
+		// version, having negotiated none) and bail.
+		writeReply(w, protocolVersion, false, err.Error()) //nolint:errcheck
+		w.Flush()                                          //nolint:errcheck
 		return nil, err
 	}
+	c := &conn{srv: s, m: m, r: r, w: w, version: version, mux: mux}
 	if cfg.Alpha == 0 && cfg.Beta == 0 {
 		cfg.Alpha, cfg.Beta = s.cfg.Alpha, s.cfg.Beta
 	}
-	adaptive := cfg.Adapt || (s.cfg.Adapt && cfg.Scheme == "")
+	if mux {
+		c.def = cfg
+		c.sessions = make(map[uint64]*sessState)
+		if err := writeReply(w, version, true, ""); err != nil {
+			return nil, err
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	c.def = SessionConfig{Alpha: s.cfg.Alpha, Beta: s.cfg.Beta}
+	if !s.reserveSession() {
+		err := fmt.Errorf("server: session limit reached")
+		writeReply(w, version, false, err.Error()) //nolint:errcheck
+		w.Flush()                                  //nolint:errcheck
+		return nil, err
+	}
+	st, err := c.newSessState(0, cfg)
+	if err != nil {
+		s.releaseSession()
+		writeReply(w, version, false, err.Error()) //nolint:errcheck
+		w.Flush()                                  //nolint:errcheck
+		return nil, err
+	}
+	if err := writeReply(w, version, true, st.scheme); err != nil {
+		s.releaseSession()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		s.releaseSession()
+		return nil, err
+	}
+	c.single = st
+	m.noteSession(true)
+	if st.adaptive {
+		m.noteAdaptive()
+	}
+	s.metrics.noteScheme(st.scheme)
+	return c, nil
+}
 
-	sess := &session{
-		srv:       s,
-		r:         r,
-		w:         w,
+// newSessState resolves one session request against the connection and
+// server defaults and builds its encode state. No reply is written here —
+// the handshake and msgOpen paths answer differently.
+func (c *conn) newSessState(sid uint64, cfg SessionConfig) (*sessState, error) {
+	srv := c.srv
+	def := c.def
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = def.Alpha, def.Beta
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = def.Scheme
+	}
+	adaptive := cfg.Adapt || ((def.Adapt || srv.cfg.Adapt) && cfg.Scheme == "")
+
+	st := &sessState{
+		id:        sid,
+		m:         c.m,
 		cfg:       cfg,
 		adaptive:  adaptive,
 		frameBuf:  make([]byte, cfg.Lanes*cfg.Beats),
@@ -97,81 +180,105 @@ func (s *Server) newSession(conn net.Conn) (*session, error) {
 			Weights:    dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta},
 			Window:     cfg.AdaptWindow,
 			Margin:     cfg.AdaptMargin,
-			OnSwitch:   sess.noteSwitch,
+			OnSwitch:   st.noteSwitch,
 		}
-		// Handshake fields left zero defer to the server defaults.
+		// Fields left zero defer to the connection defaults, then to the
+		// server defaults (which is one fall-through for a v2 connection,
+		// whose def carries no adaptive block).
 		if len(acfg.Candidates) == 0 {
-			acfg.Candidates = s.cfg.AdaptCandidates
+			acfg.Candidates = def.AdaptCandidates
+		}
+		if len(acfg.Candidates) == 0 {
+			acfg.Candidates = srv.cfg.AdaptCandidates
 		}
 		if acfg.Window == 0 {
-			acfg.Window = s.cfg.AdaptWindow
+			acfg.Window = def.AdaptWindow
+		}
+		if acfg.Window == 0 {
+			acfg.Window = srv.cfg.AdaptWindow
 		}
 		if acfg.Margin == 0 {
-			acfg.Margin = s.cfg.AdaptMargin
+			acfg.Margin = def.AdaptMargin
+		}
+		if acfg.Margin == 0 {
+			acfg.Margin = srv.cfg.AdaptMargin
 		}
 		mk, err := adapt.Factory(acfg)
 		if err != nil {
-			writeReply(w, false, err.Error()) //nolint:errcheck
-			w.Flush()                         //nolint:errcheck
 			return nil, err
 		}
-		sess.ls = dbi.NewAdaptiveLaneSet(mk, cfg.Lanes)
-		sess.scheme = adaptiveSchemeName(sess.ls.Lane(0).Adapter().(*adapt.Controller).Candidates())
-		sess.pipe = dbi.NewPipeline(sess.ls.Lane(0).Encoder(), cfg.Lanes,
-			dbi.WithWorkers(s.cfg.Workers), dbi.WithChunkFrames(s.cfg.ChunkFrames))
+		st.ls = dbi.NewAdaptiveLaneSet(mk, cfg.Lanes)
+		st.scheme = adaptiveSchemeName(st.ls.Lane(0).Adapter().(*adapt.Controller).Candidates())
+		st.pipe = dbi.NewPipeline(st.ls.Lane(0).Encoder(), cfg.Lanes,
+			dbi.WithWorkers(srv.cfg.Workers), dbi.WithChunkFrames(srv.cfg.ChunkFrames))
 	} else {
 		scheme := cfg.Scheme
 		if scheme == "" {
-			scheme = s.cfg.Scheme
+			scheme = srv.cfg.Scheme
 		}
 		enc, err := dbi.Lookup(scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
 		if err != nil {
-			writeReply(w, false, err.Error()) //nolint:errcheck
-			w.Flush()                         //nolint:errcheck
 			return nil, err
 		}
-		sess.ls = dbi.NewLaneSet(enc, cfg.Lanes)
-		sess.scheme = scheme
-		sess.pipe = dbi.NewPipeline(enc, cfg.Lanes,
-			dbi.WithWorkers(s.cfg.Workers), dbi.WithChunkFrames(s.cfg.ChunkFrames))
+		st.ls = dbi.NewLaneSet(enc, cfg.Lanes)
+		st.scheme = scheme
+		st.pipe = dbi.NewPipeline(enc, cfg.Lanes,
+			dbi.WithWorkers(srv.cfg.Workers), dbi.WithChunkFrames(srv.cfg.ChunkFrames))
 	}
-	if err := writeReply(w, true, sess.scheme); err != nil {
-		return nil, err
+	for l := range st.frame {
+		st.frame[l] = bus.Burst(st.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
 	}
-	if err := w.Flush(); err != nil {
-		return nil, err
+	for l := range st.rawStates {
+		st.rawStates[l] = bus.InitialLineState
 	}
-	for l := range sess.frame {
-		sess.frame[l] = bus.Burst(sess.frameBuf[l*cfg.Beats : (l+1)*cfg.Beats])
+	return st, nil
+}
+
+// closeSession ends one open mux session, returning its MaxSessions slot.
+func (c *conn) closeSession(sid uint64) {
+	delete(c.sessions, sid)
+	c.m.noteClose()
+	c.srv.releaseSession()
+}
+
+// closeAll ends every session still open when the connection goes away.
+func (c *conn) closeAll() {
+	if c.single != nil {
+		c.single = nil
+		c.m.noteClose()
+		c.srv.releaseSession()
 	}
-	for l := range sess.rawStates {
-		sess.rawStates[l] = bus.InitialLineState
+	for sid := range c.sessions {
+		c.closeSession(sid)
 	}
-	return sess, nil
 }
 
 // loop dispatches messages until the client quits, disconnects, or breaks
-// the protocol.
-func (sess *session) loop() {
+// the protocol in a connection-fatal way.
+func (c *conn) loop() {
+	if c.mux {
+		c.muxLoop()
+		return
+	}
 	for {
-		typ, n, err := readHeader(sess.r, &sess.hdr)
+		typ, n, err := readHeader(c.r, &c.hdr)
 		if err != nil {
 			return // client closed (or the connection died); nothing to say
 		}
 		switch typ {
 		case msgFrame:
-			err = sess.handleFrame(n)
+			err = c.handleFrame(c.single, n)
 		case msgBatch:
-			err = sess.handleBatch(n)
+			err = c.handleBatch(c.single, n)
 		case msgTotals:
-			err = sess.discard(n, sess.sendTotals)
+			err = c.discardThen(n, func() error { return c.sendTotals(c.single) })
 		case msgMetrics:
-			err = sess.discard(n, sess.sendMetrics)
+			err = c.discardThen(n, c.sendMetrics)
 		case msgQuit:
-			sess.discard(n, sess.sendTotals) //nolint:errcheck // closing anyway
+			c.discardThen(n, func() error { return c.sendTotals(c.single) }) //nolint:errcheck // closing anyway
 			return
 		default:
-			sess.fail(fmt.Errorf("server: unknown message type %q", typ))
+			c.connFail(fmt.Errorf("server: unknown message type %q", typ)) //nolint:errcheck
 			return
 		}
 		if err != nil {
@@ -180,72 +287,364 @@ func (sess *session) loop() {
 	}
 }
 
+// muxLoop is the message loop of a multiplexed connection. Replies are not
+// flushed per message — a pipelining client would pay a syscall per frame —
+// but exactly when the read side has no buffered input, i.e. immediately
+// before the only read that could block. bufio only blocks the loop's
+// ReadFull/ReadByte calls when its buffer is empty, so everything produced
+// by still-buffered requests is flushed before the connection goes quiet.
+func (c *conn) muxLoop() {
+	for {
+		if c.r.Buffered() == 0 {
+			if c.w.Flush() != nil {
+				return
+			}
+		}
+		typ, n, err := readHeader(c.r, &c.hdr)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgFrame:
+			err = c.muxFrame(n)
+		case msgBatch:
+			err = c.muxTarget(n, func(st *sessState, rem int) error { return c.handleBatch(st, rem) })
+		case msgTotals:
+			err = c.muxTarget(n, func(st *sessState, rem int) error {
+				if err := c.discardN(rem); err != nil {
+					return err
+				}
+				return c.sendTotals(st)
+			})
+		case msgCloseSess:
+			err = c.muxTarget(n, func(st *sessState, rem int) error {
+				if err := c.discardN(rem); err != nil {
+					return err
+				}
+				if err := c.sendTotals(st); err != nil {
+					return err
+				}
+				c.closeSession(st.id)
+				return nil
+			})
+		case msgOpen:
+			err = c.handleOpen(n)
+		case msgMetrics:
+			err = c.discardThen(n, c.sendMetrics)
+		case msgQuit:
+			c.muxQuit(n)
+			return
+		default:
+			c.connFail(fmt.Errorf("server: unknown message type %q", typ)) //nolint:errcheck
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readSid reads the uvarint session-id prefix of a mux message payload,
+// returning the id and the payload bytes remaining after it. The varint
+// must lie entirely inside the declared payload: one that runs past it
+// means the framing is already desynchronised, which is connection-fatal.
+//
+//dbi:hotpath
+func (c *conn) readSid(n int) (sid uint64, rem int, err error) {
+	var shift uint
+	for consumed := 1; ; consumed++ {
+		if consumed > n {
+			return 0, 0, fmt.Errorf("server: session id varint runs past the %d byte payload", n) //dbi:allow-escape error formatting on a malformed message, dead in steady state
+		}
+		b, err := c.r.ReadByte()
+		if err != nil {
+			return 0, 0, err
+		}
+		if b < 0x80 {
+			if shift >= 63 && b > 1 {
+				return 0, 0, fmt.Errorf("server: session id varint overflows uint64") //dbi:allow-escape error formatting on a malformed message, dead in steady state
+			}
+			return sid | uint64(b)<<shift, n - consumed, nil
+		}
+		sid |= uint64(b&0x7f) << shift
+		shift += 7
+		if shift >= 64 {
+			return 0, 0, fmt.Errorf("server: session id varint overflows uint64") //dbi:allow-escape error formatting on a malformed message, dead in steady state
+		}
+	}
+}
+
+// muxFrame routes one mux msgFrame to its session. Unknown ids are
+// session-scoped errors — the rest of the connection keeps flowing. Kept
+// separate from the generic muxTarget router so the frame hot path pays no
+// per-message closure.
+//
+//dbi:hotpath
+func (c *conn) muxFrame(n int) error {
+	sid, rem, err := c.readSid(n)
+	if err != nil {
+		return err
+	}
+	st := c.sessions[sid]
+	if st == nil {
+		if err := c.discardN(rem); err != nil {
+			return err
+		}
+		return c.sessFail(sid, fmt.Errorf("server: unknown session %d", sid)) //dbi:allow-escape error formatting on a misrouted frame, dead in steady state
+	}
+	return c.handleFrame(st, rem)
+}
+
+// muxTarget reads the session-id prefix, resolves the session and hands the
+// remaining payload to handle. The non-hot mux messages share this router.
+func (c *conn) muxTarget(n int, handle func(st *sessState, rem int) error) error {
+	sid, rem, err := c.readSid(n)
+	if err != nil {
+		return err
+	}
+	st := c.sessions[sid]
+	if st == nil {
+		if err := c.discardN(rem); err != nil {
+			return err
+		}
+		return c.sessFail(sid, fmt.Errorf("server: unknown session %d", sid))
+	}
+	return handle(st, rem)
+}
+
+// handleOpen opens one logical session on a mux connection. Failures are
+// answered with a rejecting msgOpenReply and leave the connection (and its
+// other sessions) running.
+func (c *conn) handleOpen(n int) error {
+	buf, err := c.payload(n)
+	if err != nil {
+		return err
+	}
+	sid, sn := binary.Uvarint(buf)
+	if sn <= 0 {
+		return c.connFail(fmt.Errorf("server: open with a malformed session id varint"))
+	}
+	reject := func(reason string) error {
+		c.m.noteSession(false)
+		return c.openReply(sid, false, reason)
+	}
+	cfg, err := parseConfigBody(buf[sn:], c.version)
+	if err != nil {
+		return reject(err.Error())
+	}
+	if sid == 0 {
+		return reject("server: session id 0 is reserved")
+	}
+	if _, dup := c.sessions[sid]; dup {
+		return reject(fmt.Sprintf("server: session %d is already open", sid))
+	}
+	if !c.srv.reserveSession() {
+		return reject("server: session limit reached")
+	}
+	st, err := c.newSessState(sid, cfg)
+	if err != nil {
+		c.srv.releaseSession()
+		return reject(err.Error())
+	}
+	c.sessions[sid] = st
+	c.m.noteSession(true)
+	if st.adaptive {
+		c.m.noteAdaptive()
+	}
+	c.srv.metrics.noteScheme(st.scheme)
+	return c.openReply(sid, true, st.scheme)
+}
+
+// openReply answers one msgOpen. The payload's leading uvarint session id
+// doubles as the mux reply prefix, so the header is written bare.
+func (c *conn) openReply(sid uint64, ok bool, msg string) error {
+	c.noticeBuf = appendOpenReply(c.noticeBuf[:0], sid, ok, msg)
+	putHeader(&c.hdr, msgOpenReply, len(c.noticeBuf))
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(c.noticeBuf)
+	return err
+}
+
+// muxQuit answers msgQuit on a mux connection: switch notices of every open
+// session, then one aggregate msgTotalsReply under session id 0. The
+// connection closes after it either way.
+func (c *conn) muxQuit(n int) {
+	if c.discardN(n) != nil {
+		return
+	}
+	var agg Totals
+	for _, st := range c.sessions {
+		if c.flushSwitches(st) != nil {
+			return
+		}
+		st.refreshTotals()
+		agg.add(st.totals)
+	}
+	putTotals(c.totalsBuf[:], agg)
+	if c.replyHeader(msgTotalsReply, 0, totalsLen) != nil {
+		return
+	}
+	if _, err := c.w.Write(c.totalsBuf[:]); err != nil {
+		return
+	}
+	c.w.Flush() //nolint:errcheck
+}
+
 // adaptiveSchemeName is the resolved-scheme string an adaptive session
-// reports at handshake time, naming the candidate set.
+// reports at open time, naming the candidate set.
 func adaptiveSchemeName(candidates []string) string {
 	return "ADAPTIVE(" + strings.Join(candidates, ",") + ")"
 }
 
 // noteSwitch is the adaptive controllers' OnSwitch hook: it queues one
 // SWITCH notice for the client and counts the switch. Single-frame encodes
-// call it from the session goroutine, batch encodes from pipeline workers,
-// hence the mutex.
-func (sess *session) noteSwitch(sw adapt.Switch) {
-	sess.switchMu.Lock()
-	sess.pending = append(sess.pending, SwitchNote{
+// call it from the connection goroutine, batch encodes from pipeline
+// workers, hence the mutex.
+func (st *sessState) noteSwitch(sw adapt.Switch) {
+	st.switchMu.Lock()
+	st.pending = append(st.pending, SwitchNote{
 		Lane: sw.Lane, Ordinal: sw.Ordinal, Burst: sw.Burst, From: sw.From, To: sw.To,
 	})
-	sess.switches++
-	sess.switchMu.Unlock()
-	sess.srv.metrics.noteSwitch()
+	st.switches++
+	st.switchMu.Unlock()
+	st.m.noteSwitch()
 }
 
-// flushSwitches writes every queued SWITCH notice. Replies call it first,
-// so the client learns about a renegotiation no later than the reply to
-// the message whose encoding caused it. The steady state (no pending
-// switches — every fixed-scheme session, and adaptive sessions between
-// switches) is a nil check and costs no allocation.
-func (sess *session) flushSwitches() error {
-	if !sess.adaptive {
+// refreshTotals folds the live encode state into the session's Totals.
+func (st *sessState) refreshTotals() {
+	st.totals.Coded = st.ls.TotalCost()
+	st.switchMu.Lock()
+	st.totals.Switches = st.switches
+	st.switchMu.Unlock()
+}
+
+// flushSwitches writes every queued SWITCH notice of one session. Replies
+// call it first, so the client learns about a renegotiation no later than
+// the reply to the message whose encoding caused it. The steady state (no
+// pending switches — every fixed-scheme session, and adaptive sessions
+// between switches) is a nil check and costs no allocation.
+func (c *conn) flushSwitches(st *sessState) error {
+	if !st.adaptive {
 		return nil
 	}
-	sess.switchMu.Lock()
-	notes := sess.pending
-	sess.pending = sess.pending[:0]
-	sess.switchMu.Unlock()
+	st.switchMu.Lock()
+	notes := st.pending
+	st.pending = st.pending[:0]
+	st.switchMu.Unlock()
+	// Batch encodes queue notices from pipeline workers, so two lanes
+	// switching at the same burst arrive in racy order; sort so the wire
+	// order is deterministic regardless of worker scheduling.
+	slices.SortFunc(notes, func(a, b SwitchNote) int {
+		if a.Burst != b.Burst {
+			return a.Burst - b.Burst
+		}
+		return a.Lane - b.Lane
+	})
 	for _, n := range notes {
-		sess.noticeBuf = appendSwitchNote(sess.noticeBuf[:0], n)
-		putHeader(&sess.hdr, msgSwitch, len(sess.noticeBuf))
-		if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+		c.noticeBuf = appendSwitchNote(c.noticeBuf[:0], n)
+		if err := c.replyHeader(msgSwitch, st.id, len(c.noticeBuf)); err != nil {
 			return err
 		}
-		if _, err := sess.w.Write(sess.noticeBuf); err != nil {
+		if _, err := c.w.Write(c.noticeBuf); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// discard drains an (expected-empty) payload, then runs the reply handler.
-func (sess *session) discard(n int, reply func() error) error {
-	if n > 0 {
-		if _, err := io.CopyN(io.Discard, sess.r, int64(n)); err != nil {
-			return err
-		}
+// replyHeader writes one reply's header, prefixing the payload with the
+// session id on mux connections (the declared length covers the prefix).
+//
+//dbi:hotpath
+func (c *conn) replyHeader(typ byte, sid uint64, payloadLen int) error {
+	if !c.mux {
+		putHeader(&c.hdr, typ, payloadLen)
+		_, err := c.w.Write(c.hdr[:])
+		return err
+	}
+	sn := binary.PutUvarint(c.sidBuf[:], sid)
+	putHeader(&c.hdr, typ, sn+payloadLen)
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(c.sidBuf[:sn])
+	return err
+}
+
+// maybeFlush flushes the write side on single-session connections, whose
+// clients are strictly request/response. Mux connections flush in the
+// message loop instead, only when the read side could block.
+func (c *conn) maybeFlush() error {
+	if c.mux {
+		return nil
+	}
+	return c.w.Flush()
+}
+
+// discardN drains n payload bytes.
+func (c *conn) discardN(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	_, err := io.CopyN(io.Discard, c.r, int64(n))
+	return err
+}
+
+// discardThen drains an (expected-empty) payload, then runs the reply
+// handler.
+func (c *conn) discardThen(n int, reply func() error) error {
+	if err := c.discardN(n); err != nil {
+		return err
 	}
 	return reply()
 }
 
-// fail reports a protocol error to the client; the session ends after it.
-func (sess *session) fail(err error) {
-	putHeader(&sess.hdr, msgError, len(err.Error()))
-	if _, werr := sess.w.Write(sess.hdr[:]); werr != nil {
-		return
+// payload reads a complete n-byte payload into the connection's reusable
+// buffer (valid until the next payload/handleBatch call).
+func (c *conn) payload(n int) ([]byte, error) {
+	if cap(c.batchBuf) < n {
+		c.batchBuf = make([]byte, n)
 	}
-	if _, werr := sess.w.WriteString(err.Error()); werr != nil {
-		return
+	buf := c.batchBuf[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
 	}
-	sess.w.Flush() //nolint:errcheck
+	return buf, nil
+}
+
+// sessFail reports a session-scoped protocol error. On a mux connection the
+// error names the session and the connection survives (returns nil); on a
+// single-session connection the session is the connection, so the error is
+// fatal (returns err for the caller to propagate).
+func (c *conn) sessFail(sid uint64, err error) error {
+	msg := err.Error()
+	if werr := c.replyHeader(msgError, sid, len(msg)); werr != nil {
+		return werr
+	}
+	if _, werr := c.w.WriteString(msg); werr != nil {
+		return werr
+	}
+	if c.mux {
+		return nil
+	}
+	c.w.Flush() //nolint:errcheck
+	return err
+}
+
+// connFail reports a connection-fatal error (session id 0 on mux
+// connections) and returns err for the caller to propagate.
+func (c *conn) connFail(err error) error {
+	msg := err.Error()
+	if werr := c.replyHeader(msgError, 0, len(msg)); werr != nil {
+		return werr
+	}
+	if _, werr := c.w.WriteString(msg); werr != nil {
+		return werr
+	}
+	c.w.Flush() //nolint:errcheck
+	return err
 }
 
 // handleFrame encodes one frame through the session's lane set and answers
@@ -253,48 +652,52 @@ func (sess *session) fail(err error) {
 // payload refills the session's frame in place, LaneSet.TransmitBatch
 // encodes all lanes as one struct-of-arrays batch — word-packed masks,
 // no per-lane wire images at all — and the reply bytes copy straight out
-// of the batch's mask words. No heap allocation per frame.
+// of the batch's mask words. No heap allocation per frame, on either the
+// single-session or the mux path.
 //
 //dbi:hotpath
-func (sess *session) handleFrame(n int) error {
-	if n != len(sess.frameBuf) {
-		err := fmt.Errorf("server: frame payload is %d bytes, session geometry %dx%d needs %d", n, sess.cfg.Lanes, sess.cfg.Beats, len(sess.frameBuf)) //dbi:allow-escape error formatting on a malformed frame, dead in steady state
-		sess.fail(err)
-		return err
+func (c *conn) handleFrame(st *sessState, n int) error {
+	if n != len(st.frameBuf) {
+		err := fmt.Errorf("server: frame payload is %d bytes, session geometry %dx%d needs %d", n, st.cfg.Lanes, st.cfg.Beats, len(st.frameBuf)) //dbi:allow-escape error formatting on a malformed frame, dead in steady state
+		if c.mux {
+			if derr := c.discardN(n); derr != nil {
+				return derr
+			}
+		}
+		return c.sessFail(st.id, err)
 	}
-	if _, err := io.ReadFull(sess.r, sess.frameBuf); err != nil {
+	if _, err := io.ReadFull(c.r, st.frameBuf); err != nil {
 		return err
 	}
 	start := time.Now()
-	sess.accumulateRaw(sess.frame)
-	lb := sess.ls.TransmitBatch(sess.frame)
-	mb := maskBytes(sess.cfg.Beats)
+	st.accumulateRaw(st.frame)
+	lb := st.ls.TransmitBatch(st.frame)
+	mb := maskBytes(st.cfg.Beats)
 	for l := 0; l < lb.Lanes(); l++ {
 		// The protocol's mask layout (beat t → byte t/8, bit t%8) is the
 		// little-endian byte order of the batch's mask words, so each reply
 		// byte is one shift out of a word. Bits past the burst are zero in
 		// the words, so every byte is fully overwritten — no buffer clear.
 		words := lb.MaskWords(l)
-		dst := sess.maskBuf[l*mb : (l+1)*mb]
+		dst := st.maskBuf[l*mb : (l+1)*mb]
 		for k := range dst {
 			dst[k] = byte(words[k>>3] >> ((k & 7) * 8))
 		}
 	}
-	sess.totals.Frames++
-	sess.totals.Beats += sess.cfg.Lanes * sess.cfg.Beats
-	sess.noteDelta(false, 1, sess.cfg.Lanes, sess.cfg.Lanes*sess.cfg.Beats, start)
+	st.totals.Frames++
+	st.totals.Beats += st.cfg.Lanes * st.cfg.Beats
+	st.noteDelta(false, 1, st.cfg.Lanes, st.cfg.Lanes*st.cfg.Beats, start)
 
-	if err := sess.flushSwitches(); err != nil {
+	if err := c.flushSwitches(st); err != nil {
 		return err
 	}
-	putHeader(&sess.hdr, msgMasks, len(sess.maskBuf))
-	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+	if err := c.replyHeader(msgMasks, st.id, len(st.maskBuf)); err != nil {
 		return err
 	}
-	if _, err := sess.w.Write(sess.maskBuf); err != nil {
+	if _, err := c.w.Write(st.maskBuf); err != nil {
 		return err
 	}
-	return sess.w.Flush()
+	return c.maybeFlush()
 }
 
 // rawTee passes frames from a source through unchanged while advancing the
@@ -302,7 +705,7 @@ func (sess *session) handleFrame(n int) error {
 // pipeline pulls frames from a single goroutine in order, so the serial
 // accumulation here sees exactly the lane-continuous burst sequence.
 type rawTee struct {
-	sess          *session
+	st            *sessState
 	src           dbi.FrameSource
 	frames, beats int
 	bursts        int
@@ -314,7 +717,7 @@ func (t *rawTee) NextFrame() (bus.Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.sess.accumulateRaw(f)
+	t.st.accumulateRaw(f)
 	t.frames++
 	for _, b := range f {
 		if len(b) > 0 {
@@ -329,103 +732,102 @@ func (t *rawTee) NextFrame() (bus.Frame, error) {
 // lanes through the sharded pipeline (burst i → lane i%lanes, exactly as
 // trace.FrameReader and dbitrace cost do), and answers with the cumulative
 // session totals. Per-lane state is continuous with any single frames sent
-// before or after: the pipeline runs over the same LaneSet streams.
-func (sess *session) handleBatch(n int) error {
-	if cap(sess.batchBuf) < n {
-		sess.batchBuf = make([]byte, n)
-	}
-	buf := sess.batchBuf[:n]
-	if _, err := io.ReadFull(sess.r, buf); err != nil {
+// before or after: the pipeline runs over the same LaneSet streams. A
+// batch that fails validation before any encoding is session-scoped on mux
+// connections; an encode failure mid-batch leaves the lane state
+// unspecified and is always connection-fatal.
+func (c *conn) handleBatch(st *sessState, n int) error {
+	buf, err := c.payload(n)
+	if err != nil {
 		return err
 	}
 	start := time.Now()
 	tr, err := trace.NewReader(bytes.NewReader(buf))
 	if err != nil {
-		sess.fail(err)
-		return err
+		return c.sessFail(st.id, err)
 	}
-	if tr.Beats() != sess.cfg.Beats {
-		err := fmt.Errorf("server: batch trace has %d beats per burst, session has %d", tr.Beats(), sess.cfg.Beats)
-		sess.fail(err)
-		return err
+	if tr.Beats() != st.cfg.Beats {
+		return c.sessFail(st.id, fmt.Errorf("server: batch trace has %d beats per burst, session has %d", tr.Beats(), st.cfg.Beats))
 	}
-	fr, err := trace.NewFrameReader(tr, sess.cfg.Lanes)
+	fr, err := trace.NewFrameReader(tr, st.cfg.Lanes)
 	if err != nil {
-		sess.fail(err)
-		return err
+		return c.sessFail(st.id, err)
 	}
-	tee := &rawTee{sess: sess, src: fr}
-	if _, err := sess.pipe.RunLanes(tee, sess.ls); err != nil {
-		sess.fail(err)
-		return err
+	tee := &rawTee{st: st, src: fr}
+	if _, err := st.pipe.RunLanes(tee, st.ls); err != nil {
+		return c.connFail(err)
 	}
-	sess.totals.Frames += tee.frames
-	sess.totals.Beats += tee.beats
-	sess.noteDelta(true, tee.frames, tee.bursts, tee.beats, start)
-	return sess.sendTotals()
+	st.totals.Frames += tee.frames
+	st.totals.Beats += tee.beats
+	st.noteDelta(true, tee.frames, tee.bursts, tee.beats, start)
+	return c.sendTotals(st)
 }
 
 // accumulateRaw advances the uncoded baseline over one frame. The raw
 // baseline is the all-plain wire, so every burst — any length — costs
 // through the bit-parallel bus.PlainCost, and the final state is just the
 // last beat driven uninverted.
-func (sess *session) accumulateRaw(f bus.Frame) {
+func (st *sessState) accumulateRaw(f bus.Frame) {
 	for l, b := range f {
-		st := sess.rawStates[l]
-		sess.totals.Raw = sess.totals.Raw.Add(bus.PlainCost(st, b))
+		s := st.rawStates[l]
+		st.totals.Raw = st.totals.Raw.Add(bus.PlainCost(s, b))
 		if len(b) > 0 {
-			st = bus.Advance(st, b[len(b)-1], false)
+			s = bus.Advance(s, b[len(b)-1], false)
 		}
-		sess.rawStates[l] = st
+		st.rawStates[l] = s
 	}
 }
 
 // noteDelta records one encode message's contribution to the server
 // metrics, as the exact difference of the session accumulators.
-func (sess *session) noteDelta(batch bool, frames, bursts, beats int, start time.Time) {
-	coded := sess.ls.TotalCost()
-	codedDelta := Cost{Zeros: coded.Zeros - sess.codedPrev.Zeros, Transitions: coded.Transitions - sess.codedPrev.Transitions}
-	rawDelta := Cost{Zeros: sess.totals.Raw.Zeros - sess.rawPrev.Zeros, Transitions: sess.totals.Raw.Transitions - sess.rawPrev.Transitions}
-	sess.codedPrev = coded
-	sess.rawPrev = sess.totals.Raw
-	sess.srv.metrics.noteEncode(batch, frames, bursts, beats, codedDelta, rawDelta, time.Since(start))
+func (st *sessState) noteDelta(batch bool, frames, bursts, beats int, start time.Time) {
+	coded := st.ls.TotalCost()
+	codedDelta := Cost{Zeros: coded.Zeros - st.codedPrev.Zeros, Transitions: coded.Transitions - st.codedPrev.Transitions}
+	rawDelta := Cost{Zeros: st.totals.Raw.Zeros - st.rawPrev.Zeros, Transitions: st.totals.Raw.Transitions - st.rawPrev.Transitions}
+	st.codedPrev = coded
+	st.rawPrev = st.totals.Raw
+	st.m.noteEncode(batch, frames, bursts, beats, codedDelta, rawDelta, time.Since(start))
 }
 
-// sendTotals answers with the session's cumulative accounting.
-func (sess *session) sendTotals() error {
-	if err := sess.flushSwitches(); err != nil {
+// sendTotals answers with one session's cumulative accounting.
+func (c *conn) sendTotals(st *sessState) error {
+	if err := c.flushSwitches(st); err != nil {
 		return err
 	}
-	sess.totals.Coded = sess.ls.TotalCost()
-	sess.switchMu.Lock()
-	sess.totals.Switches = sess.switches
-	sess.switchMu.Unlock()
-	putTotals(sess.totalsBuf[:], sess.totals)
-	putHeader(&sess.hdr, msgTotalsReply, totalsLen)
-	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+	st.refreshTotals()
+	putTotals(c.totalsBuf[:], st.totals)
+	if err := c.replyHeader(msgTotalsReply, st.id, totalsLen); err != nil {
 		return err
 	}
-	if _, err := sess.w.Write(sess.totalsBuf[:]); err != nil {
+	if _, err := c.w.Write(c.totalsBuf[:]); err != nil {
 		return err
 	}
-	return sess.w.Flush()
+	return c.maybeFlush()
 }
 
-// sendMetrics answers with the server-wide metrics text.
-func (sess *session) sendMetrics() error {
-	if err := sess.flushSwitches(); err != nil {
-		return err
+// sendMetrics answers with the server-wide metrics text. Connection-scoped:
+// the reply carries no session id even on mux connections.
+func (c *conn) sendMetrics() error {
+	if c.single != nil {
+		if err := c.flushSwitches(c.single); err != nil {
+			return err
+		}
+	}
+	for _, st := range c.sessions {
+		if err := c.flushSwitches(st); err != nil {
+			return err
+		}
 	}
 	var buf bytes.Buffer
-	if err := sess.srv.metrics.Snapshot().WriteText(&buf); err != nil {
+	if err := c.srv.metrics.Snapshot().WriteText(&buf); err != nil {
 		return err
 	}
-	putHeader(&sess.hdr, msgMetricsReply, buf.Len())
-	if _, err := sess.w.Write(sess.hdr[:]); err != nil {
+	putHeader(&c.hdr, msgMetricsReply, buf.Len())
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return err
 	}
-	if _, err := sess.w.Write(buf.Bytes()); err != nil {
+	if _, err := c.w.Write(buf.Bytes()); err != nil {
 		return err
 	}
-	return sess.w.Flush()
+	return c.maybeFlush()
 }

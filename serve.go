@@ -16,10 +16,18 @@ type (
 	// ServerConfig configures a Server (address, default scheme, worker
 	// cap, connection cap).
 	ServerConfig = server.Config
-	// Client is one session against a Server: one scheme, one continuous
-	// per-lane wire state. Not safe for concurrent use; open one Client
-	// per concurrent session.
+	// Client is one v2 session against a Server: one scheme, one
+	// continuous per-lane wire state. Not safe for concurrent use; for
+	// concurrency open more clients or multiplex with a MuxClient.
 	Client = server.Client
+	// MuxClient is a protocol-v3 multiplexed connection: thousands of
+	// logical sessions — each with its own scheme, geometry and wire
+	// state — share one socket, opened with Open. Safe for concurrent use.
+	MuxClient = server.MuxClient
+	// MuxSession is one logical session of a MuxClient; it speaks the
+	// same encode surface as Client (EncodeFrame, EncodeBatch, Totals,
+	// Close) and is bit-identical to a dedicated v2 connection.
+	MuxSession = server.MuxSession
 	// SessionConfig is the per-session handshake: scheme name, weights,
 	// bus geometry (lanes × beats), and the optional adaptive-session
 	// request (Adapt, AdaptWindow, AdaptMargin, AdaptCandidates).
@@ -32,8 +40,20 @@ type (
 	// Client.Switches).
 	SessionSwitch = server.SwitchNote
 	// ServerMetrics is the server-wide counter set (bursts, toggles
-	// saved, ns/burst, session lifecycle).
+	// saved, ns/burst, session lifecycle), aggregated from the per-core
+	// shards; WritePrometheus renders it in exposition format.
 	ServerMetrics = server.MetricsSnapshot
+	// LoadConfig parameterizes a load-generator run: connections,
+	// multiplexed sessions per connection, frames, geometry, in-flight
+	// window.
+	LoadConfig = server.LoadConfig
+	// LoadReport is a load run's outcome: throughput plus p50/p90/p95/p99
+	// frame latency from an allocation-free fixed-bucket histogram.
+	LoadReport = server.LoadReport
+	// LatencyHistogram is the fixed-bucket log-linear histogram the load
+	// generator records into (16 sub-buckets per power of two, ~6%
+	// quantile resolution, allocation-free Observe).
+	LatencyHistogram = server.Histogram
 )
 
 // Serve starts a dbiserve instance: it binds cfg.Addr (the zero config
@@ -56,4 +76,21 @@ func Serve(cfg ServerConfig) (*Server, error) {
 // LaneSet with the same scheme: the server is the offline path, served.
 func Dial(addr string, cfg SessionConfig) (*Client, error) {
 	return server.Dial(addr, cfg)
+}
+
+// DialMux opens a protocol-v3 multiplexed connection against a dbiserve
+// instance. def sets the connection's default geometry and weights;
+// sessions are then opened with MuxClient.Open, each bit-identical to a
+// dedicated v2 connection with the same configuration.
+func DialMux(addr string, def SessionConfig) (*MuxClient, error) {
+	return server.DialMux(addr, def)
+}
+
+// RunLoad drives a load-generation run against a dbiserve instance:
+// cfg.Conns multiplexed connections × cfg.SessionsPerConn sessions each,
+// frames pipelined under a bounded in-flight window, every frame's
+// latency recorded allocation-free. See cmd/dbiload for the stand-alone
+// binary and the CI-gated scenarios.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	return server.RunLoad(cfg)
 }
