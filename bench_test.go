@@ -191,6 +191,65 @@ func BenchmarkEncoders(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelEncode measures the compiled kernels' standalone cost path
+// (Kernel.Advance) for every built-in scheme — the accounting step the
+// adaptive shadow chains and the parallel cost drivers run per burst. The
+// narrow 8-beat path stays in registers, so B/op is 0 for every scheme.
+func BenchmarkKernelEncode(b *testing.B) {
+	src := trace.NewUniform(9)
+	workload := make([]dbiopt.Burst, 1024)
+	for i := range workload {
+		workload[i] = dbiopt.Burst(src.Next(dbiopt.BurstLength))
+	}
+	builtins := []string{"RAW", "DC", "AC", "ACDC", "GREEDY", "OPT", "OPT-FIXED", "QUANTISED", "EXHAUSTIVE"}
+	for _, name := range builtins {
+		w := dbi.FixedWeights
+		if name == "QUANTISED" {
+			w = dbi.Weights{Alpha: 3, Beta: 5}
+		}
+		kern, err := dbiopt.CompileScheme(name, w, dbiopt.Geometry{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := dbiopt.InitialLineState
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, prev = kern.Advance(prev, workload[i%len(workload)])
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the one-time cost of the scheme compiler: what
+// a consumer pays per distinct (scheme, weights, geometry) triple. The
+// fresh sub-benchmark compiles an already-constructed encoder every
+// iteration (the uncached worst case); cached hits the LookupKernel memo,
+// the cost every consumer after the first actually sees.
+func BenchmarkCompile(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		enc, err := dbi.Lookup("OPT", dbi.Weights{Alpha: 3, Beta: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if dbi.CompileEncoder(enc, dbi.Geometry{}) == nil {
+				b.Fatal("nil kernel")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k, err := dbiopt.CompileScheme("OPT-FIXED", dbi.FixedWeights, dbiopt.Geometry{})
+			if err != nil || k == nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStream measures streaming encoding through the public API, the
 // steady-state path of a PHY.
 func BenchmarkStream(b *testing.B) {

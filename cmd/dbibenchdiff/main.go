@@ -103,7 +103,7 @@ type loadReport struct {
 // micro benchmarks at a fixed iteration count, the end-to-end pipeline and
 // serving benchmarks at a count that keeps their runtime sane, folded into
 // one comparison input.
-const regenerateNote = "regenerate with: { go test -bench '^(BenchmarkEncoders|BenchmarkStream|BenchmarkAdaptiveStream|BenchmarkLaneBatch|BenchmarkWideMask)$' -benchtime 20000x -count 5 -benchmem -run '^$' . ; go test -bench '^(BenchmarkPipeline|BenchmarkServeBatch)$' -benchtime 100x -count 5 -benchmem -run '^$' . ; } | go run ./cmd/dbibenchdiff -update -baseline bench_baseline.json"
+const regenerateNote = "regenerate with: { go test -bench '^(BenchmarkEncoders|BenchmarkKernelEncode|BenchmarkCompile|BenchmarkStream|BenchmarkAdaptiveStream|BenchmarkLaneBatch|BenchmarkWideMask)$' -benchtime 20000x -count 5 -benchmem -run '^$' . ; go test -bench '^(BenchmarkPipeline|BenchmarkServeBatch)$' -benchtime 100x -count 5 -benchmem -run '^$' . ; } | go run ./cmd/dbibenchdiff -update -baseline bench_baseline.json"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))

@@ -58,10 +58,27 @@ type (
 	InvMask = bus.InvMask
 	// Encoder is a DBI coding policy.
 	Encoder = dbi.Encoder
+	// Kernel is a coding scheme compiled against one weight vector and one
+	// bus geometry: every encode decision — integer-vs-float trellis,
+	// scaled coefficients, mask routing, batch kernels — frozen once at
+	// compile time into directly callable function values. Kernels are
+	// immutable and safe to share; CompileScheme produces them, and every
+	// consumer (Stream, LaneSet, Pipeline, the serving tier) binds one
+	// internally. This is the package's one compiled capability surface:
+	// any registered scheme, built-in or third-party, compiles to a total
+	// Kernel.
+	Kernel = dbi.Kernel
+	// Geometry is the advisory bus shape a Kernel is compiled for (expected
+	// beats per burst, lanes per frame); the zero value compiles the fully
+	// general kernel.
+	Geometry = dbi.Geometry
 	// MaskEncoder is the bit-parallel fast path of an Encoder: EncodeMask
-	// returns the inversion pattern packed into an InvMask. Every built-in
-	// scheme implements it; Stream and the parallel drivers use it
-	// automatically.
+	// returns the inversion pattern packed into an InvMask.
+	//
+	// Deprecated: probe-style fast-path interfaces are superseded by the
+	// compiled Kernel surface — CompileScheme resolves the fastest paths
+	// once instead of per call site, and is total over the registry. The
+	// alias remains for compatibility; new code should not type-assert it.
 	MaskEncoder = dbi.MaskEncoder
 	// WideMask is a multi-word packed inversion pattern — one bit per beat,
 	// 64 beats per word — extending the InvMask representation to bursts of
@@ -70,8 +87,11 @@ type (
 	WideMask = bus.WideMask
 	// WideMaskEncoder is the multi-word fast path of an Encoder:
 	// EncodeMaskWords fills a caller-provided zeroed word slice (one bit per
-	// beat) for bursts past MaxMaskBeats. Every built-in scheme implements
-	// it; Stream and the parallel drivers use it automatically.
+	// beat) for bursts past MaxMaskBeats.
+	//
+	// Deprecated: superseded by the compiled Kernel surface (see
+	// MaskEncoder's note); Kernel.EncodeMaskWords is the compiled form.
+	// The alias remains for compatibility.
 	WideMaskEncoder = dbi.WideMaskEncoder
 	// LaneBatch is the struct-of-arrays encode state of one frame: all
 	// lanes' prior states, payload bytes, word-packed masks, exact costs and
@@ -175,6 +195,22 @@ func OptQuantized(alpha, beta uint8) (Encoder, error) { return dbi.NewQuantized(
 // "EXHAUSTIVE", and RegisterScheme can add more. Weighted schemes validate
 // and use w; the others ignore it.
 func NewEncoder(name string, w Weights) (Encoder, error) { return dbi.Lookup(name, w) }
+
+// CompileScheme compiles a registered scheme against one weight vector and
+// one bus geometry and returns its Kernel, cached per triple for stateless
+// schemes. Every decision the per-burst hot paths used to make — scheme
+// kind, integer-vs-float trellis, scaled coefficients, greedy thresholds,
+// narrow-vs-wide mask routing — happens here, once. Third-party schemes
+// added with RegisterScheme compile too (through the generic fallback that
+// binds whatever fast paths they implement), so the compiled surface is
+// total over the registry:
+//
+//	kern, err := dbiopt.CompileScheme("OPT-FIXED", dbiopt.Weights{}, dbiopt.Geometry{Lanes: 4})
+//	if err != nil { ... }
+//	ls := kern.NewLaneSet(4) // lanes share the compiled kernel
+func CompileScheme(name string, w Weights, geom Geometry) (*Kernel, error) {
+	return dbi.LookupKernel(name, w, geom)
+}
 
 // RegisterScheme adds a named scheme factory to the registry, making it
 // constructible through NewEncoder and selectable via the CLIs' -scheme

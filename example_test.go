@@ -73,6 +73,44 @@ func ExampleNewPipeline() {
 	// Output: true
 }
 
+// oddInvert is ExampleCompileScheme's third-party scheme: invert every
+// odd-numbered beat, unconditionally. It implements only the base Encoder
+// interface — no mask fast paths — yet still compiles to a total Kernel.
+type oddInvert struct{}
+
+func (oddInvert) Name() string { return "ODD-INVERT" }
+
+func (o oddInvert) Encode(prev dbiopt.LineState, b dbiopt.Burst) []bool {
+	return o.EncodeInto(nil, prev, b)
+}
+
+func (oddInvert) EncodeInto(dst []bool, prev dbiopt.LineState, b dbiopt.Burst) []bool {
+	for t := range b {
+		dst = append(dst, t%2 == 1)
+	}
+	return dst
+}
+
+// ExampleCompileScheme registers a third-party scheme and compiles it: the
+// Kernel surface is total over the registry, so a scheme added with
+// RegisterScheme gets the same compiled consumers (Stream, LaneSet,
+// Pipeline, the serving tier) as the built-ins, with its fastest
+// implemented paths bound once at compile time.
+func ExampleCompileScheme() {
+	dbiopt.RegisterScheme("ODD-INVERT", func(w dbiopt.Weights) (dbiopt.Encoder, error) {
+		return oddInvert{}, nil
+	})
+	kern, err := dbiopt.CompileScheme("ODD-INVERT", dbiopt.Weights{Alpha: 1, Beta: 1}, dbiopt.Geometry{})
+	if err != nil {
+		panic(err)
+	}
+	st := kern.NewStream()
+	b := dbiopt.Burst{0x8E, 0x86, 0x96, 0xE9}
+	wire := st.Transmit(b)
+	fmt.Println(dbiopt.Decode(wire).Equal(b), st.TotalCost() == dbiopt.CostOf(oddInvert{}, dbiopt.InitialLineState, b))
+	// Output: true true
+}
+
 // ExampleNewStream carries wire state across consecutive bursts, as the
 // PHY of a real memory controller does.
 func ExampleNewStream() {

@@ -154,21 +154,19 @@ func (cfg Config) Validate() error {
 	return nil
 }
 
-// candidate is one scheme's shadow lane: the encoder, the line state its
-// chain has reached since the last switch point, its trailing-window cost,
-// and reusable encode scratch. menc and wenc cache the encoder's
-// bit-parallel fast paths — single-word and multi-word — so shadow encodes
-// run mask-native (packed pattern, table-driven cost) at any burst length,
-// with the []bool scratch kept only for schemes the fast paths decline.
+// candidate is one scheme's shadow lane: the scheme pre-compiled to its
+// kernel, the line state its chain has reached since the last switch
+// point, and its trailing-window cost. The kernel replaces the old
+// per-candidate interface probes and encode scratch wholesale: shadow
+// encodes run through Kernel.Advance (mask-native at any burst length,
+// pooled scratch only on the wide and []bool paths), and a switch binds
+// the new live kernel with no recompilation — every candidate was
+// compiled at construction.
 type candidate struct {
 	name  string
-	enc   dbi.Encoder
-	menc  dbi.MaskEncoder     // nil when enc has no single-word fast path
-	wenc  dbi.WideMaskEncoder // nil when enc has no multi-word fast path
+	kern  *dbi.Kernel
 	state bus.LineState
 	win   bus.Cost
-	inv   []bool
-	wmask bus.WideMask
 }
 
 // Controller is the windowed online scheme selector for one lane. It
@@ -193,13 +191,11 @@ func New(cfg Config) (*Controller, error) {
 	}
 	c := &Controller{cfg: cfg, cands: make([]candidate, len(cfg.Candidates))}
 	for i, name := range cfg.Candidates {
-		enc, err := dbi.Lookup(name, cfg.Weights)
+		kern, err := dbi.LookupKernel(name, cfg.Weights, dbi.Geometry{})
 		if err != nil {
 			return nil, fmt.Errorf("adapt: candidate: %w", err)
 		}
-		me, _ := enc.(dbi.MaskEncoder)
-		we, _ := enc.(dbi.WideMaskEncoder)
-		c.cands[i] = candidate{name: name, enc: enc, menc: me, wenc: we, state: bus.InitialLineState}
+		c.cands[i] = candidate{name: name, kern: kern, state: bus.InitialLineState}
 	}
 	return c, nil
 }
@@ -226,7 +222,13 @@ func Factory(cfg Config) (func(lane int) dbi.Adapter, error) {
 }
 
 // Current implements dbi.Adapter: the live scheme.
-func (c *Controller) Current() dbi.Encoder { return c.cands[c.live].enc }
+func (c *Controller) Current() dbi.Encoder { return c.cands[c.live].kern.Encoder() }
+
+// CurrentKernel implements dbi.KernelAdapter: the live scheme's compiled
+// kernel, bound at construction. Adaptive streams encode through it
+// directly, so a switch costs nothing but the pointer swap decide already
+// performed.
+func (c *Controller) CurrentKernel() *dbi.Kernel { return c.cands[c.live].kern }
 
 // Scheme returns the registry name of the live scheme.
 func (c *Controller) Scheme() string { return c.cands[c.live].name }
@@ -272,30 +274,11 @@ func (c *Controller) Observe(b bus.Burst, cost bus.Cost, next bus.LineState) {
 			cd.state = next
 			continue
 		}
-		// Mask-native shadow encode: pattern, cost and post-burst state all
-		// come from the packed representation, no per-beat walk — single
-		// word within bus.MaxMaskBeats, word-packed wide beyond.
-		if cd.menc != nil && len(b) <= bus.MaxMaskBeats {
-			if m, ok := cd.menc.EncodeMask(cd.state, b); ok {
-				cd.win = cd.win.Add(bus.MaskCost(cd.state, b, m))
-				cd.state = bus.MaskFinalState(cd.state, b, m)
-				continue
-			}
-		}
-		if cd.wenc != nil {
-			cd.wmask.Reset(len(b)) //dbi:allow-escape wide-mask spill growth past the inline bound, amortized across bursts
-			if cd.wenc.EncodeMaskWords(cd.state, b, cd.wmask.Words()) {
-				cd.win = cd.win.Add(bus.MaskWordsCost(cd.state, b, cd.wmask.Words()))
-				cd.state = bus.MaskWordsFinalState(cd.state, b, cd.wmask.Words())
-				continue
-			}
-		}
-		cd.inv = cd.enc.EncodeInto(cd.inv[:0], cd.state, b)
-		st := cd.state
-		for t, v := range b {
-			cd.win = cd.win.Add(bus.BeatCost(st, v, cd.inv[t]))
-			st = bus.Advance(st, v, cd.inv[t])
-		}
+		// Compiled shadow encode: the candidate's kernel advances its chain
+		// in one call — pattern, cost and post-burst state all from the
+		// packed representation, routing decided at compile time.
+		sc, st := cd.kern.Advance(cd.state, b)
+		cd.win = cd.win.Add(sc)
 		cd.state = st
 	}
 	c.bursts++

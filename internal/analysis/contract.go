@@ -32,6 +32,13 @@ type ContractConfig struct {
 	// (calls RegistryIter), every registered scheme counts as fuzz-covered.
 	FuzzFunc     string
 	RegistryIter string
+	// KernelFuzzFile and KernelFuzzFunc name the kernel-equivalence fuzz
+	// target — the compiled-kernel analog of FuzzFunc. Every scheme must be
+	// pinned kernel-vs-EncodeInto, either by direct reference in the file or
+	// through a registry sweep in the target's body. Empty KernelFuzzFunc
+	// disables the clause (fixtures predating the kernel surface).
+	KernelFuzzFile string
+	KernelFuzzFunc string
 	// Allow lists scheme type names exempt from the whole contract —
 	// stateful wrappers like Noisy that deliberately have no mask fast
 	// path and no registry entry.
@@ -39,19 +46,22 @@ type ContractConfig struct {
 }
 
 // DefaultContract is the repo's scheme contract: every Encoder in
-// internal/dbi implements MaskEncoder, registers itself, and is pinned by
-// golden_test.go and FuzzMaskEquivalence; *Noisy (stateful analog-noise
-// wrapper) is the one allowed exception.
+// internal/dbi implements MaskEncoder, registers itself, is pinned by
+// golden_test.go and FuzzMaskEquivalence, and has its compiled Kernel pinned
+// against the EncodeInto oracle by FuzzKernelEquivalence; *Noisy (stateful
+// analog-noise wrapper) is the one allowed exception.
 var DefaultContract = ContractConfig{
-	PackagePath:  "dbiopt/internal/dbi",
-	Encoder:      "Encoder",
-	MaskEncoder:  "MaskEncoder",
-	RegisterFunc: "Register",
-	GoldenFile:   "golden_test.go",
-	FuzzFile:     "fuzz_test.go",
-	FuzzFunc:     "FuzzMaskEquivalence",
-	RegistryIter: "Names",
-	Allow:        []string{"Noisy"},
+	PackagePath:    "dbiopt/internal/dbi",
+	Encoder:        "Encoder",
+	MaskEncoder:    "MaskEncoder",
+	RegisterFunc:   "Register",
+	GoldenFile:     "golden_test.go",
+	FuzzFile:       "fuzz_test.go",
+	FuzzFunc:       "FuzzMaskEquivalence",
+	RegistryIter:   "Names",
+	KernelFuzzFile: "kernel_test.go",
+	KernelFuzzFunc: "FuzzKernelEquivalence",
+	Allow:          []string{"Noisy"},
 }
 
 // Contract type-checks the scheme package and enforces the scheme
@@ -125,7 +135,13 @@ func Contract(t *Tree, cfg ContractConfig) ([]Diagnostic, error) {
 	registered := registeredSchemes(t, d, l, cfg, schemes)
 	goldenRefs := fileTypeRefs(d, cfg.GoldenFile, schemes, ctorsOf)
 	fuzzRefs := fileTypeRefs(d, cfg.FuzzFile, schemes, ctorsOf)
-	fuzzIterates := fuzzIteratesRegistry(d, cfg)
+	fuzzIterates := fuzzIteratesRegistry(d, cfg.FuzzFile, cfg.FuzzFunc, cfg.RegistryIter)
+	var kernelRefs map[*types.TypeName]bool
+	kernelIterates := false
+	if cfg.KernelFuzzFunc != "" {
+		kernelRefs = fileTypeRefs(d, cfg.KernelFuzzFile, schemes, ctorsOf)
+		kernelIterates = fuzzIteratesRegistry(d, cfg.KernelFuzzFile, cfg.KernelFuzzFunc, cfg.RegistryIter)
+	}
 
 	var diags []Diagnostic
 	for _, s := range schemes {
@@ -156,6 +172,12 @@ func Contract(t *Tree, cfg ContractConfig) ([]Diagnostic, error) {
 			diags = append(diags, Diagnostic{
 				File: file, Line: line, Analyzer: "contract",
 				Message: fmt.Sprintf("%s is not covered by %s in %s: reference it there or register it so the registry sweep reaches it", s.Name(), cfg.FuzzFunc, cfg.FuzzFile),
+			})
+		}
+		if cfg.KernelFuzzFunc != "" && !kernelRefs[s] && !(kernelIterates && registered[s]) {
+			diags = append(diags, Diagnostic{
+				File: file, Line: line, Analyzer: "contract",
+				Message: fmt.Sprintf("%s is not covered by %s in %s: every scheme's compiled kernel must be pinned against its EncodeInto oracle (reference it there or register it so the registry sweep reaches it)", s.Name(), cfg.KernelFuzzFunc, cfg.KernelFuzzFile),
 			})
 		}
 	}
@@ -297,22 +319,22 @@ func fileTypeRefs(d *Dir, fileName string, schemes []*types.TypeName, ctorsOf ma
 	return refs
 }
 
-// fuzzIteratesRegistry reports whether the fuzz target's body calls the
-// registry iterator, which makes the fuzz sweep cover every registered
+// fuzzIteratesRegistry reports whether the named fuzz target's body calls
+// the registry iterator, which makes the fuzz sweep cover every registered
 // scheme automatically.
-func fuzzIteratesRegistry(d *Dir, cfg ContractConfig) bool {
+func fuzzIteratesRegistry(d *Dir, fileName, funcName, iter string) bool {
 	for _, f := range d.Files {
-		if !(strings.HasSuffix(f.Rel, "/"+cfg.FuzzFile) || f.Rel == cfg.FuzzFile) {
+		if !(strings.HasSuffix(f.Rel, "/"+fileName) || f.Rel == fileName) {
 			continue
 		}
 		for _, decl := range f.Ast.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Name.Name != cfg.FuzzFunc || fd.Body == nil {
+			if !ok || fd.Name.Name != funcName || fd.Body == nil {
 				continue
 			}
 			found := false
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == cfg.RegistryIter {
+				if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == iter {
 					found = true
 				}
 				return !found

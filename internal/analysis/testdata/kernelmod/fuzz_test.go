@@ -1,0 +1,16 @@
+package kernelmod
+
+import "testing"
+
+// FuzzMaskEquivalence sweeps the registry, so every registered scheme is
+// mask-fuzz-covered without being named here.
+func FuzzMaskEquivalence(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range Names() {
+			enc := registry[name]()
+			if me, ok := enc.(MaskEncoder); ok {
+				me.EncodeMask(data)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module kernelmod
+
+go 1.23

@@ -152,61 +152,17 @@ func batchEncoderOf(enc Encoder) BatchEncoder {
 }
 
 // EncodeLaneBatch encodes every lane of a prepared batch with enc and
-// settles the per-lane costs and next states from the resulting masks:
-// natively when enc implements BatchEncoder and accepts the batch, else
-// lane by lane through the fastest path enc offers (single-word mask, wide
-// mask, then []bool). The results are bit-identical to encoding each lane
-// with its own Stream — the contract TestLaneBatchMatchesSerial pins.
+// settles the per-lane costs and next states from the resulting masks. It
+// is Kernel.EncodeBatch behind a compile-on-demand cache: enc compiles
+// once (per comparable stateless encoder value) and every decision — the
+// frame-level fast path, the per-lane mask routing — is the kernel's. The
+// results are bit-identical to encoding each lane with its own Stream —
+// the contract TestLaneBatchMatchesSerial pins. Callers holding a *Kernel
+// should call its EncodeBatch directly.
 //
 //dbi:hotpath
 func EncodeLaneBatch(enc Encoder, lb *LaneBatch) {
-	if be := batchEncoderOf(enc); be == nil || !be.EncodeBatch(lb) {
-		encodeBatchGeneric(enc, lb)
-	}
-	if lb.settled {
-		// The encode kernel produced the costs and final states in its own
-		// pass (the fused single-sweep schemes); nothing left to settle.
-		return
-	}
-	for l := 0; l < lb.lanes; l++ {
-		b := lb.Lane(l)
-		words := lb.MaskWords(l)
-		lb.costs[l] = bus.MaskWordsCost(lb.prev[l], b, words)
-		lb.next[l] = bus.MaskWordsFinalState(lb.prev[l], b, words)
-	}
-}
-
-// encodeBatchGeneric is the per-lane fallback driver: each lane runs enc's
-// fastest applicable path directly over the batch arrays. Lanes are visited
-// in lane order, so even order-sensitive encoders (*Noisy consumes its RNG
-// per beat, per lane) see exactly the serial LaneSet.Transmit sequence.
-//
-//dbi:hotpath
-func encodeBatchGeneric(enc Encoder, lb *LaneBatch) {
-	me := maskEncoderOf(enc)
-	we := wideMaskEncoderOf(enc)
-	narrow := lb.beats <= bus.MaxMaskBeats
-	for l := 0; l < lb.lanes; l++ {
-		b := lb.Lane(l)
-		words := lb.MaskWords(l)
-		if me != nil && narrow {
-			if m, ok := me.EncodeMask(lb.prev[l], b); ok {
-				if len(words) > 0 {
-					words[0] = uint64(m) & (^uint64(0) >> (64 - len(b)))
-				}
-				continue
-			}
-		}
-		if we != nil && we.EncodeMaskWords(lb.prev[l], b, words) {
-			continue
-		}
-		lb.inv = enc.EncodeInto(lb.inv[:0], lb.prev[l], b)
-		for t, f := range lb.inv {
-			if f {
-				words[t>>6] |= 1 << (t & 63)
-			}
-		}
-	}
+	kernelOf(enc).EncodeBatch(lb)
 }
 
 // EncodeBatch implements BatchEncoder: RAW inverts nothing, and the mask
@@ -383,8 +339,30 @@ func (g Greedy) EncodeBatch(lb *LaneBatch) bool {
 	if !ok {
 		return false
 	}
-	greedyBatch(lb, ia, ib)
+	thr := greedyThresholds(ia, ib)
+	greedyBatch(lb, ia, ib, &thr)
 	return true
+}
+
+// greedyThresholds precomputes the greedy invert decision as a threshold
+// table: thr[pv] is the least wire-domain distance-plus-settle u at which
+// inverting a beat of payload popcount pv becomes cheaper, i.e. the least u
+// with ia*(9-2u) < ib*(7-2pv) (10 — past any reachable u — when inverting
+// never wins). The compiled greedy kernel freezes this table per weight
+// vector so its inner loop replaces two weighted products with one
+// small-table compare.
+func greedyThresholds(ia, ib int64) [9]int64 {
+	var thr [9]int64
+	for pv := int64(0); pv <= 8; pv++ {
+		thr[pv] = 10
+		for u := int64(0); u <= 9; u++ {
+			if ia*(9-2*u) < ib*(7-2*pv) {
+				thr[pv] = u
+				break
+			}
+		}
+	}
+	return thr
 }
 
 // greedyBatch is the eight-lane interleaved form of greedyMaskWords. The
@@ -394,22 +372,12 @@ func (g Greedy) EncodeBatch(lb *LaneBatch) bool {
 // previous DBI level folds into the cost terms as p in {0,1}: the plain
 // wire-domain distance is u = y + p*(9-2y) transitions-plus-settle, and the
 // invert decision flipped < plain reduces to ia*(9-2u) < ib*(7-2pv) — for
-// fixed weights a pure threshold on u per payload popcount, precomputed
-// into thr so the inner loop replaces the two weighted products with one
-// small-table compare.
+// fixed weights a pure threshold on u per payload popcount (see
+// greedyThresholds), so the inner loop replaces the two weighted products
+// with one small-table compare.
 //
 //dbi:hotpath
-func greedyBatch(lb *LaneBatch, ia, ib int64) {
-	var thr [9]int64 // thr[pv] = least u that makes inverting cheaper
-	for pv := int64(0); pv <= 8; pv++ {
-		thr[pv] = 10 // past any reachable u: never invert
-		for u := int64(0); u <= 9; u++ {
-			if ia*(9-2*u) < ib*(7-2*pv) {
-				thr[pv] = u
-				break
-			}
-		}
-	}
+func greedyBatch(lb *LaneBatch, ia, ib int64, thr *[9]int64) {
 	beats, wpl := lb.beats, lb.wpl
 	l := 0
 	for ; l+8 <= lb.lanes; l += 8 {

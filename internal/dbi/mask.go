@@ -398,7 +398,17 @@ func (e Exhaustive) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bo
 	if !ok {
 		return 0, false
 	}
+	return exhaustiveMask(prev, b, ia, ib), true
+}
 
+// exhaustiveMask is the Gray-code scan proper, shared by the interface
+// method above and the compiled kernel (which integerizes the weights once
+// at compile time instead of per call). The caller guarantees
+// 0 < len(b) <= MaxExhaustiveBeats and exact integer coefficients.
+//
+//dbi:hotpath
+func exhaustiveMask(prev bus.LineState, b bus.Burst, ia, ib int64) bus.InvMask {
+	n := len(b)
 	var first [2]int64
 	var edge [MaxExhaustiveBeats][4]int64
 	pv := int64(bus.Ones(b[0]))
@@ -450,5 +460,5 @@ func (e Exhaustive) EncodeMask(prev bus.LineState, b bus.Burst) (bus.InvMask, bo
 			best, bestMask = cur, mask
 		}
 	}
-	return bus.InvMask(bestMask), true
+	return bus.InvMask(bestMask)
 }

@@ -25,50 +25,17 @@ func Stateless(enc Encoder) bool {
 	return true
 }
 
-// encodeScratch is the reusable per-goroutine encode state of the parallel
-// drivers: one inversion-pattern buffer, one wire image and one wide mask,
-// recycled across bursts so the per-burst cost evaluation performs zero
-// heap allocations in steady state. The fast paths never touch the bool
-// buffers at all: encoders with a bit-parallel mask path cost the burst
-// straight from the packed pattern, single-word or wide.
-type encodeScratch struct {
-	inv   []bool
-	wire  bus.Wire
-	wmask bus.WideMask
-}
-
-// costOf computes the exact from-prev activity counts of encoding b with
-// enc: mask-native when enc has a fast path for the burst — single-word
-// within bus.MaxMaskBeats, word-packed wide beyond — else through the
-// scratch buffers.
-//
-//dbi:hotpath
-func (sc *encodeScratch) costOf(enc Encoder, prev bus.LineState, b bus.Burst) bus.Cost {
-	if len(b) <= bus.MaxMaskBeats {
-		if m, ok := EncodeMaskOf(enc, prev, b); ok {
-			return bus.MaskCost(prev, b, m)
-		}
-	}
-	if we := wideMaskEncoderOf(enc); we != nil {
-		sc.wmask.Reset(len(b)) //dbi:allow-escape wide-mask spill growth past the inline bound, amortized across bursts
-		if we.EncodeMaskWords(prev, b, sc.wmask.Words()) {
-			return bus.MaskWordsCost(prev, b, sc.wmask.Words())
-		}
-	}
-	sc.inv = enc.EncodeInto(sc.inv[:0], prev, b)
-	sc.wire.Fill(b, sc.inv)
-	return sc.wire.Cost(prev)
-}
-
 // TotalCost sums the exact wire activity of encoding every burst
 // independently from the idle state — the aggregation all per-burst
 // experiments reduce to. Because the counts are integers, the result is
-// identical regardless of evaluation order.
+// identical regardless of evaluation order. enc compiles to its kernel
+// once; the per-burst evaluation is Kernel.Cost, mask-native and
+// allocation-free for every scheme with a packed fast path.
 func TotalCost(enc Encoder, bursts []bus.Burst) bus.Cost {
-	var sc encodeScratch
+	k := kernelOf(enc)
 	var total bus.Cost
 	for _, b := range bursts {
-		total = total.Add(sc.costOf(enc, bus.InitialLineState, b))
+		total = total.Add(k.Cost(bus.InitialLineState, b))
 	}
 	return total
 }
@@ -132,12 +99,14 @@ func ParallelTotalCost(enc Encoder, bursts []bus.Burst, workers int) bus.Cost {
 // selects GOMAXPROCS.
 func ParallelCosts(enc Encoder, bursts []bus.Burst, workers int) []bus.Cost {
 	out := make([]bus.Cost, len(bursts))
-	// Each contiguous range gets its own encode scratch, so workers never
-	// contend and the per-burst evaluation stays allocation-free.
+	// The kernel is immutable, so every range shares one compiled instance;
+	// per-burst scratch (wide and fallback paths only) is pooled inside
+	// Kernel.Cost, so workers never contend and the evaluation stays
+	// allocation-free in steady state.
+	k := kernelOf(enc)
 	fill := func(lo, hi int) {
-		var sc encodeScratch
 		for i := lo; i < hi; i++ {
-			out[i] = sc.costOf(enc, bus.InitialLineState, bursts[i])
+			out[i] = k.Cost(bus.InitialLineState, bursts[i])
 		}
 	}
 	if !Stateless(enc) {

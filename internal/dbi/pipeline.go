@@ -61,6 +61,7 @@ const DefaultChunkFrames = 64
 // for every encoder in this package, *Noisy included.
 type Pipeline struct {
 	enc     Encoder
+	kern    *Kernel // enc compiled for the pipeline's lane geometry
 	lanes   int
 	workers int
 	chunk   int
@@ -92,7 +93,15 @@ func NewPipeline(enc Encoder, lanes int, opts ...PipelineOption) *Pipeline {
 	if lanes <= 0 {
 		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", lanes))
 	}
-	p := &Pipeline{enc: enc, lanes: lanes}
+	return newPipelineKernel(CompileEncoder(enc, Geometry{Lanes: lanes}), lanes, opts...)
+}
+
+// newPipelineKernel builds a pipeline around an already-compiled kernel.
+func newPipelineKernel(k *Kernel, lanes int, opts ...PipelineOption) *Pipeline {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", lanes))
+	}
+	p := &Pipeline{enc: k.enc, kern: k, lanes: lanes}
 	for _, opt := range opts {
 		opt(p)
 	}
@@ -150,14 +159,14 @@ type PipelineResult struct {
 func (p *Pipeline) Run(src FrameSource) (*PipelineResult, error) {
 	streams := make([]*Stream, p.lanes)
 	for i := range streams {
-		streams[i] = NewStream(p.enc)
+		streams[i] = p.kern.NewStream()
 	}
 	var frames int
 	var err error
-	if workers := p.Workers(); workers <= 1 || !Stateless(p.enc) {
+	if workers := p.Workers(); workers <= 1 || !p.kern.stateless {
 		frames, err = p.runSerial(src, streams)
 	} else {
-		frames, err = p.runSharded(src, streams, p.enc, workers)
+		frames, err = p.runSharded(src, streams, p.kern, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -195,10 +204,10 @@ func (p *Pipeline) RunLanes(src FrameSource, ls *LaneSet) (int, error) {
 	if workers <= 1 || !ls.shardable() {
 		return p.runSerial(src, ls.lanes)
 	}
-	// ls.enc is nil for adaptive lane sets, which routes every frame
+	// ls.kern is nil for adaptive lane sets, which routes every frame
 	// through the per-lane path inside the workers — adapters must observe
 	// their own lane's bursts one at a time.
-	return p.runSharded(src, ls.lanes, ls.enc, workers)
+	return p.runSharded(src, ls.lanes, ls.kern, workers)
 }
 
 // checkFrame validates one frame's geometry against the pipeline.
@@ -242,21 +251,21 @@ type frameBatch struct {
 
 // shardWorker drains one worker's chunk channel, transmitting every frame's
 // bursts on the worker's contiguous lane range [lo, hi) and recycling fully
-// consumed batches through the free list. With a uniform stateless policy
-// (enc non-nil) each frame's lane range encodes as one struct-of-arrays
-// LaneBatch — no per-lane interface dispatch, no wire images — through a
-// batch recycled in laneBatchPool across runs; adaptive lane sets (enc
-// nil) and ragged frames fall back to per-lane Transmit. This is the
-// sharded pipeline's steady-state loop: per chunk it must allocate
-// nothing, which the escape gate pins.
+// consumed batches through the free list. With a uniform compiled policy
+// (k non-nil) each frame's lane range encodes as one struct-of-arrays
+// LaneBatch — no per-lane dispatch, no wire images — through a batch
+// recycled in laneBatchPool across runs; adaptive lane sets (k nil) and
+// ragged frames fall back to per-lane Transmit. This is the sharded
+// pipeline's steady-state loop: per chunk it must allocate nothing, which
+// the escape gate pins.
 //
 //dbi:hotpath
-func shardWorker(enc Encoder, streams []*Stream, lo, hi int, ch <-chan *frameBatch, free chan<- *frameBatch) {
+func shardWorker(k *Kernel, streams []*Stream, lo, hi int, ch <-chan *frameBatch, free chan<- *frameBatch) {
 	lb := getLaneBatch()
 	defer putLaneBatch(lb)
 	for batch := range ch {
 		for _, f := range batch.frames {
-			if enc != nil && transmitBatch(enc, streams, f, lo, hi, lb) {
+			if k != nil && transmitBatch(k, streams, f, lo, hi, lb) {
 				continue
 			}
 			for i := lo; i < hi; i++ {
@@ -281,7 +290,7 @@ func shardWorker(enc Encoder, streams []*Stream, lo, hi int, ch <-chan *frameBat
 // channel, so each lane's stream still sees its bursts in source order.
 // Chunk buffers are recycled through a refcounted free list, so a
 // steady-state run allocates nothing per chunk.
-func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, enc Encoder, workers int) (int, error) {
+func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, k *Kernel, workers int) (int, error) {
 	chunkFrames := p.ChunkFrames()
 	chans := make([]chan *frameBatch, workers)
 	// At most workers*(cap+1)+1 batches can be in flight (queued, being
@@ -299,7 +308,7 @@ func (p *Pipeline) runSharded(src FrameSource, streams []*Stream, enc Encoder, w
 		wg.Add(1)
 		go func(lo, hi int, ch <-chan *frameBatch) {
 			defer wg.Done()
-			shardWorker(enc, streams, lo, hi, ch, free)
+			shardWorker(k, streams, lo, hi, ch, free)
 		}(lo, hi, ch)
 	}
 

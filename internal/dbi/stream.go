@@ -34,6 +34,19 @@ type Adapter interface {
 	Shardable() bool
 }
 
+// KernelAdapter is an Adapter that holds pre-compiled kernels for its
+// candidate schemes. Streams detect it once at construction: each burst
+// then binds the live kernel directly, with no per-burst interface probing
+// and no recompilation on switch (internal/adapt's controller implements
+// this). Plain Adapters still work — the stream compiles on demand and
+// re-compiles only when the live encoder changes.
+type KernelAdapter interface {
+	Adapter
+	// CurrentKernel returns the compiled form of Current. The two must
+	// agree between Observe calls.
+	CurrentKernel() *Kernel
+}
+
 // Stream wraps an Encoder with the persistent per-lane line state a real
 // PHY maintains: the wires do not reset between bursts, so the encoding of
 // each burst starts from the final wire state of the previous one. Stream
@@ -43,13 +56,17 @@ type Adapter interface {
 // Stream owns reusable encode scratch, so steady-state Transmit performs
 // zero heap allocations for every stateless scheme.
 type Stream struct {
-	enc     Encoder
-	menc    MaskEncoder     // enc's single-word fast path; nil when absent
-	wenc    WideMaskEncoder // enc's multi-word fast path; nil when absent
-	adapter Adapter         // nil for fixed-scheme streams
-	state   bus.LineState
-	total   bus.Cost
-	beats   int
+	// kern is the compiled form of the stream's scheme: every encode
+	// decision (mask routing, trellis flavour, coefficients) was made once
+	// at compile time, so Transmit is dispatch-free. For adaptive streams
+	// it caches the most recently used kernel (nil until first use when the
+	// adapter is a KernelAdapter, which supplies kernels itself).
+	kern     *Kernel
+	adapter  Adapter       // nil for fixed-scheme streams
+	kadapter KernelAdapter // adapter's compiled view, when it has one
+	state    bus.LineState
+	total    bus.Cost
+	beats    int
 	// inv, wire and wmask are reusable scratch: the inversion pattern of
 	// the current burst and the wire image built from it. They grow to the
 	// largest burst seen and are then recycled on every Transmit. inv is
@@ -61,15 +78,16 @@ type Stream struct {
 }
 
 // NewStream returns a streaming encoder starting from the idle (all-ones)
-// line state.
+// line state. The encoder compiles to a Kernel here, once; use
+// Kernel.NewStream to share one compiled kernel across many streams.
 func NewStream(enc Encoder) *Stream {
-	return &Stream{enc: enc, menc: maskEncoderOf(enc), wenc: wideMaskEncoderOf(enc), state: bus.InitialLineState}
+	return &Stream{kern: kernelOf(enc), state: bus.InitialLineState}
 }
 
 // NewStreamFrom returns a streaming encoder starting from an explicit line
 // state.
 func NewStreamFrom(enc Encoder, state bus.LineState) *Stream {
-	return &Stream{enc: enc, menc: maskEncoderOf(enc), wenc: wideMaskEncoderOf(enc), state: state}
+	return &Stream{kern: kernelOf(enc), state: state}
 }
 
 // NewAdaptiveStream returns a streaming encoder whose scheme is chosen
@@ -82,7 +100,13 @@ func NewAdaptiveStream(a Adapter) *Stream {
 	if a == nil {
 		panic("dbi: NewAdaptiveStream with nil adapter")
 	}
-	return &Stream{enc: a.Current(), adapter: a, state: bus.InitialLineState}
+	s := &Stream{adapter: a, state: bus.InitialLineState}
+	if ka, ok := a.(KernelAdapter); ok {
+		s.kadapter = ka
+	} else {
+		s.kern = kernelOf(a.Current())
+	}
+	return s
 }
 
 // Encoder returns the wrapped policy; for an adaptive stream, the live
@@ -91,7 +115,7 @@ func (s *Stream) Encoder() Encoder {
 	if s.adapter != nil {
 		return s.adapter.Current()
 	}
-	return s.enc
+	return s.kern.enc
 }
 
 // Adapter returns the stream's scheme controller, or nil for fixed-scheme
@@ -105,7 +129,7 @@ func (s *Stream) shardable() bool {
 	if s.adapter != nil {
 		return s.adapter.Shardable()
 	}
-	return Stateless(s.enc)
+	return s.kern.stateless
 }
 
 // State returns the current wire state of the lane.
@@ -114,15 +138,15 @@ func (s *Stream) State() bus.LineState { return s.state }
 // Transmit encodes one burst against the current line state, advances the
 // state past it, accumulates its activity counts and returns the wire image.
 //
-// Encoders with a bit-parallel fast path (every built-in scheme) run
-// mask-native: the inversion pattern stays packed in one register, the wire
-// image fills branch-free, and the activity counts come from the
-// table-driven bus.MaskCost instead of a per-beat walk. Past
-// bus.MaxMaskBeats the pattern packs into a bus.WideMask instead — one
-// word per 64 beats, still allocation-free through
-// bus.MaxInlineWideBeats — so wide bursts keep the same fast path. Only
-// schemes without any mask form (the *Noisy wrapper) take the []bool path,
-// bit-identical by the mask equivalence contracts.
+// The burst runs through the stream's compiled kernel: OPT-FIXED-class
+// schemes at the native burst length take the fused wire kernel (trellis,
+// fill, cost and state in one straight-line pass); other mask-native
+// schemes keep the inversion pattern packed in one register (or a
+// bus.WideMask word per 64 beats past bus.MaxMaskBeats) and fill the wire
+// branch-free; only schemes without any mask form (the *Noisy wrapper)
+// take the []bool path, bit-identical by the kernel equivalence contracts.
+// For adaptive streams the kernel comes from the adapter (pre-compiled per
+// candidate when it is a KernelAdapter); nothing is probed per burst.
 //
 // The returned Wire aliases the stream's internal scratch: it is valid until
 // the next Transmit or Reset on this stream. Callers that retain it longer
@@ -130,42 +154,42 @@ func (s *Stream) State() bus.LineState { return s.state }
 //
 //dbi:hotpath
 func (s *Stream) Transmit(b bus.Burst) bus.Wire {
-	enc, menc, wenc := s.enc, s.menc, s.wenc
-	if s.adapter != nil {
-		// Adaptive streams re-probe per burst: the live scheme can change
-		// at any window boundary.
-		enc = s.adapter.Current()
-		menc = maskEncoderOf(enc)
-		wenc = wideMaskEncoderOf(enc)
+	k := s.kern
+	if s.kadapter != nil {
+		k = s.kadapter.CurrentKernel()
+	} else if s.adapter != nil {
+		k = s.kernelFor(s.adapter.Current())
 	}
 	var cost bus.Cost
-	encoded := false
-	if menc != nil && len(b) <= bus.MaxMaskBeats {
-		if m, ok := menc.EncodeMask(s.state, b); ok {
-			cost = s.wire.FillMaskCost(s.state, b, m)
-			encoded = true
-		}
-	}
-	if !encoded && wenc != nil {
-		s.wmask.Reset(len(b)) //dbi:allow-escape wide-mask spill growth past the inline bound, amortized across bursts
-		if wenc.EncodeMaskWords(s.state, b, s.wmask.Words()) {
-			cost = s.wire.FillMaskWordsCost(s.state, b, s.wmask.Words())
-			encoded = true
-		}
-	}
-	if !encoded {
-		s.inv = enc.EncodeInto(s.inv[:0], s.state, b)
-		s.wire.Fill(b, s.inv)
-		cost = s.wire.Cost(s.state)
+	var next bus.LineState
+	if k.wire != nil && len(b) == bus.BurstLength {
+		// Dispatch the fused wire kernel straight from the hot loop: one
+		// indirect call for the whole burst, no intermediate frame.
+		cost, next = k.wire(k, &s.wire, s.state, b)
+	} else {
+		cost, next = k.transmitInto(&s.wire, &s.wmask, &s.inv, s.state, b)
 	}
 	w := s.wire
 	s.total = s.total.Add(cost)
-	s.state = w.FinalState(s.state)
+	s.state = next
 	s.beats += w.Len()
 	if s.adapter != nil {
 		s.adapter.Observe(b, cost, s.state)
 	}
 	return w
+}
+
+// kernelFor returns the compiled kernel for the adapter-selected encoder,
+// reusing the cached one while the live scheme is unchanged. Switches hit
+// the encoder-keyed kernel cache, so even adapters that ping-pong between
+// schemes compile each one exactly once.
+func (s *Stream) kernelFor(enc Encoder) *Kernel {
+	if k := s.kern; k != nil && k.comparable && k.enc == enc {
+		return k
+	}
+	k := kernelOf(enc)
+	s.kern = k
+	return k
 }
 
 // TotalCost returns the accumulated zero and transition counts of every
@@ -198,10 +222,10 @@ func (s *Stream) String() string {
 // x16/x32 device do.
 type LaneSet struct {
 	lanes []*Stream
-	// enc is the uniform policy shared by every lane, nil for adaptive
-	// lane sets (whose lanes may diverge). It is what TransmitBatch keys
-	// its frame-level fast path on.
-	enc Encoder
+	// kern is the uniform compiled policy shared by every lane, nil for
+	// adaptive lane sets (whose lanes may diverge). It is what
+	// TransmitBatch keys its frame-level fast path on.
+	kern *Kernel
 	// wires is the reusable per-frame result slice handed out by Transmit.
 	wires []bus.Wire
 	// batch is TransmitBatch's reusable struct-of-arrays frame state,
@@ -209,15 +233,24 @@ type LaneSet struct {
 	batch *LaneBatch
 }
 
-// NewLaneSet creates n independent streams sharing one policy. The policy
-// value is shared; all provided encoders are stateless, so this is safe.
+// NewLaneSet creates n independent streams sharing one policy, compiled
+// once for the lane geometry. The policy value is shared; all provided
+// encoders are stateless, so this is safe.
 func NewLaneSet(enc Encoder, n int) *LaneSet {
 	if n <= 0 {
 		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", n))
 	}
-	ls := &LaneSet{lanes: make([]*Stream, n), enc: enc, wires: make([]bus.Wire, n)}
+	return newLaneSetKernel(CompileEncoder(enc, Geometry{Lanes: n}), n)
+}
+
+// newLaneSetKernel builds a lane set whose lanes share one compiled kernel.
+func newLaneSetKernel(k *Kernel, n int) *LaneSet {
+	if n <= 0 {
+		panic(fmt.Sprintf("dbi: lane count must be positive, got %d", n))
+	}
+	ls := &LaneSet{lanes: make([]*Stream, n), kern: k, wires: make([]bus.Wire, n)}
 	for i := range ls.lanes {
-		ls.lanes[i] = NewStream(enc)
+		ls.lanes[i] = k.NewStream()
 	}
 	return ls
 }
@@ -274,17 +307,17 @@ func (ls *LaneSet) Transmit(f bus.Frame) []bus.Wire {
 	return ls.wires
 }
 
-// transmitBatch encodes lanes [lo,hi) of f as one LaneBatch with enc and
-// folds the results into the corresponding streams' accumulators: one
-// EncodeLaneBatch call instead of hi-lo interface dispatches, and no wire
-// images are built — the batch carries word-packed masks, costs and states
-// only. It reports false (streams untouched) when the lane slice is
-// ragged, the geometry the batch kernels do not model; the caller then
-// falls back to per-lane Transmit. Shared by LaneSet.TransmitBatch and the
-// pipeline's shard workers.
+// transmitBatch encodes lanes [lo,hi) of f as one LaneBatch with the
+// compiled kernel and folds the results into the corresponding streams'
+// accumulators: one Kernel.EncodeBatch call instead of hi-lo dispatches,
+// and no wire images are built — the batch carries word-packed masks,
+// costs and states only. It reports false (streams untouched) when the
+// lane slice is ragged, the geometry the batch kernels do not model; the
+// caller then falls back to per-lane Transmit. Shared by
+// LaneSet.TransmitBatch and the pipeline's shard workers.
 //
 //dbi:hotpath
-func transmitBatch(enc Encoder, streams []*Stream, f bus.Frame, lo, hi int, lb *LaneBatch) bool {
+func transmitBatch(k *Kernel, streams []*Stream, f bus.Frame, lo, hi int, lb *LaneBatch) bool {
 	n := hi - lo
 	if n == 0 {
 		lb.Reset(0, 0)
@@ -301,7 +334,7 @@ func transmitBatch(enc Encoder, streams []*Stream, f bus.Frame, lo, hi int, lb *
 		lb.SetPrev(i, streams[lo+i].state)
 		lb.SetLane(i, f[lo+i])
 	}
-	EncodeLaneBatch(enc, lb)
+	k.EncodeBatch(lb)
 	for i := 0; i < n; i++ {
 		s := streams[lo+i]
 		s.total = s.total.Add(lb.Cost(i))
@@ -332,7 +365,7 @@ func (ls *LaneSet) TransmitBatch(f bus.Frame) *LaneBatch {
 		ls.batch = new(LaneBatch) //dbi:allow-escape one-time scratch, amortized across frames
 	}
 	lb := ls.batch
-	if ls.enc != nil && transmitBatch(ls.enc, ls.lanes, f, 0, len(ls.lanes), lb) {
+	if ls.kern != nil && transmitBatch(ls.kern, ls.lanes, f, 0, len(ls.lanes), lb) {
 		return lb
 	}
 	// Per-lane fallback: adaptive lanes need their per-burst Observe, and

@@ -216,13 +216,18 @@ func (c *conn) newSessState(sid uint64, cfg SessionConfig) (*sessState, error) {
 		if scheme == "" {
 			scheme = srv.cfg.Scheme
 		}
-		enc, err := dbi.Lookup(scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta})
+		// The session's triple compiles (and is cached) once here: lane set
+		// and pipeline share the kernel, so the frame and batch paths bind
+		// their encode routing at session setup, not per frame.
+		kern, err := dbi.LookupKernel(scheme,
+			dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta},
+			dbi.Geometry{Beats: cfg.Beats, Lanes: cfg.Lanes})
 		if err != nil {
 			return nil, err
 		}
-		st.ls = dbi.NewLaneSet(enc, cfg.Lanes)
+		st.ls = kern.NewLaneSet(cfg.Lanes)
 		st.scheme = scheme
-		st.pipe = dbi.NewPipeline(enc, cfg.Lanes,
+		st.pipe = kern.NewPipeline(cfg.Lanes,
 			dbi.WithWorkers(srv.cfg.Workers), dbi.WithChunkFrames(srv.cfg.ChunkFrames))
 	}
 	for l := range st.frame {
