@@ -12,9 +12,16 @@
 //	dbiload [-preset name] [-addr host:port] [-conns n] [-sessions m]
 //	        [-frames k] [-lanes l] [-beats b] [-scheme name]
 //	        [-alpha a] [-beta b] [-window w] [-warmup f] [-seed s]
-//	        [-json report.json]
+//	        [-chaos seed] [-json report.json]
 //
 // Explicit flags override the chosen preset field by field.
+//
+// With -chaos (or the chaos-smoke preset) the run becomes a fault-injection
+// soak: every connection's transport is wrapped by a seeded injector that
+// kills it at scheduled byte offsets, sessions are opened resumable, and the
+// client reconnects with backoff and resumes each one bit-identically. The
+// run still fails on any lost or doubled frame, and the report gains the
+// fault/retry/resume counters — the same seed replays the same schedule.
 package main
 
 import (
@@ -46,6 +53,16 @@ var presets = map[string]server.LoadConfig{
 		Conns: 8, SessionsPerConn: 12500, Frames: 2,
 		Lanes: 1, Beats: 8, Window: 256,
 	},
+	// chaos-smoke is the CI fault-injection gate: resumable sessions over
+	// transports a seeded injector kills at scheduled byte offsets, so the
+	// run exercises reconnect, backoff and mid-stream resume. Every frame
+	// must complete (the run fails on any lost or doubled frame), and the
+	// same seed replays the same fault schedule.
+	"chaos-smoke": {
+		Conns: 2, SessionsPerConn: 8, Frames: 250,
+		Lanes: 4, Beats: 16, Scheme: "ACDC", Warmup: 16,
+		ChaosSeed: 1,
+	},
 }
 
 func main() {
@@ -55,7 +72,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dbiload", flag.ExitOnError)
 	var (
-		preset   = fs.String("preset", "", "named scenario to start from (ci-smoke, mux-100k)")
+		preset   = fs.String("preset", "", "named scenario to start from (ci-smoke, mux-100k, chaos-smoke)")
 		addr     = fs.String("addr", "", "server address; empty spins up an in-process server")
 		conns    = fs.Int("conns", 0, "connection count")
 		sessions = fs.Int("sessions", 0, "multiplexed sessions per connection")
@@ -68,6 +85,7 @@ func run(args []string) int {
 		window   = fs.Int("window", 0, "in-flight frames per connection")
 		warmup   = fs.Int("warmup", 0, "leading frame latencies to discard per connection")
 		seed     = fs.Int64("seed", 0, "workload seed")
+		chaosSd  = fs.Int64("chaos", 0, "fault-injection seed; nonzero runs a chaos soak with resumable sessions")
 		jsonPath = fs.String("json", "", "write the JSON report here")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
@@ -107,6 +125,8 @@ func run(args []string) int {
 			cfg.Warmup = *warmup
 		case "seed":
 			cfg.Seed = *seed
+		case "chaos":
+			cfg.ChaosSeed = *chaosSd
 		}
 	})
 	cfg.Addr = *addr
@@ -114,7 +134,16 @@ func run(args []string) int {
 	// Self-serve: bind an in-process server on a loopback port so the
 	// invocation measures the serving stack without external setup.
 	if cfg.Addr == "" {
-		srv, err := server.New(server.Config{Addr: "127.0.0.1:0", MaxConns: cfg.Conns + 8})
+		scfg := server.Config{Addr: "127.0.0.1:0", MaxConns: cfg.Conns + 8}
+		if cfg.ChaosSeed != 0 {
+			// A chaos run churns connections: give reconnects headroom, shed
+			// (rather than queue) if they pile up, reap leftovers fast.
+			scfg.MaxConns = cfg.Conns*2 + 8
+			scfg.Shed = true
+			scfg.IdleTimeout = 5 * time.Second
+			scfg.ParkTimeout = 2 * time.Second
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dbiload: %v\n", err)
 			return 1
@@ -143,6 +172,10 @@ func run(args []string) int {
 	fmt.Printf("  latency mean %v  p50 %v  p90 %v  p95 %v  p99 %v  max %v\n",
 		d(rep.MeanNs), d(rep.P50Ns), d(rep.P90Ns), d(rep.P95Ns), d(rep.P99Ns), d(rep.MaxNs))
 	fmt.Printf("  coded %+v raw %+v toggles saved %d\n", rep.Totals.Coded, rep.Totals.Raw, rep.Totals.TogglesSaved())
+	if rep.ChaosSeed != 0 {
+		fmt.Printf("  chaos seed=%d faults=%d transient errors=%d retries=%d resumes=%d\n",
+			rep.ChaosSeed, rep.FaultsInjected, rep.TransientErrors, rep.Retries, rep.Resumes)
+	}
 
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")

@@ -8,6 +8,7 @@
 //	dbiserve [-addr 127.0.0.1:8421] [-scheme OPT-FIXED] [-workers 0]
 //	         [-max-conns 64] [-max-sessions 1048576] [-metrics-every 0]
 //	         [-metrics-addr host:port]
+//	         [-idle-timeout 0] [-write-timeout 0] [-shed] [-park-timeout 0]
 //	         [-adapt] [-adapt-window 64] [-adapt-margin 0.05]
 //	         [-adapt-schemes DC,AC,OPT-FIXED]
 //
@@ -25,7 +26,19 @@
 // With -metrics-addr, the counters are additionally exported over HTTP in
 // Prometheus text format at /metrics, next to a /healthz probe that flips
 // to 503 the moment a drain starts (so load balancers stop routing while
-// the drain is watched from outside).
+// the drain is watched from outside) and reports the live connection,
+// session, parked-session and shed counts in its body.
+//
+// -idle-timeout and -write-timeout arm per-connection deadlines: a
+// connection idle past the former, or one whose peer stops draining
+// replies past the latter, is torn down (with a typed timeout error frame
+// when the transport still accepts it) instead of pinning its slot
+// forever. -shed flips the overload answer from backpressure to rejection:
+// a dialer past -max-conns gets an immediate typed busy frame rather than
+// queueing in the kernel backlog. Both defaults preserve the historical
+// behaviour (no deadlines, backpressure). -park-timeout bounds how long a
+// resumable session's server-side state survives a dead connection waiting
+// for the client to reconnect and resume (DESIGN.md §6, failure model).
 //
 // With -adapt, sessions that request no scheme are served adaptively: a
 // windowed controller per lane (DESIGN.md §7) tracks every candidate
@@ -74,6 +87,10 @@ func run() error {
 	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "maximum concurrently served connections")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open logical sessions over all connections")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for Prometheus /metrics and /healthz (empty = no HTTP endpoint)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "tear down connections idle this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "tear down connections whose peer stops draining replies for this long (0 = never)")
+	shed := flag.Bool("shed", false, "answer dialers past -max-conns with an immediate busy rejection instead of queueing them")
+	parkTimeout := flag.Duration("park-timeout", 0, "how long a resumable session's state survives its connection for reattach (0 = default 30s)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 	metricsEvery := flag.Duration("metrics-every", 0, "periodically print the metrics table (0 = only at shutdown)")
 	adaptDefault := flag.Bool("adapt", false, "serve scheme-less sessions adaptively: a windowed controller switches schemes online as the traffic shifts")
@@ -103,6 +120,10 @@ func run() error {
 		MaxConns:        *maxConns,
 		MaxSessions:     *maxSessions,
 		MetricsAddr:     *metricsAddr,
+		IdleTimeout:     *idleTimeout,
+		WriteTimeout:    *writeTimeout,
+		Shed:            *shed,
+		ParkTimeout:     *parkTimeout,
 		Adapt:           *adaptDefault,
 		AdaptWindow:     *adaptWindow,
 		AdaptMargin:     *adaptMargin,

@@ -242,6 +242,10 @@ func (c *Controller) Candidates() []string {
 	return out
 }
 
+// LiveIndex returns the candidate index of the live scheme (the index into
+// Candidates order), the form resume claims carry on the wire.
+func (c *Controller) LiveIndex() int { return c.live }
+
 // Switches returns how many times the controller has changed schemes.
 func (c *Controller) Switches() int { return c.switches }
 
@@ -324,6 +328,32 @@ func (c *Controller) decide(next bus.LineState) {
 		c.cands[i].win = bus.Cost{}
 	}
 	c.inWin = 0
+}
+
+// Reseed restores the controller to a mid-stream decision point: candidate
+// live becomes the live scheme, every shadow chain re-seeds at state, and
+// the burst/switch counters resume at the given values. This is exactly
+// what the switch protocol does at a scheme change — all chains collapse
+// onto the live wire state and a fresh window opens — applied here by the
+// serving tier when it rebuilds a resumable session from a client's claimed
+// wire state. Window accumulators clear: a rebuilt controller compares
+// candidates from the re-seed point on, not from a window it no longer has.
+func (c *Controller) Reseed(live int, state bus.LineState, bursts, switches int) error {
+	if live < 0 || live >= len(c.cands) {
+		return fmt.Errorf("adapt: live candidate %d out of range (have %d)", live, len(c.cands))
+	}
+	if bursts < 0 || switches < 0 {
+		return fmt.Errorf("adapt: negative reseed counters (%d bursts, %d switches)", bursts, switches)
+	}
+	c.live = live
+	for i := range c.cands {
+		c.cands[i].state = state
+		c.cands[i].win = bus.Cost{}
+	}
+	c.inWin = 0
+	c.bursts = bursts
+	c.switches = switches
+	return nil
 }
 
 // Reset implements dbi.Adapter: shadow chains return to the idle state,

@@ -1,0 +1,172 @@
+// Package chaos injects deterministic connection faults for resilience
+// testing of the serving tier.
+//
+// An Injector is seeded once and draws a fault plan per wrapped
+// connection: a byte offset at which the connection dies mid-write (after
+// a partial write of the bytes up to the offset — the peer sees a
+// truncated message, exercising mid-frame reset handling) and, earlier, a
+// byte offset at which a delay is injected. Fault points are scheduled in
+// write-byte offsets, not in time: a client whose byte stream is
+// deterministic sees exactly the same faults at exactly the same protocol
+// positions on every run with the same seed, which is what makes chaos
+// runs reproducible and their failure reports comparable.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks an error produced by an injected fault, so tests can
+// tell scheduled chaos from real failures. Injected drop errors also match
+// net.ErrClosed, which keeps them inside the transient classification of
+// the retry layer without chaos importing it.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// errDrop is the error returned by a write that hit a scheduled drop. It
+// unwraps to both ErrInjected and net.ErrClosed.
+var errDrop = fmt.Errorf("%w (%w)", ErrInjected, net.ErrClosed)
+
+// Config configures an Injector.
+type Config struct {
+	// Seed fixes the fault schedule; runs with equal seeds (and equal
+	// client byte streams) inject identical faults.
+	Seed int64
+	// MinGap and MaxGap bound the written bytes between consecutive
+	// connection drops. MinGap must exceed the largest single protocol
+	// exchange (handshake + resume + one frame), or a tight schedule
+	// could starve the client of progress; zero values select 4096 and
+	// 65536.
+	MinGap, MaxGap int
+	// MaxFaults caps the injected drops; once reached, wrapped
+	// connections pass traffic through untouched. Zero means unlimited.
+	MaxFaults int
+	// MaxDelay bounds the injected per-connection delay; zero selects
+	// 2ms. Delays exercise deadline paths without killing the
+	// connection.
+	MaxDelay time.Duration
+}
+
+// Injector draws deterministic fault plans for the connections it wraps.
+// Safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    Config
+	conns  int
+	faults int
+}
+
+// New builds an Injector with cfg's defaults filled.
+func New(cfg Config) *Injector {
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = 4096
+	}
+	if cfg.MaxGap <= cfg.MinGap {
+		cfg.MaxGap = cfg.MinGap * 16
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// Wrap returns nc with this incarnation's fault plan applied to its write
+// path. Once MaxFaults drops have been injected, Wrap returns nc
+// unchanged, so a bounded schedule always lets the run finish.
+func (inj *Injector) Wrap(nc net.Conn) net.Conn {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.conns++
+	if inj.cfg.MaxFaults > 0 && inj.faults >= inj.cfg.MaxFaults {
+		return nc
+	}
+	span := inj.cfg.MaxGap - inj.cfg.MinGap
+	dropAt := int64(inj.cfg.MinGap + inj.rng.Intn(span))
+	return &conn{
+		Conn:    nc,
+		inj:     inj,
+		dropAt:  dropAt,
+		delayAt: dropAt / 2,
+		delay:   time.Duration(inj.rng.Int63n(int64(inj.cfg.MaxDelay))),
+	}
+}
+
+// Dial wraps a dial function so every connection it produces carries a
+// fault plan — the shape server.MuxOptions.Dial expects.
+func (inj *Injector) Dial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		nc, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Wrap(nc), nil
+	}
+}
+
+// Faults returns how many drops have been injected so far.
+func (inj *Injector) Faults() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.faults
+}
+
+// Conns returns how many connections have been wrapped so far.
+func (inj *Injector) Conns() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.conns
+}
+
+func (inj *Injector) noteFault() {
+	inj.mu.Lock()
+	inj.faults++
+	inj.mu.Unlock()
+}
+
+// conn is one faulted connection incarnation. Reads pass through — a
+// dropped connection fails its reads via the underlying net.ErrClosed.
+type conn struct {
+	net.Conn
+	inj     *Injector
+	written int64
+	dropAt  int64 // write offset at which the connection dies
+	delayAt int64 // write offset at which the delay fires (-1 once spent)
+	delay   time.Duration
+}
+
+// Write implements net.Conn, applying the plan at this incarnation's
+// scheduled byte offsets: one delay, then a partial write followed by a
+// hard close.
+func (c *conn) Write(b []byte) (int, error) {
+	if c.delayAt >= 0 && c.written+int64(len(b)) > c.delayAt {
+		c.delayAt = -1
+		time.Sleep(c.delay)
+	}
+	if c.written+int64(len(b)) > c.dropAt {
+		k := int(c.dropAt - c.written)
+		if k > 0 {
+			k, _ = c.Conn.Write(b[:k])
+		} else {
+			k = 0
+		}
+		c.written += int64(k)
+		c.Conn.Close()
+		c.inj.noteFault()
+		return k, errDrop
+	}
+	n, err := c.Conn.Write(b)
+	c.written += int64(n)
+	return n, err
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn discards writes and records how many bytes landed before the
+// injected close.
+type sinkConn struct {
+	net.Conn
+	landed int
+	closed bool
+}
+
+func (s *sinkConn) Write(b []byte) (int, error) {
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	s.landed += len(b)
+	return len(b), nil
+}
+
+func (s *sinkConn) Close() error {
+	s.closed = true
+	return nil
+}
+
+func (s *sinkConn) Read([]byte) (int, error) { return 0, io.EOF }
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	offsets := func(seed int64) []int64 {
+		inj := New(Config{Seed: seed, MinGap: 100, MaxGap: 1000, MaxDelay: time.Nanosecond})
+		var got []int64
+		for i := 0; i < 8; i++ {
+			c := inj.Wrap(&sinkConn{}).(*conn)
+			got = append(got, c.dropAt)
+		}
+		return got
+	}
+	a, b := offsets(42), offsets(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("conn %d: drop offset %d vs %d for the same seed", i, a[i], b[i])
+		}
+	}
+	c := offsets(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 drew identical schedules %v", a)
+	}
+}
+
+func TestDropIsPartialWriteThenClose(t *testing.T) {
+	inj := New(Config{Seed: 7, MinGap: 100, MaxGap: 101, MaxDelay: time.Nanosecond})
+	sink := &sinkConn{}
+	c := inj.Wrap(sink)
+	buf := make([]byte, 64)
+	// First write fits under the 100-byte drop offset.
+	if n, err := c.Write(buf); err != nil || n != 64 {
+		t.Fatalf("pre-fault write: n=%d err=%v", n, err)
+	}
+	// Second write crosses it: 36 bytes land, then the conn dies.
+	n, err := c.Write(buf)
+	if n != 36 {
+		t.Fatalf("partial write landed %d bytes, want 36", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop error %v does not match ErrInjected", err)
+	}
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("drop error %v does not match net.ErrClosed (retry layer relies on it)", err)
+	}
+	if !sink.closed {
+		t.Fatal("underlying conn not closed after injected drop")
+	}
+	if sink.landed != 100 {
+		t.Fatalf("%d bytes reached the peer, want exactly the 100-byte drop offset", sink.landed)
+	}
+	if inj.Faults() != 1 || inj.Conns() != 1 {
+		t.Fatalf("faults=%d conns=%d, want 1/1", inj.Faults(), inj.Conns())
+	}
+}
+
+func TestMaxFaultsStopsInjection(t *testing.T) {
+	inj := New(Config{Seed: 7, MinGap: 10, MaxGap: 11, MaxFaults: 1, MaxDelay: time.Nanosecond})
+	first := inj.Wrap(&sinkConn{})
+	if _, err := first.Write(make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first conn should hit its fault: %v", err)
+	}
+	sink := &sinkConn{}
+	second := inj.Wrap(sink)
+	if second != net.Conn(sink) {
+		t.Fatal("after MaxFaults, Wrap should return the conn untouched")
+	}
+	if n, err := second.Write(make([]byte, 4096)); err != nil || n != 4096 {
+		t.Fatalf("post-cap write: n=%d err=%v", n, err)
+	}
+}
+
+func TestDialWrapsConnections(t *testing.T) {
+	inj := New(Config{Seed: 3})
+	dial := inj.Dial(func(addr string) (net.Conn, error) {
+		if addr != "host:1" {
+			t.Fatalf("dial got addr %q", addr)
+		}
+		return &sinkConn{}, nil
+	})
+	nc, err := dial("host:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nc.(*conn); !ok {
+		t.Fatalf("Dial returned %T, want a chaos-wrapped conn", nc)
+	}
+	if inj.Conns() != 1 {
+		t.Fatalf("conns=%d, want 1", inj.Conns())
+	}
+}
+
+func TestDialPropagatesErrors(t *testing.T) {
+	inj := New(Config{Seed: 3})
+	boom := errors.New("refused")
+	dial := inj.Dial(func(string) (net.Conn, error) { return nil, boom })
+	if _, err := dial("x"); !errors.Is(err, boom) {
+		t.Fatalf("dial error %v, want %v", err, boom)
+	}
+	if inj.Conns() != 0 {
+		t.Fatal("failed dial must not count as a wrapped conn")
+	}
+}

@@ -211,6 +211,16 @@ func (s *Stream) Reset() {
 	}
 }
 
+// SeedState re-seeds the stream's line state mid-stream without touching
+// the accumulators: the next burst encodes against state exactly as if
+// every wire had just been driven there. This is the serving tier's resume
+// seam — a rebuilt session starts its streams at the claimed wire state and
+// accounts the pre-disconnect activity separately — and the same mechanism
+// the adaptive switch protocol applies to shadow chains. It deliberately
+// does not reset the adapter: adaptive re-seeding goes through the
+// adapter's own re-seed entry point so its shadow chains stay consistent.
+func (s *Stream) SeedState(state bus.LineState) { s.state = state }
+
 // String summarises the stream for diagnostics.
 func (s *Stream) String() string {
 	return fmt.Sprintf("%s: %d beats, %d zeros, %d transitions",

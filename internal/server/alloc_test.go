@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
+	"net"
 	"testing"
+	"time"
 
 	"dbiopt/internal/bus"
 	"dbiopt/internal/dbi"
@@ -156,6 +158,50 @@ func TestServeMuxFrameZeroAlloc(t *testing.T) {
 		t.Errorf("steady-state mux frame path allocates %.1f times per frame, want 0", allocs)
 	}
 	if st.totals.Frames == 0 || st.ls.TotalCost() == (Cost{}) {
+		t.Fatal("no work was actually done")
+	}
+}
+
+// deadlineConn counts SetRead/WriteDeadline calls; everything else is the
+// embedded (nil, never touched) net.Conn.
+type deadlineConn struct {
+	net.Conn
+	sets int
+}
+
+func (c *deadlineConn) SetReadDeadline(time.Time) error  { c.sets++; return nil }
+func (c *deadlineConn) SetWriteDeadline(time.Time) error { c.sets++; return nil }
+
+// TestServeFrameDeadlinesZeroAlloc pins that arming the idle/write
+// deadlines adds no allocations to the steady-state frame path — with
+// armEvery forced to zero, so every single reply re-arms both deadlines
+// (the worst case; the amortised production path arms far less often).
+func TestServeFrameDeadlinesZeroAlloc(t *testing.T) {
+	if racetag.Enabled {
+		t.Skip("allocation counts are skewed by -race instrumentation")
+	}
+	const lanes, beats = 8, bus.BurstLength
+	srv, err := New(Config{IdleTimeout: time.Minute, WriteTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, st := newLoopConn(t, srv, SessionConfig{Scheme: "OPT-FIXED", Lanes: lanes, Beats: beats}, true, io.Discard)
+	nc := &deadlineConn{}
+	c.nc = nc
+	c.idle, c.writeTO = srv.cfg.IdleTimeout, srv.cfg.WriteTimeout
+
+	fs := randomFrames(47, 16, lanes, beats)
+	msgs := make([][]byte, len(fs))
+	for i, f := range fs {
+		msgs[i] = frameMessage(t, f, lanes, beats, st.id)
+	}
+	if allocs := runFrameAllocs(t, c, msgs); allocs != 0 {
+		t.Errorf("deadline-armed frame path allocates %.1f times per frame, want 0", allocs)
+	}
+	if nc.sets == 0 {
+		t.Fatal("deadlines were never armed")
+	}
+	if st.totals.Frames == 0 {
 		t.Fatal("no work was actually done")
 	}
 }

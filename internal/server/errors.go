@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+)
+
+// The serving error taxonomy. The wire carries these as reply status codes
+// (handshake replies, msgOpenReply, msgResumeReply) and as the pre-handshake
+// msgBusy frame; the client constructors map the codes back onto these
+// sentinels, so callers classify failures with errors.Is instead of string
+// matching. The split that matters operationally is transient versus fatal:
+// a transient error (capacity, drain, timeout, a dead transport) is worth a
+// backoff-and-retry — possibly on a fresh connection with msgResume — while
+// a fatal one (protocol violation, rejected config, state mismatch) will
+// fail identically on every retry.
+var (
+	// ErrBusy marks an overload rejection: the server shed the connection
+	// (MaxConns with shedding enabled) or refused the session (MaxSessions).
+	// Transient — capacity returns as other clients finish.
+	ErrBusy = errors.New("server: busy")
+	// ErrDraining marks a rejection because the server is shutting down.
+	// Transient for a client that can fail over; this instance won't recover.
+	ErrDraining = errors.New("server: draining")
+	// ErrTimeout marks an idle/read/write deadline expiry on a connection.
+	// Transient — the work can be replayed on a fresh connection.
+	ErrTimeout = errors.New("server: connection timed out")
+	// ErrResumeMismatch marks a msgResume whose claimed wire state could not
+	// be reconciled with the server's. Fatal: the client's mirror and the
+	// server's chain have diverged, and retrying cannot converge them.
+	ErrResumeMismatch = errors.New("server: resume state mismatch")
+	// ErrSessionLost marks a session that could not be carried across a
+	// reconnect (no resume token, or the server rejected the resume).
+	ErrSessionLost = errors.New("server: session lost")
+)
+
+// IsTransient reports whether err is worth a backoff-and-retry: the typed
+// transient sentinels above, plus anything that smells like a dead or
+// stalled transport (resets, closed connections, EOF mid-conversation,
+// expired deadlines). Protocol rejections and state mismatches are not
+// transient — they fail identically on every retry.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBusy) || errors.Is(err, ErrDraining) || errors.Is(err, ErrTimeout) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return true
+	}
+	// Kernel-level resets and broken pipes arrive as *net.OpError wrapping
+	// syscall errors; net.OpError implements net.Error, so they are caught
+	// above. ECONNREFUSED during a reconnect race arrives the same way.
+	return false
+}
+
+// statusErr maps a wire reply status code onto the error taxonomy, wrapping
+// the server's text so errors.Is works and the reason stays readable.
+func statusErr(status byte, msg string) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusBusy:
+		return fmt.Errorf("%w: %s", ErrBusy, msg)
+	case statusDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, msg)
+	default:
+		return errors.New("server: session rejected: " + msg)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"dbiopt/internal/bus"
 )
 
 // fuzzStream serialises a well-formed client byte stream to seed the fuzzer
@@ -71,8 +73,44 @@ func FuzzProtocolRoundTrip(f *testing.F) {
 		[]byte{msgCloseSess, 1},
 		[]byte{msgQuit}))
 	f.Add(byte(1), fuzzStream(nil, append([]byte{msgBatch}, "DBIT"...)))
-	f.Add(byte(0), appendOpenReply(nil, 9, false, "nope"))
+	f.Add(byte(0), appendOpenReply(nil, 9, statusError, "nope"))
+	f.Add(byte(1), appendBusyFrame(nil, statusBusy, "server: connection limit reached"))
 	f.Add(byte(1), appendSwitchNote(nil, SwitchNote{Lane: 1, Ordinal: 2, Burst: 3, From: "DC", To: "AC"}))
+
+	// Resume claims — static and adaptive — both as parser seeds and as a
+	// live-server stream (the claim names a token the server never parked,
+	// driving the rebuild path; mutations reach the checksum, varint and
+	// lane-state validation).
+	states := []bus.LineState{{Data: 0x5a, DBI: false}, {Data: 0xa5, DBI: true}}
+	claim := resumeClaim{
+		sid: 7,
+		cfg: SessionConfig{Scheme: "DC", Lanes: 2, Beats: 8, ResumeToken: 0x55},
+		totals: Totals{Frames: 3, Beats: 48,
+			Coded: Cost{Zeros: 10, Transitions: 20}, Raw: Cost{Zeros: 30, Transitions: 40}},
+		coded: states, raw: states,
+	}
+	staticClaim, err := appendResume(nil, claim)
+	if err != nil {
+		f.Fatal(err)
+	}
+	claim.cfg = SessionConfig{Adapt: true, AdaptWindow: 32, AdaptCandidates: []string{"DC", "AC"},
+		Alpha: 4, Beta: 1, Lanes: 2, Beats: 8, ResumeToken: 0x56}
+	claim.live, claim.laneSwitches = []uint8{0, 1}, []uint32{0, 2}
+	claim.totals.Switches = 2
+	adaptClaim, err := appendResume(nil, claim)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(byte(0), staticClaim)
+	f.Add(byte(0), adaptClaim)
+	f.Add(byte(2), fuzzStream(nil,
+		append([]byte{msgResume}, staticClaim...),
+		append([]byte{msgResume}, adaptClaim...),
+		[]byte{msgQuit}))
+	f.Add(byte(0), appendResumeReply(nil, 7, statusOK, resumeReattached, "DC",
+		resumeReplyState{totals: claim.totals, masks: []byte{0xf0, 0x0f},
+			live: []uint8{0, 1}, laneSwitches: []uint32{0, 2}}))
+	f.Add(byte(0), appendResumeReply(nil, 7, statusBusy, 0, "server: busy", resumeReplyState{}))
 
 	f.Fuzz(func(t *testing.T, variant byte, data []byte) {
 		fuzzParsers(t, data)
@@ -108,12 +146,12 @@ func fuzzParsers(t *testing.T, data []byte) {
 			}
 		}
 	}
-	if sid, ok, msg, err := parseOpenReply(data); err == nil {
-		b1 := appendOpenReply(nil, sid, ok, msg)
-		sid2, ok2, msg2, err := parseOpenReply(b1)
-		if err != nil || sid2 != sid || ok2 != ok || msg2 != msg {
+	if sid, status, msg, err := parseOpenReply(data); err == nil {
+		b1 := appendOpenReply(nil, sid, status, msg)
+		sid2, status2, msg2, err := parseOpenReply(b1)
+		if err != nil || sid2 != sid || status2 != status || msg2 != msg {
 			t.Fatalf("open-reply round-trip diverged: (%d %v %q) -> (%d %v %q), %v",
-				sid, ok, msg, sid2, ok2, msg2, err)
+				sid, status, msg, sid2, status2, msg2, err)
 		}
 	}
 	if n, err := parseSwitchNote(data); err == nil {
@@ -129,6 +167,31 @@ func fuzzParsers(t *testing.T, data []byte) {
 		putTotals(buf, tot)
 		if got := parseTotals(buf); got != tot {
 			t.Fatalf("totals round-trip diverged: %+v -> %+v", tot, got)
+		}
+	}
+	if rc, err := parseResume(data); err == nil {
+		b1, err := appendResume(nil, rc)
+		if err != nil {
+			t.Fatalf("accepted resume claim does not re-serialise: %v", err)
+		}
+		rc2, err := parseResume(b1)
+		if err != nil {
+			t.Fatalf("re-serialised resume claim rejected: %v", err)
+		}
+		b2, err := appendResume(nil, rc2)
+		if err != nil || !bytes.Equal(b1, b2) {
+			t.Fatalf("resume claim round-trip diverged:\n %x\n %x (%v)", b1, b2, err)
+		}
+	}
+	if sid, status, mode, msg, rs, err := parseResumeReply(data); err == nil {
+		b1 := appendResumeReply(nil, sid, status, mode, msg, rs)
+		sid2, status2, mode2, msg2, rs2, err := parseResumeReply(b1)
+		if err != nil || sid2 != sid || status2 != status || mode2 != mode || msg2 != msg {
+			t.Fatalf("resume reply round-trip diverged: (%d %d %d %q) -> (%d %d %d %q), %v",
+				sid, status, mode, msg, sid2, status2, mode2, msg2, err)
+		}
+		if b2 := appendResumeReply(nil, sid2, status2, mode2, msg2, rs2); !bytes.Equal(b1, b2) {
+			t.Fatalf("resume reply round-trip diverged:\n %x\n %x", b1, b2)
 		}
 	}
 }

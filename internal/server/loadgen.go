@@ -10,6 +10,9 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"dbiopt/internal/bus"
+	"dbiopt/internal/chaos"
 )
 
 // LoadConfig configures one load-generation run against a dbiserve
@@ -44,6 +47,15 @@ type LoadConfig struct {
 	Warmup int
 	// Seed seeds the workload generator; 0 selects 1.
 	Seed int64
+	// ChaosSeed, when nonzero, turns the run into a fault-injection soak:
+	// every connection dials through a seeded chaos injector that kills the
+	// transport at scheduled byte offsets, sessions are opened resumable,
+	// and the retry layer reconnects and resumes them mid-stream. Chaos
+	// runs drive strict request/response traffic (the recovery protocol
+	// reconciles one in-flight frame, so the pipelined window does not
+	// apply) and report fault and recovery counters alongside the usual
+	// latency figures. The same seed replays the same fault schedule.
+	ChaosSeed int64
 }
 
 // fill resolves the defaults.
@@ -102,6 +114,19 @@ type LoadReport struct {
 	P99Ns  int64 `json:"p99_ns"`
 	MaxNs  int64 `json:"max_ns"`
 
+	// Chaos counters, present only on chaos runs (ChaosSeed echoes the
+	// fault schedule's seed). FaultsInjected and TransientErrors and
+	// Resumes are deterministic for a given seed and workload; Retries
+	// also counts reconnect attempts burned on timing races (claiming a
+	// session the server has not yet parked), so it is reproducible only
+	// as a lower bound. Older report consumers (dbibenchdiff -load)
+	// ignore these fields.
+	ChaosSeed       int64 `json:"chaos_seed,omitempty"`
+	FaultsInjected  int   `json:"faults_injected,omitempty"`
+	TransientErrors int   `json:"transient_errors,omitempty"`
+	Retries         int   `json:"retries,omitempty"`
+	Resumes         int   `json:"resumes,omitempty"`
+
 	// Totals is the aggregate server-side accounting over every session,
 	// cross-checked by RunLoad against the frame volume it sent — the load
 	// generator doubles as an end-to-end correctness check.
@@ -116,6 +141,8 @@ type loadConn struct {
 	hist   Histogram
 	openNs int64
 	totals Totals
+	stats  MuxStats
+	faults int
 	err    error
 }
 
@@ -141,7 +168,11 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runLoadConn(cfg, cfg.Seed+int64(i)*7919, &workers[i])
+			if cfg.ChaosSeed != 0 {
+				runChaosConn(cfg, i, &workers[i])
+			} else {
+				runLoadConn(cfg, cfg.Seed+int64(i)*7919, &workers[i])
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -165,7 +196,12 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		if w.openNs > rep.OpenNs {
 			rep.OpenNs = w.openNs
 		}
+		rep.FaultsInjected += w.faults
+		rep.TransientErrors += w.stats.TransientErrors
+		rep.Retries += w.stats.Retries
+		rep.Resumes += w.stats.Resumes
 	}
+	rep.ChaosSeed = cfg.ChaosSeed
 	wantFrames := int64(cfg.Conns) * int64(cfg.SessionsPerConn) * int64(cfg.Frames)
 	if int64(rep.Totals.Frames) != wantFrames {
 		return LoadReport{}, fmt.Errorf("server: server accounted %d frames, load sent %d", rep.Totals.Frames, wantFrames)
@@ -295,9 +331,9 @@ func runLoadConn(cfg LoadConfig, seed int64, res *loadConn) {
 					fail(fmt.Errorf("reply %d: type %q, want open reply", seq, typ))
 					return
 				}
-				if _, ok, text, err := parseOpenReply(buf); err != nil || !ok {
+				if _, status, text, err := parseOpenReply(buf); err != nil || status != statusOK {
 					if err == nil {
-						err = fmt.Errorf("session rejected: %s", text)
+						err = statusErr(status, text)
 					}
 					fail(err)
 					return
@@ -391,4 +427,81 @@ func runLoadConn(cfg LoadConfig, seed int64, res *loadConn) {
 		}
 	}
 	<-readerDone
+}
+
+// runChaosConn runs one connection of a chaos soak: resumable sessions
+// over a fault-injected transport, strict request/response so the retry
+// layer's one-in-flight-frame reconciliation applies. Totals come from the
+// client-side mirror — the server validates that mirror against its own
+// chain on every resume, and a fault can land inside the final close
+// exchange, which makes the graceful-close totals unreliable by design.
+func runChaosConn(cfg LoadConfig, connIdx int, res *loadConn) {
+	inj := chaos.New(chaos.Config{Seed: cfg.ChaosSeed + int64(connIdx)*911})
+	opts := MuxOptions{
+		Retry: RetryConfig{
+			MaxAttempts: 12,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			Seed:        cfg.ChaosSeed + int64(connIdx),
+		},
+		Dial: inj.Dial(nil),
+	}
+	def := SessionConfig{
+		Scheme: cfg.Scheme, Alpha: cfg.Alpha, Beta: cfg.Beta,
+		Lanes: cfg.Lanes, Beats: cfg.Beats,
+	}
+	base := time.Now()
+	c, err := DialMuxOpts(cfg.Addr, def, opts)
+	if err != nil {
+		res.err = err
+		return
+	}
+	defer c.Close() //nolint:errcheck // best-effort: a fault may outlive the traffic
+
+	M := cfg.SessionsPerConn
+	sessions := make([]*MuxSession, M)
+	for s := range sessions {
+		scfg := def
+		// Tokens are client-chosen and must be unique per server: key them
+		// on (connection, session).
+		scfg.ResumeToken = uint64(connIdx+1)<<32 | uint64(s+1)
+		if sessions[s], err = c.Open(scfg); err != nil {
+			res.err = fmt.Errorf("chaos open %d: %w", s, err)
+			return
+		}
+	}
+	res.openNs = int64(time.Since(base))
+
+	// One deterministic frame per session, reused every round — the same
+	// workload shape the pipelined path drives.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(connIdx)*7919))
+	frames := make([]bus.Frame, M)
+	for s := range frames {
+		f := make(bus.Frame, cfg.Lanes)
+		for l := range f {
+			b := make(bus.Burst, cfg.Beats)
+			rng.Read(b) //nolint:errcheck // never fails
+			f[l] = b
+		}
+		frames[s] = f
+	}
+
+	for i := 0; i < M*cfg.Frames; i++ {
+		s := i % M
+		t0 := time.Now()
+		if _, err := sessions[s].EncodeFrame(frames[s]); err != nil {
+			res.err = fmt.Errorf("chaos frame %d session %d: %w", i/M, s, err)
+			return
+		}
+		if i >= cfg.Warmup {
+			res.hist.Observe(int64(time.Since(t0)))
+		}
+	}
+
+	for _, ms := range sessions {
+		res.totals.add(ms.MirroredTotals())
+		ms.Close() //nolint:errcheck // best-effort; parked leftovers expire server-side
+	}
+	res.stats = c.Stats()
+	res.faults = inj.Faults()
 }

@@ -38,7 +38,14 @@ type metricsShard struct {
 
 	encodeNs atomic.Int64 // wall time spent in encode handlers
 
-	_ [128 - 15*8%128]byte // pad to a 128-byte multiple
+	timeouts atomic.Int64 // connections killed by an idle/write deadline
+	busy     atomic.Int64 // busy rejections: shed connections + refused opens
+	retries  atomic.Int64 // resume attempts received (each one is a client retry)
+	resumes  atomic.Int64 // sessions successfully resumed (reattached or rebuilt)
+	parked   atomic.Int64 // resumable sessions currently parked
+	panics   atomic.Int64 // handler panics recovered into clean teardowns
+
+	_ [256 - 21*8%256]byte // pad to a 256-byte multiple
 }
 
 // noteConn records one accepted connection.
@@ -63,6 +70,32 @@ func (m *metricsShard) noteAdaptive() { m.adaptive.Add(1) }
 
 // noteSwitch records one adaptive scheme switch (any session, any lane).
 func (m *metricsShard) noteSwitch() { m.switches.Add(1) }
+
+// noteTimeout records one connection killed by an idle/write deadline.
+func (m *metricsShard) noteTimeout() { m.timeouts.Add(1) }
+
+// noteBusy records one overload rejection (a shed connection or a refused
+// session open at capacity).
+func (m *metricsShard) noteBusy() { m.busy.Add(1) }
+
+// noteResumeAttempt records one msgResume received — each is one client
+// retry reaching the server, successful or not.
+func (m *metricsShard) noteResumeAttempt() { m.retries.Add(1) }
+
+// noteResumed records one session carried across a reconnect (reattached or
+// rebuilt). The active gauge moves separately: a reattach pairs this with
+// noteReattach, a rebuild with the ordinary noteSession.
+func (m *metricsShard) noteResumed() { m.resumes.Add(1) }
+
+// noteReattach returns a previously parked session to the active gauge.
+func (m *metricsShard) noteReattach() { m.active.Add(1) }
+
+// notePark moves a resumable session between the active and parked gauges
+// (delta +1 parks, -1 unparks without reactivating — the expiry path).
+func (m *metricsShard) notePark(delta int64) { m.parked.Add(delta) }
+
+// notePanic records one handler panic recovered into a clean teardown.
+func (m *metricsShard) notePanic() { m.panics.Add(1) }
 
 // noteEncode records one encode handler invocation: frames and bursts
 // processed, the activity deltas, and the time spent. batch distinguishes
@@ -152,6 +185,18 @@ type MetricsSnapshot struct {
 	// NsPerBurst is EncodeTime divided by Bursts; TogglesSavedRatio is
 	// TogglesSaved over the raw transition count.
 	NsPerBurst, TogglesSavedRatio float64
+	// ConnTimeouts counts connections killed by an idle/write deadline;
+	// BusyRejections counts overload rejections (shed connections plus
+	// session opens refused at capacity).
+	ConnTimeouts, BusyRejections int64
+	// Retries counts msgResume attempts received (every one is a client
+	// retry reaching the server); Resumes counts the successful ones,
+	// reattached or rebuilt. Parked is the gauge of resumable sessions
+	// currently parked awaiting a resume.
+	Retries, Resumes, Parked int64
+	// PanicsRecovered counts handler panics converted into error frames and
+	// clean session teardowns instead of crashes.
+	PanicsRecovered int64
 	// SessionsByScheme counts sessions opened per resolved scheme name.
 	SessionsByScheme map[string]int64
 	// ShardActive is the per-shard spread of Active, the load-balance
@@ -186,6 +231,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.Raw.Zeros += int(sh.rawZeros.Load())
 		s.Raw.Transitions += int(sh.rawToggle.Load())
 		s.EncodeTime += time.Duration(sh.encodeNs.Load())
+		s.ConnTimeouts += sh.timeouts.Load()
+		s.BusyRejections += sh.busy.Load()
+		s.Retries += sh.retries.Load()
+		s.Resumes += sh.resumes.Load()
+		s.Parked += sh.parked.Load()
+		s.PanicsRecovered += sh.panics.Load()
 	}
 	m.mu.Lock()
 	s.SessionsByScheme = make(map[string]int64, len(m.byScheme))
@@ -232,6 +283,12 @@ func (s MetricsSnapshot) WriteText(buf *bytes.Buffer) error {
 		{"zeros_saved", fmt.Sprint(s.ZerosSaved)},
 		{"encode_ns_total", fmt.Sprint(s.EncodeTime.Nanoseconds())},
 		{"encode_ns_per_burst", fmt.Sprintf("%.1f", s.NsPerBurst)},
+		{"conn_timeouts", fmt.Sprint(s.ConnTimeouts)},
+		{"busy_rejections", fmt.Sprint(s.BusyRejections)},
+		{"retries_total", fmt.Sprint(s.Retries)},
+		{"resumes", fmt.Sprint(s.Resumes)},
+		{"sessions_parked", fmt.Sprint(s.Parked)},
+		{"panics_recovered", fmt.Sprint(s.PanicsRecovered)},
 	}
 	for _, r := range rows {
 		if err := tbl.AddRow(r.name, r.value); err != nil {
@@ -268,6 +325,12 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 	counter("dbiserve_raw_zeros_total", "Transmitted zeros of the uncoded baseline.", int64(s.Raw.Zeros))
 	counter("dbiserve_raw_transitions_total", "Wire transitions of the uncoded baseline.", int64(s.Raw.Transitions))
 	counter("dbiserve_encode_ns_total", "Wall nanoseconds spent in encode handlers.", s.EncodeTime.Nanoseconds())
+	counter("dbiserve_conn_timeouts_total", "Connections killed by an idle or write deadline.", s.ConnTimeouts)
+	counter("dbiserve_busy_rejections_total", "Overload rejections: shed connections and refused session opens.", s.BusyRejections)
+	counter("dbiserve_retries_total", "Resume attempts received (each is one client retry).", s.Retries)
+	counter("dbiserve_resumes_total", "Sessions successfully resumed across a reconnect.", s.Resumes)
+	gauge("dbiserve_sessions_parked", "Resumable sessions currently parked awaiting a resume.", s.Parked)
+	counter("dbiserve_panics_recovered_total", "Handler panics recovered into clean teardowns.", s.PanicsRecovered)
 	if len(s.SessionsByScheme) > 0 {
 		name := "dbiserve_sessions_opened_by_scheme_total"
 		fmt.Fprintf(&b, "# HELP %s Sessions opened, by resolved scheme name.\n# TYPE %s counter\n", name, name)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 
@@ -23,7 +24,11 @@ type MuxClient struct {
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
+	addr   string
 	def    SessionConfig
+	opts   MuxOptions
+	rng    *rand.Rand // jitter source; seeded, so delays replay
+	stats  MuxStats
 	closed bool
 	nextID uint64
 
@@ -49,6 +54,19 @@ type MuxSession struct {
 	// switches collects the session's SWITCH notices, in arrival (=
 	// switch) order. Guarded by the parent client's mutex.
 	switches []SwitchNote
+
+	// Resume mirror (token != 0): the client-side replica of the wire
+	// state the server holds for this session, advanced per acknowledged
+	// frame from the sent payload and returned masks, and per SWITCH
+	// notice. It becomes the msgResume claim after a disconnect. Guarded
+	// by the parent client's mutex.
+	token     uint64
+	mirTotals Totals
+	mirCoded  []bus.LineState
+	mirRaw    []bus.LineState
+	cands     []string // adaptive candidate names, in server order
+	mirLive   []uint8
+	mirSw     []uint32
 }
 
 // DialMux connects to a dbiserve instance as a protocol-v3 multiplexed
@@ -56,6 +74,13 @@ type MuxSession struct {
 // may lean on (scheme, weights, adaptive settings); its geometry defaults
 // to 1 lane × bus.BurstLength beats, as Dial's does.
 func DialMux(addr string, def SessionConfig) (*MuxClient, error) {
+	return DialMuxOpts(addr, def, MuxOptions{})
+}
+
+// DialMuxOpts is DialMux with the fault-tolerance knobs: a retry policy
+// (reconnect with exponential backoff, resuming every resumable session)
+// and a dial override (how the chaos harness injects faults).
+func DialMuxOpts(addr string, def SessionConfig, opts MuxOptions) (*MuxClient, error) {
 	if def.Lanes == 0 {
 		def.Lanes = 1
 	}
@@ -65,30 +90,44 @@ func DialMux(addr string, def SessionConfig) (*MuxClient, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+	if opts.Retry.MaxAttempts > 0 {
+		opts.Retry = opts.Retry.withDefaults()
 	}
 	c := &MuxClient{
-		conn:     conn,
-		r:        bufio.NewReader(conn),
-		w:        bufio.NewWriter(conn),
+		addr:     addr,
 		def:      def,
+		opts:     opts,
+		rng:      newJitterSource(opts.Retry.Seed),
 		sessions: make(map[uint64]*MuxSession),
 	}
-	if err := writeHandshake(c.w, protocolV3, true, def); err != nil {
-		conn.Close()
+	conn, err := dialTransport(addr, opts.Dial)
+	if err != nil {
 		return nil, err
 	}
-	if err := c.w.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if _, err := readReply(c.r); err != nil {
-		conn.Close()
+	if err := c.attach(conn); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// attach installs a freshly dialled transport and performs the handshake.
+func (c *MuxClient) attach(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	if err := writeHandshake(w, protocolV3, true, c.def); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	if _, err := readReply(r); err != nil {
+		conn.Close()
+		return err
+	}
+	c.conn, c.r, c.w, c.closed = conn, r, w, false
+	return nil
 }
 
 // send writes one request whose payload is prefixed with the session id.
@@ -156,7 +195,9 @@ func (c *MuxClient) roundTrip(typ byte, sid uint64, payload []byte, want byte) (
 		return nil, fmt.Errorf("server: client is closed")
 	}
 	var err error
-	if typ == msgMetrics || typ == msgQuit {
+	if typ == msgMetrics || typ == msgQuit || typ == msgResume {
+		// Connection-scoped requests — and msgResume, whose payload
+		// already leads with its (new) session id.
 		err = c.sendBare(typ, payload)
 	} else {
 		err = c.send(typ, sid, payload)
@@ -177,6 +218,7 @@ func (c *MuxClient) roundTrip(typ byte, sid uint64, payload []byte, want byte) (
 			}
 			if sess := c.sessions[gotSid]; sess != nil {
 				sess.switches = append(sess.switches, note)
+				sess.noteSwitchMirror(note)
 			}
 			continue
 		case msgError:
@@ -227,16 +269,28 @@ func (c *MuxClient) Open(cfg SessionConfig) (*MuxSession, error) {
 		return nil, fmt.Errorf("server: open reply of %d bytes is malformed", len(body))
 	}
 	text := string(body[3:])
-	if status != 0 {
-		return nil, fmt.Errorf("server: session rejected: %s", text)
+	if status != statusOK {
+		return nil, statusErr(status, text)
 	}
 	sess := &MuxSession{
 		c:        c,
 		id:       sid,
 		cfg:      cfg,
 		scheme:   text,
+		token:    cfg.ResumeToken,
 		frameBuf: make([]byte, cfg.Lanes*cfg.Beats),
 		inv:      make([]bool, cfg.Beats),
+	}
+	if sess.token != 0 {
+		cands := parseAdaptiveScheme(text)
+		if cands != nil && !cfg.Adapt {
+			// The server made the session adaptive through its own
+			// defaults; the mirror can only track adaptive state the claim
+			// can also carry, which requires Adapt set explicitly.
+			c.roundTrip(msgCloseSess, sid, nil, msgTotalsReply) //nolint:errcheck
+			return nil, fmt.Errorf("server: resumable session resolved %s; set SessionConfig.Adapt explicitly so the resume claim carries the adaptive state", text)
+		}
+		sess.mirrorInit(cands)
 	}
 	c.sessions[sid] = sess
 	return sess, nil
@@ -316,12 +370,23 @@ func (s *MuxSession) EncodeFrame(f bus.Frame) ([]bus.Wire, error) {
 		return nil, fmt.Errorf("server: session is closed")
 	}
 	masks, err := s.c.roundTrip(msgFrame, s.id, s.frameBuf, msgMasks)
+	recovered := false
+	if err != nil && s.token != 0 && s.c.opts.Retry.MaxAttempts > 0 && IsTransient(err) {
+		// Transient death mid-frame: reconnect, resume, and settle this
+		// frame exactly once (replayed masks or a re-send). recoverFrame
+		// leaves the mirror already advanced over the frame.
+		masks, err = s.c.recoverFrame(s, err)
+		recovered = true
+	}
 	if err != nil {
 		return nil, err
 	}
 	mb := maskBytes(s.cfg.Beats)
 	if len(masks) != s.cfg.Lanes*mb {
 		return nil, fmt.Errorf("server: mask reply is %d bytes, want %d", len(masks), s.cfg.Lanes*mb)
+	}
+	if s.token != 0 && !recovered {
+		s.applyMasks(s.frameBuf, masks)
 	}
 	wires := make([]bus.Wire, s.cfg.Lanes)
 	for l, b := range f {
@@ -350,6 +415,11 @@ func (s *MuxSession) EncodeBatch(frames []bus.Frame) (Totals, error) {
 // EncodeTrace transmits a pre-serialised binary trace blob ("DBIT" format)
 // as one batch. The blob's beat count must match the session's.
 func (s *MuxSession) EncodeTrace(blob []byte) (Totals, error) {
+	if s.token != 0 {
+		// Mirrors the server-side rejection: one frame of reply history
+		// cannot reconcile a lost batch reply.
+		return Totals{}, fmt.Errorf("server: batch messages are not supported on a resumable session")
+	}
 	if len(blob) > MaxPayload {
 		return Totals{}, fmt.Errorf("server: batch of %d bytes exceeds the %d byte payload limit", len(blob), MaxPayload)
 	}

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"dbiopt/internal/bus"
 )
 
 // Protocol constants. All integers are little-endian; session ids are
@@ -98,6 +100,16 @@ const (
 	// is the uvarint session id, the answer the session's final
 	// msgTotalsReply.
 	msgCloseSess = 'D'
+	// msgResume (v3 mux only) re-opens a session under a fresh connection
+	// after the previous one died: uvarint new session id, the session
+	// config body (flagResume set, carrying the resume token), the client's
+	// claimed wire state (cumulative totals plus the per-lane coded and raw
+	// line states, and the adaptive per-lane live scheme and switch counts),
+	// and an FNV-64a checksum over everything before it. Answered with
+	// msgResumeReply. The server reattaches the parked session when the
+	// claimed state reconciles with the live chain, or rebuilds one seeded
+	// at the claimed state when the parked session already expired.
+	msgResume = 'U'
 )
 
 // Message types, server to client.
@@ -125,9 +137,38 @@ const (
 	// to.
 	msgSwitch = 'W'
 	// msgOpenReply (v3 mux only) answers msgOpen: uvarint session id,
-	// status u8 (0 = accepted), u16 text length, then the resolved scheme
-	// name (accepted) or the rejection reason.
+	// status u8 (0 = accepted; see the status codes below), u16 text
+	// length, then the resolved scheme name (accepted) or the rejection
+	// reason.
 	msgOpenReply = 'R'
+	// msgResumeReply (v3 mux only) answers msgResume: uvarint session id,
+	// status u8, mode u8 (0 = reattached, 1 = rebuilt), u16 text length +
+	// text (scheme name or rejection reason), and on success the server's
+	// current session totals, then — when the server is one frame ahead of
+	// the claim (the reply to the client's last frame was lost in the
+	// disconnect) — the packed inversion masks of that frame, so the client
+	// recovers the lost reply without re-encoding, and finally the per-lane
+	// adaptive state (live candidate + switch count), so a SWITCH notice
+	// lost with that reply cannot leave the client's mirror stale.
+	msgResumeReply = 'V'
+	// msgBusy is an overload rejection sent before any handshake exchange:
+	// when the accept path sheds a connection (MaxConns saturated with
+	// shedding enabled, or a drain in progress) the server answers the dial
+	// with this frame and closes. Payload: status u8 (statusBusy or
+	// statusDraining) + u16 text length + text. Clients detect it by the
+	// leading 'Y' where the "DBIO" reply magic was expected.
+	msgBusy = 'Y'
+)
+
+// Reply status codes, shared by the handshake reply byte, msgOpenReply,
+// msgResumeReply and msgBusy. Zero is success; old clients treat any
+// nonzero byte as a rejection, which remains correct — the codes refine
+// transient (busy, draining) from fatal without breaking the v2 wire.
+const (
+	statusOK       = 0
+	statusError    = 1 // fatal: malformed, rejected config, state mismatch
+	statusBusy     = 2 // transient: connection or session capacity reached
+	statusDraining = 3 // transient: graceful shutdown in progress
 )
 
 // Handshake flag bits.
@@ -141,6 +182,13 @@ const (
 	// defaults for msgOpen, and every subsequent message carries a uvarint
 	// session-id prefix.
 	flagMux = 1 << 1
+	// flagResume (v3) marks a resumable session: the config body carries a
+	// nonzero u64 resume token after the adaptive block. A session opened
+	// with a token is parked — not closed — when its connection dies, and a
+	// later msgResume presenting the same token reattaches it. Only
+	// meaningful on msgOpen/msgResume config bodies; the handshake rejects
+	// it (tokens are per-session, a connection default would collide).
+	flagResume = 1 << 2
 )
 
 // SessionConfig is what a client asks of the server when opening a session
@@ -175,6 +223,16 @@ type SessionConfig struct {
 	// AdaptCandidates are the candidate scheme names; empty defers to the
 	// server's default candidate set.
 	AdaptCandidates []string
+
+	// ResumeToken, when nonzero, makes the session resumable: the server
+	// parks it instead of closing it when the connection dies, and a later
+	// msgResume presenting the same token (from any connection) reattaches
+	// it with its wire state intact. Tokens are client-chosen and must be
+	// unique per server; a colliding open is refused. Resumable sessions
+	// reject batch messages — batch replies carry only totals, which is not
+	// enough for the client to mirror the wire state a resume must claim.
+	// Mux sessions only (msgOpen/msgResume); the handshake rejects tokens.
+	ResumeToken uint64
 }
 
 // Validate reports an error for out-of-range session geometry.
@@ -208,10 +266,11 @@ func (c SessionConfig) Validate() error {
 }
 
 // Wire layout of a session-config body, shared verbatim by the handshake
-// (after its 5-byte magic+version prelude) and by msgOpen (after the
-// uvarint session id): beats u8 | lanes u16 | alpha f64 | beta f64 |
+// (after its 5-byte magic+version prelude) and by msgOpen/msgResume (after
+// the uvarint session id): beats u8 | lanes u16 | alpha f64 | beta f64 |
 // schemeLen u8 | flags u8 | scheme name | [flagAdapt: window u32 |
-// margin f64 | candCount u8 | (nameLen u8 | name)*].
+// margin f64 | candCount u8 | (nameLen u8 | name)*] | [flagResume:
+// token u64].
 const configFixedLen = 1 + 2 + 8 + 8 + 1 + 1
 
 // handshakeLen is the fixed part of the client handshake: magic, version,
@@ -239,6 +298,9 @@ func appendConfigBody(dst []byte, c SessionConfig, mux bool) []byte {
 	if mux {
 		fixed[20] |= flagMux
 	}
+	if c.ResumeToken != 0 {
+		fixed[20] |= flagResume
+	}
 	dst = append(dst, fixed[:]...)
 	dst = append(dst, c.Scheme...)
 	if c.Adapt {
@@ -251,6 +313,11 @@ func appendConfigBody(dst []byte, c SessionConfig, mux bool) []byte {
 			dst = append(dst, byte(len(name)))
 			dst = append(dst, name...)
 		}
+	}
+	if c.ResumeToken != 0 {
+		var tok [8]byte
+		binary.LittleEndian.PutUint64(tok[:], c.ResumeToken)
+		dst = append(dst, tok[:]...)
 	}
 	return dst
 }
@@ -266,7 +333,7 @@ func readConfigBody(r io.Reader, version int) (c SessionConfig, mux bool, err er
 	}
 	known := byte(flagAdapt)
 	if version >= protocolV3 {
-		known |= flagMux
+		known |= flagMux | flagResume
 	}
 	flags := fixed[20]
 	if unknown := flags &^ known; unknown != 0 {
@@ -305,6 +372,18 @@ func readConfigBody(r io.Reader, version int) (c SessionConfig, mux bool, err er
 			c.AdaptCandidates = append(c.AdaptCandidates, string(name))
 		}
 	}
+	if flags&flagResume != 0 {
+		var tok [8]byte
+		if _, err := io.ReadFull(r, tok[:]); err != nil {
+			return SessionConfig{}, false, fmt.Errorf("server: reading resume token: %w", err)
+		}
+		c.ResumeToken = binary.LittleEndian.Uint64(tok[:])
+		if c.ResumeToken == 0 {
+			// A zero token would re-serialise without the flag and desync
+			// the round-trip property; reject it at the parse.
+			return SessionConfig{}, false, fmt.Errorf("server: resume flag with a zero token")
+		}
+	}
 	if err := c.Validate(); err != nil {
 		return SessionConfig{}, false, err
 	}
@@ -331,6 +410,9 @@ func parseConfigBody(b []byte, version int) (SessionConfig, error) {
 func writeHandshake(w io.Writer, version int, mux bool, c SessionConfig) error {
 	if err := c.Validate(); err != nil {
 		return err
+	}
+	if c.ResumeToken != 0 {
+		return fmt.Errorf("server: resume tokens are per-session (msgOpen), not a connection default")
 	}
 	buf := make([]byte, 5, handshakeLen+len(c.Scheme))
 	copy(buf, helloMagic)
@@ -363,37 +445,79 @@ func readHandshake(r io.Reader) (c SessionConfig, version int, mux bool, err err
 	if mux && version < protocolV3 {
 		return SessionConfig{}, 0, false, fmt.Errorf("server: multiplexing requires protocol v3")
 	}
+	if c.ResumeToken != 0 {
+		return SessionConfig{}, 0, false, fmt.Errorf("server: resume tokens are per-session (msgOpen), not a connection default")
+	}
 	return c, version, mux, nil
 }
 
 // writeReply sends the server's handshake response, echoing the negotiated
-// protocol version: ok carries the resolved scheme name (empty on a mux
-// connection, whose sessions resolve at msgOpen), !ok the error text (after
-// which the server closes).
-func writeReply(w io.Writer, version int, ok bool, msg string) error {
+// protocol version: statusOK carries the resolved scheme name (empty on a
+// mux connection, whose sessions resolve at msgOpen), any other status the
+// error text (after which the server closes). Old clients treat any
+// nonzero status byte as a rejection, so refining the byte into the typed
+// codes did not move the v2 wire.
+func writeReply(w io.Writer, version int, status byte, msg string) error {
 	if len(msg) > math.MaxUint16 {
 		msg = msg[:math.MaxUint16]
 	}
 	buf := make([]byte, 8, 8+len(msg))
 	copy(buf, replyMagic)
 	buf[4] = byte(version)
-	if !ok {
-		buf[5] = 1
-	}
+	buf[5] = status
 	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(msg)))
 	buf = append(buf, msg...)
 	_, err := w.Write(buf)
 	return err
 }
 
+// appendBusyFrame serialises a complete msgBusy frame (header included):
+// the overload rejection the accept path sends in place of a handshake
+// exchange when it sheds a connection.
+func appendBusyFrame(dst []byte, status byte, msg string) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	var hdr [5]byte
+	putHeader(&hdr, msgBusy, 3+len(msg))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, status)
+	var ln [2]byte
+	binary.LittleEndian.PutUint16(ln[:], uint16(len(msg)))
+	dst = append(dst, ln[:]...)
+	dst = append(dst, msg...)
+	return dst
+}
+
 // readReply parses the server's handshake response, returning the resolved
-// scheme name or the server's rejection as an error. Both v2 and v3
-// version bytes are accepted: the server echoes whatever the client spoke
-// (and answers an unparseable handshake with the newest version).
+// scheme name or the server's rejection as an error — typed (ErrBusy,
+// ErrDraining) when the status code marks the rejection transient. Both v2
+// and v3 version bytes are accepted: the server echoes whatever the client
+// spoke (and answers an unparseable handshake with the newest version). A
+// shed connection never sends the handshake reply at all: it answers the
+// dial with a msgBusy frame, which this parser detects by the leading 'Y'
+// and maps to the same typed errors.
 func readReply(r io.Reader) (string, error) {
 	var buf [8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return "", fmt.Errorf("server: reading handshake reply: %w", err)
+	}
+	if buf[0] == msgBusy {
+		// A shed frame is at least 8 bytes (5-byte header + status + u16
+		// text length), so the fixed read above never over-consumes.
+		n := binary.LittleEndian.Uint32(buf[1:5])
+		ln := int(binary.LittleEndian.Uint16(buf[6:8]))
+		if n > MaxPayload || int(n) != 3+ln {
+			return "", fmt.Errorf("server: malformed busy frame")
+		}
+		msg := make([]byte, ln)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return "", fmt.Errorf("server: reading busy frame: %w", err)
+		}
+		if err := statusErr(buf[5], string(msg)); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("server: malformed busy frame with ok status")
 	}
 	if string(buf[:4]) != replyMagic {
 		return "", fmt.Errorf("server: bad reply magic %q", buf[:4])
@@ -405,8 +529,8 @@ func readReply(r io.Reader) (string, error) {
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return "", fmt.Errorf("server: reading handshake reply: %w", err)
 	}
-	if buf[5] != 0 {
-		return "", fmt.Errorf("server: session rejected: %s", msg)
+	if err := statusErr(buf[5], string(msg)); err != nil {
+		return "", err
 	}
 	return string(msg), nil
 }
@@ -442,18 +566,14 @@ func uvarintLen(v uint64) int {
 }
 
 // appendOpenReply serialises a msgOpenReply payload: session id, status,
-// and the resolved scheme name (ok) or rejection reason (!ok).
-func appendOpenReply(dst []byte, sid uint64, ok bool, msg string) []byte {
+// and the resolved scheme name (statusOK) or rejection reason.
+func appendOpenReply(dst []byte, sid uint64, status byte, msg string) []byte {
 	if len(msg) > math.MaxUint16 {
 		msg = msg[:math.MaxUint16]
 	}
 	var sb [binary.MaxVarintLen64]byte
 	dst = append(dst, sb[:binary.PutUvarint(sb[:], sid)]...)
-	if ok {
-		dst = append(dst, 0)
-	} else {
-		dst = append(dst, 1)
-	}
+	dst = append(dst, status)
 	var ln [2]byte
 	binary.LittleEndian.PutUint16(ln[:], uint16(len(msg)))
 	dst = append(dst, ln[:]...)
@@ -462,21 +582,320 @@ func appendOpenReply(dst []byte, sid uint64, ok bool, msg string) []byte {
 }
 
 // parseOpenReply deserialises a msgOpenReply payload.
-func parseOpenReply(b []byte) (sid uint64, ok bool, msg string, err error) {
+func parseOpenReply(b []byte) (sid uint64, status byte, msg string, err error) {
 	sid, n := binary.Uvarint(b)
 	if n <= 0 {
-		return 0, false, "", fmt.Errorf("server: open reply with bad session id varint")
+		return 0, 0, "", fmt.Errorf("server: open reply with bad session id varint")
 	}
 	rest := b[n:]
 	if len(rest) < 3 {
-		return 0, false, "", fmt.Errorf("server: open reply of %d bytes is truncated", len(b))
+		return 0, 0, "", fmt.Errorf("server: open reply of %d bytes is truncated", len(b))
 	}
-	status := rest[0]
+	status = rest[0]
 	ln := int(binary.LittleEndian.Uint16(rest[1:3]))
 	if len(rest) != 3+ln {
-		return 0, false, "", fmt.Errorf("server: open reply of %d bytes is malformed", len(b))
+		return 0, 0, "", fmt.Errorf("server: open reply of %d bytes is malformed", len(b))
 	}
-	return sid, status == 0, string(rest[3:]), nil
+	return sid, status, string(rest[3:]), nil
+}
+
+// msgResumeReply mode byte: how the server satisfied the resume.
+const (
+	// resumeReattached: the parked session object itself was reattached —
+	// its LaneSet, adaptive controller and totals are the live originals,
+	// so the continuation is bit-identical even mid-window.
+	resumeReattached = 0
+	// resumeRebuilt: the parked session had already expired (or never
+	// parked — the claim arrived at a different server), and a fresh
+	// session was seeded from the claimed wire state. Static schemes are
+	// memoryless beyond the per-lane line state, so the continuation is
+	// still bit-identical; adaptive sessions re-seed their shadow chains at
+	// the claimed state exactly as the switch protocol does, but their
+	// decision windows restart.
+	resumeRebuilt = 1
+)
+
+// FNV-64a, inlined rather than via hash/fnv so the checksum needs no
+// allocation and no hash.Hash indirection.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// resumeClaim is the client's account of a resumable session's wire state,
+// carried by msgResume: everything the server needs to either validate a
+// reattach against the parked original or rebuild an equivalent session
+// from scratch. The per-lane line states are the full Markov state of the
+// encode chains; the totals double as a cheap cross-check that client and
+// server counted the same traffic.
+type resumeClaim struct {
+	// sid is the session id the resumed session will answer to on the new
+	// connection (session-id space is per-connection, so it need not match
+	// the id the session had before the disconnect).
+	sid uint64
+	// cfg is the original session config, flagResume set, carrying the
+	// token that names the parked session.
+	cfg SessionConfig
+	// totals is the client's view of the cumulative totals after the last
+	// acknowledged frame.
+	totals Totals
+	// coded and raw are the per-lane line states of the coded chain and the
+	// raw (baseline) chain after the last acknowledged frame.
+	coded, raw []bus.LineState
+	// live and laneSwitches (adaptive sessions only) are the per-lane live
+	// candidate index and switch count after the last acknowledged frame,
+	// mirrored from the SWITCH notices.
+	live         []uint8
+	laneSwitches []uint32
+}
+
+// Wire layout of a msgResume payload: uvarint new session id | session
+// config body (flagResume + token) | claimed totals | per-lane coded line
+// states (data u8, dbi u8) | per-lane raw line states | [adaptive: per-lane
+// live candidate u8, then per-lane switch count u32] | FNV-64a checksum u64
+// over every preceding payload byte.
+
+// appendResume serialises a msgResume payload onto dst.
+func appendResume(dst []byte, rc resumeClaim) ([]byte, error) {
+	if rc.cfg.ResumeToken == 0 {
+		return nil, fmt.Errorf("server: resume claim without a token")
+	}
+	if err := rc.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rc.coded) != rc.cfg.Lanes || len(rc.raw) != rc.cfg.Lanes {
+		return nil, fmt.Errorf("server: resume claim with %d/%d line states for %d lanes",
+			len(rc.coded), len(rc.raw), rc.cfg.Lanes)
+	}
+	if rc.cfg.Adapt && (len(rc.live) != rc.cfg.Lanes || len(rc.laneSwitches) != rc.cfg.Lanes) {
+		return nil, fmt.Errorf("server: adaptive resume claim with %d/%d lane entries for %d lanes",
+			len(rc.live), len(rc.laneSwitches), rc.cfg.Lanes)
+	}
+	start := len(dst)
+	var sb [binary.MaxVarintLen64]byte
+	dst = append(dst, sb[:binary.PutUvarint(sb[:], rc.sid)]...)
+	dst = appendConfigBody(dst, rc.cfg, false)
+	var tb [totalsLen]byte
+	putTotals(tb[:], rc.totals)
+	dst = append(dst, tb[:]...)
+	dst = appendLineStates(dst, rc.coded)
+	dst = appendLineStates(dst, rc.raw)
+	if rc.cfg.Adapt {
+		dst = append(dst, rc.live...)
+		for _, s := range rc.laneSwitches {
+			var w [4]byte
+			binary.LittleEndian.PutUint32(w[:], s)
+			dst = append(dst, w[:]...)
+		}
+	}
+	var ck [8]byte
+	binary.LittleEndian.PutUint64(ck[:], fnv64a(dst[start:]))
+	return append(dst, ck[:]...), nil
+}
+
+// parseResume deserialises and validates a msgResume payload. Anything that
+// would not re-serialise bit-identically — a checksum mismatch, a
+// non-minimal session-id varint, an out-of-range DBI byte, trailing or
+// missing bytes — is rejected: a resume seeds encoder state, so a malformed
+// claim must die here rather than corrupt a chain.
+func parseResume(b []byte) (resumeClaim, error) {
+	if len(b) < 8 {
+		return resumeClaim{}, fmt.Errorf("server: resume payload of %d bytes is truncated", len(b))
+	}
+	body := b[:len(b)-8]
+	if got := binary.LittleEndian.Uint64(b[len(b)-8:]); got != fnv64a(body) {
+		return resumeClaim{}, fmt.Errorf("server: resume checksum mismatch")
+	}
+	var rc resumeClaim
+	sid, n := binary.Uvarint(body)
+	if n <= 0 || n != uvarintLen(sid) {
+		return resumeClaim{}, fmt.Errorf("server: resume payload with bad session id varint")
+	}
+	br := bytes.NewReader(body[n:])
+	cfg, mux, err := readConfigBody(br, protocolV3)
+	if err != nil {
+		return resumeClaim{}, err
+	}
+	if mux {
+		return resumeClaim{}, fmt.Errorf("server: resume config with the mux flag")
+	}
+	if cfg.ResumeToken == 0 {
+		return resumeClaim{}, fmt.Errorf("server: resume claim without a token")
+	}
+	rc.sid, rc.cfg = sid, cfg
+	rest := body[len(body)-br.Len():]
+	want := totalsLen + 4*cfg.Lanes
+	if cfg.Adapt {
+		want += 5 * cfg.Lanes
+	}
+	if len(rest) != want {
+		return resumeClaim{}, fmt.Errorf("server: resume state of %d bytes, want %d", len(rest), want)
+	}
+	rc.totals = parseTotals(rest[:totalsLen])
+	rest = rest[totalsLen:]
+	if rc.coded, rest, err = parseLineStates(rest, cfg.Lanes); err != nil {
+		return resumeClaim{}, err
+	}
+	if rc.raw, rest, err = parseLineStates(rest, cfg.Lanes); err != nil {
+		return resumeClaim{}, err
+	}
+	if cfg.Adapt {
+		rc.live = append([]uint8(nil), rest[:cfg.Lanes]...)
+		rest = rest[cfg.Lanes:]
+		rc.laneSwitches = make([]uint32, cfg.Lanes)
+		for i := range rc.laneSwitches {
+			rc.laneSwitches[i] = binary.LittleEndian.Uint32(rest[4*i:])
+		}
+	}
+	return rc, nil
+}
+
+// appendLineStates serialises per-lane line states as (data, dbi) byte
+// pairs.
+func appendLineStates(dst []byte, states []bus.LineState) []byte {
+	for _, ls := range states {
+		d := byte(0)
+		if ls.DBI {
+			d = 1
+		}
+		dst = append(dst, ls.Data, d)
+	}
+	return dst
+}
+
+// parseLineStates deserialises lanes (data, dbi) byte pairs, rejecting DBI
+// bytes other than 0/1 (they would not re-serialise identically).
+func parseLineStates(b []byte, lanes int) ([]bus.LineState, []byte, error) {
+	out := make([]bus.LineState, lanes)
+	for i := range out {
+		d, v := b[2*i], b[2*i+1]
+		if v > 1 {
+			return nil, nil, fmt.Errorf("server: resume line state with DBI byte %d", v)
+		}
+		out[i] = bus.LineState{Data: d, DBI: v == 1}
+	}
+	return out, b[2*lanes:], nil
+}
+
+// resumeReplyState is the success body of a msgResumeReply: the server's
+// current totals, the lost-reply masks when the server's chain is one frame
+// ahead of the claim (nil otherwise), and the per-lane adaptive state (nil
+// for fixed-scheme sessions) with which the client re-seeds its mirror.
+type resumeReplyState struct {
+	totals       Totals
+	masks        []byte
+	live         []uint8
+	laneSwitches []uint32
+}
+
+// appendResumeReply serialises a msgResumeReply payload: session id, status,
+// mode, text (scheme name or rejection reason), and on success the state
+// block above — totals | u32 maskLen + masks | u16 adaptive lane count +
+// per-lane live u8 + per-lane switches u32.
+func appendResumeReply(dst []byte, sid uint64, status, mode byte, msg string, rs resumeReplyState) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	var sb [binary.MaxVarintLen64]byte
+	dst = append(dst, sb[:binary.PutUvarint(sb[:], sid)]...)
+	dst = append(dst, status, mode)
+	var ln [2]byte
+	binary.LittleEndian.PutUint16(ln[:], uint16(len(msg)))
+	dst = append(dst, ln[:]...)
+	dst = append(dst, msg...)
+	if status == statusOK {
+		var tb [totalsLen]byte
+		putTotals(tb[:], rs.totals)
+		dst = append(dst, tb[:]...)
+		var ml [4]byte
+		binary.LittleEndian.PutUint32(ml[:], uint32(len(rs.masks)))
+		dst = append(dst, ml[:]...)
+		dst = append(dst, rs.masks...)
+		var al [2]byte
+		binary.LittleEndian.PutUint16(al[:], uint16(len(rs.live)))
+		dst = append(dst, al[:]...)
+		dst = append(dst, rs.live...)
+		for _, s := range rs.laneSwitches {
+			var w [4]byte
+			binary.LittleEndian.PutUint32(w[:], s)
+			dst = append(dst, w[:]...)
+		}
+	}
+	return dst
+}
+
+// parseResumeReply deserialises a full msgResumeReply payload, session-id
+// prefix included. The returned masks and live slices alias b.
+func parseResumeReply(b []byte) (sid uint64, status, mode byte, msg string, rs resumeReplyState, err error) {
+	sid, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, 0, "", resumeReplyState{}, fmt.Errorf("server: resume reply with bad session id varint")
+	}
+	status, mode, msg, rs, err = parseResumeReplyBody(b[n:])
+	return sid, status, mode, msg, rs, err
+}
+
+// parseResumeReplyBody deserialises a msgResumeReply payload after its
+// session-id prefix (which MuxClient.recv has already split off).
+func parseResumeReplyBody(rest []byte) (status, mode byte, msg string, rs resumeReplyState, err error) {
+	fail := func(format string, args ...any) (byte, byte, string, resumeReplyState, error) {
+		return 0, 0, "", resumeReplyState{}, fmt.Errorf(format, args...)
+	}
+	if len(rest) < 4 {
+		return fail("server: resume reply of %d bytes is truncated", len(rest))
+	}
+	status, mode = rest[0], rest[1]
+	ln := int(binary.LittleEndian.Uint16(rest[2:4]))
+	rest = rest[4:]
+	if len(rest) < ln {
+		return fail("server: resume reply body of %d bytes is truncated", len(rest))
+	}
+	msg = string(rest[:ln])
+	rest = rest[ln:]
+	if status != statusOK {
+		if len(rest) != 0 {
+			return fail("server: resume reply body of %d bytes is malformed", len(rest))
+		}
+		return status, mode, msg, resumeReplyState{}, nil
+	}
+	if mode != resumeReattached && mode != resumeRebuilt {
+		return fail("server: resume reply with unknown mode %d", mode)
+	}
+	if len(rest) < totalsLen+4 {
+		return fail("server: resume reply body of %d bytes is truncated", len(rest))
+	}
+	rs.totals = parseTotals(rest[:totalsLen])
+	ml := int(binary.LittleEndian.Uint32(rest[totalsLen : totalsLen+4]))
+	rest = rest[totalsLen+4:]
+	if ml < 0 || len(rest) < ml+2 {
+		return fail("server: resume reply body of %d bytes is truncated", len(rest))
+	}
+	if ml > 0 {
+		rs.masks = rest[:ml]
+	}
+	rest = rest[ml:]
+	alanes := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) != 5*alanes {
+		return fail("server: resume reply body of %d bytes is malformed", len(rest))
+	}
+	if alanes > 0 {
+		rs.live = rest[:alanes]
+		rs.laneSwitches = make([]uint32, alanes)
+		for i := range rs.laneSwitches {
+			rs.laneSwitches[i] = binary.LittleEndian.Uint32(rest[alanes+4*i:])
+		}
+	}
+	return status, mode, msg, rs, nil
 }
 
 // maskBytes is the per-lane size of a packed inversion mask.

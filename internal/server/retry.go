@@ -1,0 +1,361 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"slices"
+	"strings"
+	"time"
+
+	"dbiopt/internal/bus"
+)
+
+// Client-side fault tolerance: reconnect with exponential backoff, then
+// resume every resumable session via msgResume.
+//
+// A MuxClient keeps a mirror of each resumable session's wire state — the
+// per-lane coded and raw line states, the cumulative totals, and (adaptive
+// sessions) the per-lane live candidate and switch count — advanced from
+// exactly what the server already tells it: the payload it sent, the
+// inversion masks it got back, and the SWITCH notices. When a transient
+// error interrupts an EncodeFrame, the client redials, presents the mirror
+// as a msgResume claim for every resumable session, and reconciles the one
+// in-flight frame: either the server never saw it (re-send) or the reply
+// was lost (the resume reply carries the lost masks). Either way the wire
+// sequence continues bit-identically, with no frame lost or doubled.
+
+// RetryConfig configures a MuxClient's reconnect behaviour. The zero value
+// disables reconnection entirely — transient errors surface to the caller,
+// exactly as the plain DialMux client behaves.
+type RetryConfig struct {
+	// MaxAttempts caps the reconnect attempts per failed operation;
+	// <= 0 disables reconnection.
+	MaxAttempts int
+	// BaseDelay is the first backoff step, doubling per attempt; zero
+	// selects 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; zero selects 2s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomised away (0..1); zero
+	// selects 0.2. Negative disables jitter.
+	Jitter float64
+	// Seed seeds the jitter source, so a test (or a chaos run) replays
+	// the same delays; zero selects a fixed default seed.
+	Seed int64
+}
+
+// withDefaults fills the zero fields of an enabled retry config.
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.BaseDelay == 0 {
+		rc.BaseDelay = 50 * time.Millisecond
+	}
+	if rc.MaxDelay == 0 {
+		rc.MaxDelay = 2 * time.Second
+	}
+	if rc.Jitter == 0 {
+		rc.Jitter = 0.2
+	}
+	return rc
+}
+
+// MuxOptions bundles the optional knobs of DialMuxOpts.
+type MuxOptions struct {
+	// Retry configures reconnection; the zero value disables it.
+	Retry RetryConfig
+	// Dial overrides how the client reaches the server. The chaos harness
+	// injects faults here by wrapping the returned conn. nil dials plain
+	// TCP.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// MuxStats counts a MuxClient's brushes with failure.
+type MuxStats struct {
+	// TransientErrors counts operations interrupted by a transient error
+	// (and so entering recovery).
+	TransientErrors int
+	// Retries counts reconnect attempts, successful or not.
+	Retries int
+	// Resumes counts sessions successfully resumed (reattached or
+	// rebuilt) across all reconnects.
+	Resumes int
+}
+
+// Stats returns a snapshot of the client's failure counters.
+func (c *MuxClient) Stats() MuxStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// dialTransport dials addr, via dialFn when set (the chaos harness's fault
+// injection point), plain TCP otherwise.
+func dialTransport(addr string, dialFn func(string) (net.Conn, error)) (net.Conn, error) {
+	var conn net.Conn
+	var err error
+	if dialFn != nil {
+		conn, err = dialFn(addr)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// backoff returns the delay before reconnect attempt n (0-based):
+// BaseDelay doubled per attempt, capped at MaxDelay, with up to Jitter of
+// it randomised away. Caller holds c.mu.
+func (c *MuxClient) backoff(attempt int) time.Duration {
+	rc := c.opts.Retry
+	d := rc.BaseDelay
+	for i := 0; i < attempt && d < rc.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > rc.MaxDelay {
+		d = rc.MaxDelay
+	}
+	if rc.Jitter > 0 && d > 0 {
+		d -= time.Duration(rc.Jitter * c.rng.Float64() * float64(d))
+	}
+	return d
+}
+
+// redial replaces the client's connection with a freshly dialled and
+// handshaken one. Caller holds c.mu.
+func (c *MuxClient) redial() error {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := dialTransport(c.addr, c.opts.Dial)
+	if err != nil {
+		return err
+	}
+	return c.attach(conn)
+}
+
+// recoverFrame is the EncodeFrame recovery path: reconnect with backoff,
+// resume every resumable session, then settle the interrupted frame —
+// either its reply was lost (the resume reply replays the masks) or the
+// server never saw it (send it again). Caller holds c.mu; s is the session
+// whose frame is in flight (its payload still in s.frameBuf).
+func (c *MuxClient) recoverFrame(s *MuxSession, cause error) ([]byte, error) {
+	c.stats.TransientErrors++
+	lastErr := cause
+	for attempt := 0; attempt < c.opts.Retry.MaxAttempts; attempt++ {
+		time.Sleep(c.backoff(attempt))
+		c.stats.Retries++
+		if err := c.redial(); err != nil {
+			lastErr = err
+			continue
+		}
+		masks, replayed, err := c.resumeAll(s)
+		if err != nil {
+			if !IsTransient(err) {
+				return nil, err
+			}
+			lastErr = err
+			c.conn.Close()
+			c.closed = true
+			continue
+		}
+		if replayed {
+			return masks, nil
+		}
+		// The server never saw the frame: send it again on the new
+		// connection. Another fault here just loops.
+		masks, err = c.roundTrip(msgFrame, s.id, s.frameBuf, msgMasks)
+		if err == nil {
+			if len(masks) != s.cfg.Lanes*maskBytes(s.cfg.Beats) {
+				return nil, fmt.Errorf("server: mask reply is %d bytes, want %d",
+					len(masks), s.cfg.Lanes*maskBytes(s.cfg.Beats))
+			}
+			s.applyMasks(s.frameBuf, masks)
+			return masks, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		c.stats.TransientErrors++
+		lastErr = err
+	}
+	return nil, fmt.Errorf("server: gave up after %d reconnect attempts: %w",
+		c.opts.Retry.MaxAttempts, lastErr)
+}
+
+// resumeAll resumes every resumable session on a freshly handshaken
+// connection, in session-id order, and drops the non-resumable ones (their
+// server state died with the old connection). pending is the session with
+// a frame in flight; when the server's chain is one frame ahead, the
+// replayed masks come back with replayed=true. A busy rejection (the
+// server has not yet noticed the old connection die, or is saturated) is
+// transient: the caller backs off and retries the whole attempt. Caller
+// holds c.mu.
+func (c *MuxClient) resumeAll(pending *MuxSession) (masks []byte, replayed bool, err error) {
+	var sids []uint64
+	for sid, s := range c.sessions {
+		if s.token == 0 {
+			s.closed = true
+			delete(c.sessions, sid)
+			continue
+		}
+		sids = append(sids, sid)
+	}
+	slices.Sort(sids)
+	for _, sid := range sids {
+		s := c.sessions[sid]
+		claim := resumeClaim{
+			sid:    s.id,
+			cfg:    s.cfg,
+			totals: s.mirTotals,
+			coded:  s.mirCoded,
+			raw:    s.mirRaw,
+		}
+		if s.cfg.Adapt {
+			claim.live, claim.laneSwitches = s.mirLive, s.mirSw
+		}
+		payload, err := appendResume(nil, claim)
+		if err != nil {
+			return nil, false, err
+		}
+		body, err := c.roundTrip(msgResume, s.id, payload, msgResumeReply)
+		if err != nil {
+			return nil, false, err
+		}
+		status, _, text, rs, err := parseResumeReplyBody(body)
+		if err != nil {
+			return nil, false, err
+		}
+		if status != statusOK {
+			return nil, false, statusErr(status, text)
+		}
+		// Resynchronise the mirror from the server's authoritative state:
+		// totals always, adaptive per-lane state when present (a SWITCH
+		// notice lost with the reply can no longer leave the mirror stale).
+		s.mirTotals = rs.totals
+		if s.cfg.Adapt && len(rs.live) == s.cfg.Lanes {
+			copy(s.mirLive, rs.live)
+			copy(s.mirSw, rs.laneSwitches)
+		}
+		c.stats.Resumes++
+		if len(rs.masks) > 0 {
+			if s != pending {
+				return nil, false, fmt.Errorf("server: resume replayed masks for session %d, which had no frame in flight", sid)
+			}
+			if len(rs.masks) != s.cfg.Lanes*maskBytes(s.cfg.Beats) {
+				return nil, false, fmt.Errorf("server: replayed masks are %d bytes, want %d",
+					len(rs.masks), s.cfg.Lanes*maskBytes(s.cfg.Beats))
+			}
+			// The lost reply: account the in-flight frame as acknowledged
+			// before handing the masks back. mirTotals already reflects it
+			// (the reply carried the server's post-frame totals).
+			s.advanceStates(s.frameBuf, rs.masks)
+			masks, replayed = rs.masks, true
+		}
+	}
+	return masks, replayed, nil
+}
+
+// MirroredTotals returns the client-side mirror of a resumable session's
+// cumulative totals: advanced per acknowledged frame and per SWITCH
+// notice, resynchronised from the server on every resume (which also
+// validates it against the server's chain). The zero Totals for sessions
+// opened without a resume token.
+func (s *MuxSession) MirroredTotals() Totals {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.mirTotals
+}
+
+// mirrorInit sets up the client-side wire-state mirror of a resumable
+// session. cands is the adaptive candidate list parsed from the resolved
+// scheme name (nil for fixed schemes).
+func (s *MuxSession) mirrorInit(cands []string) {
+	s.mirCoded = make([]bus.LineState, s.cfg.Lanes)
+	s.mirRaw = make([]bus.LineState, s.cfg.Lanes)
+	for l := range s.mirCoded {
+		s.mirCoded[l] = bus.InitialLineState
+		s.mirRaw[l] = bus.InitialLineState
+	}
+	if s.cfg.Adapt {
+		s.cands = cands
+		s.mirLive = make([]uint8, s.cfg.Lanes)
+		s.mirSw = make([]uint32, s.cfg.Lanes)
+	}
+}
+
+// applyMasks folds one acknowledged frame into the mirror: per-lane coded
+// state and cost from the payload plus the server's inversion masks, raw
+// state and cost from the plain baseline, and the frame/beat counters.
+func (s *MuxSession) applyMasks(payload, masks []byte) {
+	mb := maskBytes(s.cfg.Beats)
+	for l := 0; l < s.cfg.Lanes; l++ {
+		b := bus.Burst(payload[l*s.cfg.Beats : (l+1)*s.cfg.Beats])
+		unpackMask(s.inv, masks[l*mb:(l+1)*mb])
+		cst := s.mirCoded[l]
+		for t, v := range b {
+			s.mirTotals.Coded = s.mirTotals.Coded.Add(bus.BeatCost(cst, v, s.inv[t]))
+			cst = bus.Advance(cst, v, s.inv[t])
+		}
+		s.mirCoded[l] = cst
+		s.mirTotals.Raw = s.mirTotals.Raw.Add(bus.PlainCost(s.mirRaw[l], b))
+		s.mirRaw[l] = bus.Advance(s.mirRaw[l], b[len(b)-1], false)
+	}
+	s.mirTotals.Frames++
+	s.mirTotals.Beats += s.cfg.Lanes * s.cfg.Beats
+}
+
+// advanceStates advances only the per-lane line states (not the totals)
+// over one frame — the replayed-masks path, where the resume reply already
+// delivered the authoritative totals.
+func (s *MuxSession) advanceStates(payload, masks []byte) {
+	mb := maskBytes(s.cfg.Beats)
+	for l := 0; l < s.cfg.Lanes; l++ {
+		b := bus.Burst(payload[l*s.cfg.Beats : (l+1)*s.cfg.Beats])
+		unpackMask(s.inv, masks[l*mb:(l+1)*mb])
+		cst := s.mirCoded[l]
+		for t, v := range b {
+			cst = bus.Advance(cst, v, s.inv[t])
+		}
+		s.mirCoded[l] = cst
+		s.mirRaw[l] = bus.Advance(s.mirRaw[l], b[len(b)-1], false)
+	}
+}
+
+// noteSwitchMirror folds one SWITCH notice into the mirror: the lane's
+// live candidate index, its switch count, and the session switch total.
+func (s *MuxSession) noteSwitchMirror(note SwitchNote) {
+	if s.token == 0 || !s.cfg.Adapt {
+		return
+	}
+	if i := slices.Index(s.cands, note.To); i >= 0 && note.Lane >= 0 && note.Lane < len(s.mirLive) {
+		s.mirLive[note.Lane] = uint8(i)
+		s.mirSw[note.Lane]++
+	}
+	s.mirTotals.Switches++
+}
+
+// parseAdaptiveScheme extracts the candidate list from a resolved adaptive
+// scheme name "ADAPTIVE(a,b,c)", or nil for fixed-scheme names.
+func parseAdaptiveScheme(scheme string) []string {
+	inner, ok := strings.CutPrefix(scheme, "ADAPTIVE(")
+	if !ok {
+		return nil
+	}
+	inner, ok = strings.CutSuffix(inner, ")")
+	if !ok {
+		return nil
+	}
+	return strings.Split(inner, ",")
+}
+
+// newJitterSource builds the deterministic jitter source for a retry
+// config (seed 0 selects a fixed default, so unseeded clients are still
+// reproducible).
+func newJitterSource(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbiopt/internal/adapt"
 	"dbiopt/internal/bus"
@@ -55,6 +56,25 @@ type Config struct {
 	// on v2 ones) rather than queued: a mux client saturating the session
 	// table gets told, not stalled.
 	MaxSessions int
+
+	// IdleTimeout bounds how long a connection may sit between messages
+	// (including mid-message stalls: the deadline covers every read).
+	// Zero disables the read deadline — the seed behaviour.
+	IdleTimeout time.Duration
+	// WriteTimeout is the extra headroom a reply gets past the idle
+	// budget to drain to the client. Zero disables the write deadline.
+	WriteTimeout time.Duration
+	// Shed switches the overload answer from queueing to telling: with
+	// Shed set, a dialer beyond MaxConns is accepted just long enough to
+	// receive a typed busy frame and is then closed, instead of waiting
+	// indefinitely in the kernel backlog; connections arriving during a
+	// drain get a draining frame the same way. Off by default — the
+	// backpressure contract of the zero Config is unchanged.
+	Shed bool
+	// ParkTimeout bounds how long a resumable session stays claimable
+	// after its connection dies before its state (and MaxSessions slot)
+	// is released. <= 0 selects DefaultParkTimeout.
+	ParkTimeout time.Duration
 
 	// Adapt makes sessions that request no scheme adaptive by default:
 	// they run the internal/adapt windowed controller per lane over the
@@ -109,6 +129,12 @@ type Server struct {
 
 	metricsOnce sync.Once // closes the metrics listener exactly once
 
+	// resume is the token registry: every resumable session, attached or
+	// parked, keyed by its ResumeToken. Guarded by resumeMu — resume
+	// traffic is rare (reconnects), so one mutex suffices.
+	resumeMu sync.Mutex
+	resume   map[uint64]*resumeEntry
+
 	wg sync.WaitGroup // live connection handlers
 }
 
@@ -139,6 +165,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	if cfg.ParkTimeout <= 0 {
+		cfg.ParkTimeout = DefaultParkTimeout
+	}
 	// Fail at construction, not at the first handshake, if the default
 	// scheme cannot be built.
 	if _, err := dbi.Lookup(cfg.Scheme, dbi.Weights{Alpha: cfg.Alpha, Beta: cfg.Beta}); err != nil {
@@ -158,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		shards: make([]connShard, nextPow2(runtime.GOMAXPROCS(0))),
 		done:   make(chan struct{}),
+		resume: make(map[uint64]*resumeEntry),
 	}
 	for i := range s.shards {
 		s.shards[i].conns = make(map[net.Conn]struct{})
@@ -253,13 +283,26 @@ func (s *Server) serveMetricsHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveHealthz is the GET /healthz handler: 200 while serving, 503 once a
-// drain begins (load balancers stop routing; scrapes keep working).
+// drain begins (load balancers stop routing; scrapes keep working). The
+// body carries the saturation gauges either way, so a probe shows how
+// loaded — or how far through a drain — the server is.
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
 	if s.metrics.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		status = "draining"
 	}
-	fmt.Fprintln(w, "ok")
+	conns := 0
+	for i := range s.shards {
+		shard := &s.shards[i]
+		shard.mu.Lock()
+		conns += len(shard.conns)
+		shard.mu.Unlock()
+	}
+	snap := s.metrics.Snapshot()
+	fmt.Fprintf(w, "%s\nconns %d\nsessions %d\nparked %d\nshed %d\n",
+		status, conns, s.sessions.Load(), snap.Parked, snap.BusyRejections)
 }
 
 // serve is the accept loop over a registered listener.
@@ -268,9 +311,29 @@ func (s *Server) serve(lis net.Listener) error {
 
 	sem := make(chan struct{}, s.cfg.MaxConns)
 	for {
-		// Admission control before Accept: a full server stops pulling
-		// connections off the backlog entirely.
-		sem <- struct{}{}
+		if s.cfg.Shed {
+			// Shedding mode: when the server is saturated, keep pulling
+			// connections off the backlog and answer each with a typed
+			// busy frame instead of letting dialers queue indefinitely
+			// behind a semaphore nobody may ever release.
+			select {
+			case sem <- struct{}{}:
+			default:
+				conn, err := lis.Accept()
+				if err != nil {
+					if s.metrics.draining.Load() {
+						return nil
+					}
+					return err
+				}
+				go s.shed(conn, statusBusy, "server: connection limit reached")
+				continue
+			}
+		} else {
+			// Admission control before Accept: a full server stops pulling
+			// connections off the backlog entirely.
+			sem <- struct{}{}
+		}
 		conn, err := lis.Accept()
 		if err != nil {
 			<-sem
@@ -281,7 +344,11 @@ func (s *Server) serve(lis net.Listener) error {
 		}
 		shard := &s.shards[s.acceptSeq.Add(1)&uint64(len(s.shards)-1)]
 		if !s.track(shard, conn) {
-			conn.Close()
+			if s.cfg.Shed {
+				go s.shed(conn, statusDraining, "server: draining")
+			} else {
+				conn.Close()
+			}
 			<-sem
 			return nil
 		}
@@ -296,6 +363,16 @@ func (s *Server) serve(lis net.Listener) error {
 			s.handle(conn)
 		}()
 	}
+}
+
+// shed refuses one connection with a typed busy/draining frame: a bounded
+// write under a short absolute deadline, then close. Runs on its own
+// goroutine so a dialer that never reads cannot stall the accept loop.
+func (s *Server) shed(conn net.Conn, status byte, msg string) {
+	s.metrics.shard().noteBusy()
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	conn.Write(appendBusyFrame(nil, status, msg))          //nolint:errcheck
+	conn.Close()
 }
 
 // track registers a live connection in its shard; it refuses (returning
@@ -347,10 +424,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-finished:
+		s.dropParked()
 		return nil
 	case <-ctx.Done():
 		s.closeConns()
 		<-finished
+		s.dropParked()
 		return ctx.Err()
 	}
 }
@@ -361,6 +440,7 @@ func (s *Server) Close() error {
 	s.closeListener()
 	s.closeConns()
 	s.wg.Wait()
+	s.dropParked()
 	s.closeMetricsListener()
 	return nil
 }
@@ -412,6 +492,11 @@ func (s *Server) closeConns() {
 func (s *Server) handle(nc net.Conn) {
 	m := s.metrics.shard()
 	m.noteConn()
+	if s.cfg.IdleTimeout > 0 {
+		// The handshake gets one absolute deadline before any protocol
+		// state exists; newConn re-arms the steady-state budgets after it.
+		nc.SetDeadline(time.Now().Add(s.cfg.IdleTimeout)) //nolint:errcheck
+	}
 	c, err := s.newConn(nc, m)
 	if err != nil {
 		// A failed handshake is a refused session open: on a v2
@@ -421,5 +506,18 @@ func (s *Server) handle(nc net.Conn) {
 		return
 	}
 	defer c.closeAll()
+	defer func() {
+		// A panicking handler takes down its connection, not the server:
+		// the panic is counted, the client told best-effort, and the
+		// deferred closeAll tears the sessions down (poisoned vetoes
+		// parking — a session that panicked mid-encode has unspecified
+		// state and must not be resumed into).
+		if r := recover(); r != nil {
+			m.notePanic()
+			c.poisoned = true
+			nc.SetWriteDeadline(time.Now().Add(2 * time.Second))    //nolint:errcheck
+			c.connFail(fmt.Errorf("server: internal panic: %v", r)) //nolint:errcheck
+		}
+	}()
 	c.loop()
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -702,10 +703,24 @@ func TestHandshakeRejectsUnknownFlags(t *testing.T) {
 	if _, _, mux, err := readHandshake(bytes.NewReader(raw)); err != nil || !mux {
 		t.Errorf("v3 mux flag: mux=%v err=%v, want mux accepted", mux, err)
 	}
-	// An unknown bit beyond flagMux is refused on v3 too.
-	raw[25] |= 0x04
+	// An unknown bit beyond the known v3 flags is refused on v3 too.
+	raw[25] |= 0x08
 	if _, _, _, err := readHandshake(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "unsupported handshake flags") {
 		t.Errorf("unknown v3 flag bit not refused: %v", err)
+	}
+	// 0x04 is flagResume on v3 — a known bit, but resume tokens are
+	// per-session (msgOpen), so a handshake carrying one is refused on
+	// those grounds rather than as an unknown flag. With the flag set but
+	// no token bytes the config body is simply truncated; either way the
+	// handshake must not parse.
+	raw[25] = (raw[25] &^ 0x08) | 0x04
+	if _, _, _, err := readHandshake(bytes.NewReader(raw)); err == nil {
+		t.Errorf("v3 handshake with the resume flag parsed; want refusal")
+	}
+	withToken := append(append([]byte(nil), raw...), make([]byte, 8)...)
+	binary.LittleEndian.PutUint64(withToken[len(withToken)-8:], 7)
+	if _, _, _, err := readHandshake(bytes.NewReader(withToken)); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Errorf("v3 handshake with a resume token not refused as such: %v", err)
 	}
 }
 

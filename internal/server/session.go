@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"slices"
 	"strings"
 	"sync"
@@ -25,11 +27,29 @@ import (
 type conn struct {
 	srv *Server
 	m   *metricsShard // this connection's counter shard
+	nc  net.Conn      // the transport; nil in unit tests that drive the loop directly
 	r   *bufio.Reader
 	w   *bufio.Writer
 
 	version int
 	mux     bool
+
+	// idle and writeTO are the connection's deadline budgets (zero =
+	// disabled). Re-arming a deadline costs a syscall, so arm() amortises:
+	// deadlines are pushed forward only once armEvery (a quarter of the
+	// smaller budget) has elapsed since lastArm, keeping the steady-state
+	// frame path syscall-free while every read and write stays bounded.
+	idle     time.Duration
+	writeTO  time.Duration
+	armEvery time.Duration
+	lastArm  time.Time
+
+	// quit marks a deliberate client departure (msgQuit); poisoned marks a
+	// recovered panic, after which session state is unspecified. Either
+	// flag vetoes parking in closeAll — resumable sessions park only when
+	// the connection dies under them.
+	quit     bool
+	poisoned bool
 	// def holds the connection's session defaults: for a mux connection
 	// the handshake config (weights already resolved against the server),
 	// for a single-session connection just the server weights.
@@ -85,6 +105,38 @@ type sessState struct {
 	switchMu sync.Mutex
 	pending  []SwitchNote
 	switches int
+
+	// Resumable sessions (cfg.ResumeToken != 0) keep one frame of history:
+	// the per-lane coded/raw line states and the totals as of the moment
+	// before the last frame encoded, valid once a frame has been encoded
+	// since the session was built. A msgResume claiming that previous
+	// frame is validated against these, and answered with maskBuf — the
+	// reply the disconnect ate. Preallocated at session build, refilled in
+	// place per frame: the resumable frame path stays allocation-free.
+	prevCoded  []bus.LineState
+	prevRaw    []bus.LineState
+	prevTotals Totals
+	prevValid  bool
+	// codedBase is the claimed coded cost a rebuilt session resumes from:
+	// totals.Coded = codedBase + ls.TotalCost(). Zero for sessions that
+	// never resumed.
+	codedBase Cost
+}
+
+// resumable reports whether the session parks (rather than closes) when
+// its connection dies.
+func (st *sessState) resumable() bool { return st.cfg.ResumeToken != 0 }
+
+// savePrev snapshots the session's wire state before a frame encodes: the
+// validation target for a resume claiming the frame's reply was lost.
+func (st *sessState) savePrev() {
+	for l := range st.prevCoded {
+		st.prevCoded[l] = st.ls.Lane(l).State()
+	}
+	copy(st.prevRaw, st.rawStates)
+	st.refreshTotals()
+	st.prevTotals = st.totals
+	st.prevValid = true
 }
 
 // newConn performs the handshake on nc. On a single-session connection it
@@ -100,18 +152,21 @@ func (s *Server) newConn(nc net.Conn, m *metricsShard) (*conn, error) {
 		// The handshake never parsed; there may be no protocol speaker on
 		// the other side at all, so reply best-effort (with the newest
 		// version, having negotiated none) and bail.
-		writeReply(w, protocolVersion, false, err.Error()) //nolint:errcheck
-		w.Flush()                                          //nolint:errcheck
+		writeReply(w, protocolVersion, statusError, err.Error()) //nolint:errcheck
+		w.Flush()                                                //nolint:errcheck
 		return nil, err
 	}
-	c := &conn{srv: s, m: m, r: r, w: w, version: version, mux: mux}
+	c := &conn{srv: s, m: m, nc: nc, r: r, w: w, version: version, mux: mux}
+	c.idle, c.writeTO = s.cfg.IdleTimeout, s.cfg.WriteTimeout
+	c.armEvery = armInterval(c.idle, c.writeTO)
+	c.arm()
 	if cfg.Alpha == 0 && cfg.Beta == 0 {
 		cfg.Alpha, cfg.Beta = s.cfg.Alpha, s.cfg.Beta
 	}
 	if mux {
 		c.def = cfg
 		c.sessions = make(map[uint64]*sessState)
-		if err := writeReply(w, version, true, ""); err != nil {
+		if err := writeReply(w, version, statusOK, ""); err != nil {
 			return nil, err
 		}
 		if err := w.Flush(); err != nil {
@@ -121,19 +176,20 @@ func (s *Server) newConn(nc net.Conn, m *metricsShard) (*conn, error) {
 	}
 	c.def = SessionConfig{Alpha: s.cfg.Alpha, Beta: s.cfg.Beta}
 	if !s.reserveSession() {
-		err := fmt.Errorf("server: session limit reached")
-		writeReply(w, version, false, err.Error()) //nolint:errcheck
-		w.Flush()                                  //nolint:errcheck
+		err := fmt.Errorf("%w: session limit reached", ErrBusy)
+		m.noteBusy()
+		writeReply(w, version, statusBusy, "session limit reached") //nolint:errcheck
+		w.Flush()                                                   //nolint:errcheck
 		return nil, err
 	}
 	st, err := c.newSessState(0, cfg)
 	if err != nil {
 		s.releaseSession()
-		writeReply(w, version, false, err.Error()) //nolint:errcheck
-		w.Flush()                                  //nolint:errcheck
+		writeReply(w, version, statusError, err.Error()) //nolint:errcheck
+		w.Flush()                                        //nolint:errcheck
 		return nil, err
 	}
-	if err := writeReply(w, version, true, st.scheme); err != nil {
+	if err := writeReply(w, version, statusOK, st.scheme); err != nil {
 		s.releaseSession()
 		return nil, err
 	}
@@ -173,6 +229,10 @@ func (c *conn) newSessState(sid uint64, cfg SessionConfig) (*sessState, error) {
 		frame:     make(bus.Frame, cfg.Lanes),
 		maskBuf:   make([]byte, cfg.Lanes*maskBytes(cfg.Beats)),
 		rawStates: make([]bus.LineState, cfg.Lanes),
+	}
+	if st.resumable() {
+		st.prevCoded = make([]bus.LineState, cfg.Lanes)
+		st.prevRaw = make([]bus.LineState, cfg.Lanes)
 	}
 	if adaptive {
 		acfg := adapt.Config{
@@ -241,21 +301,88 @@ func (c *conn) newSessState(sid uint64, cfg SessionConfig) (*sessState, error) {
 
 // closeSession ends one open mux session, returning its MaxSessions slot.
 func (c *conn) closeSession(sid uint64) {
+	if st := c.sessions[sid]; st != nil && st.resumable() {
+		c.srv.unregisterToken(st.cfg.ResumeToken)
+	}
 	delete(c.sessions, sid)
 	c.m.noteClose()
 	c.srv.releaseSession()
 }
 
 // closeAll ends every session still open when the connection goes away.
+// Resumable sessions whose connection died under them — no msgQuit, no
+// recovered panic — are parked instead of closed: the token keeps the live
+// session state (and its MaxSessions slot) claimable by a msgResume on a
+// new connection until ParkTimeout expires.
 func (c *conn) closeAll() {
 	if c.single != nil {
 		c.single = nil
 		c.m.noteClose()
 		c.srv.releaseSession()
 	}
-	for sid := range c.sessions {
+	for sid, st := range c.sessions {
+		if st.resumable() && !c.quit && !c.poisoned && c.srv.parkSession(st) {
+			delete(c.sessions, sid)
+			c.m.noteClose()
+			c.m.notePark(1)
+			continue
+		}
 		c.closeSession(sid)
 	}
+}
+
+// armInterval is the re-arm amortisation period: a quarter of the smaller
+// enabled timeout, so a deadline observed by the kernel is never staler
+// than a quarter of its budget.
+func armInterval(idle, writeTO time.Duration) time.Duration {
+	min := idle
+	if min <= 0 || (writeTO > 0 && writeTO < min) {
+		min = writeTO
+	}
+	return min / 4
+}
+
+// arm pushes the connection's deadlines forward: reads get the idle
+// budget, writes get writeTO of headroom past it, so the reply to a
+// request that arrived at the last moment still has time to drain.
+// Amortised through armEvery — the steady-state frame path re-arms (one
+// syscall per deadline) only a few times per budget, not per frame.
+//
+//dbi:hotpath
+func (c *conn) arm() {
+	if c.nc == nil || (c.idle <= 0 && c.writeTO <= 0) {
+		return
+	}
+	now := time.Now()
+	if now.Sub(c.lastArm) < c.armEvery {
+		return
+	}
+	c.lastArm = now
+	if c.idle > 0 {
+		c.nc.SetReadDeadline(now.Add(c.idle)) //nolint:errcheck
+	}
+	if c.writeTO > 0 {
+		head := c.writeTO
+		if c.idle > 0 {
+			head += c.idle
+		}
+		c.nc.SetWriteDeadline(now.Add(head)) //nolint:errcheck
+	}
+}
+
+// noteDead classifies the error that ended the connection. A deadline
+// expiry counts as a timeout and is answered with a best-effort error
+// frame under a short absolute write deadline, so a peer that is alive
+// but silent learns why it was dropped.
+func (c *conn) noteDead(err error) {
+	if err == nil || !errors.Is(err, os.ErrDeadlineExceeded) {
+		return
+	}
+	c.m.noteTimeout()
+	if c.nc != nil {
+		c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	}
+	c.connFail(ErrTimeout) //nolint:errcheck
 }
 
 // loop dispatches messages until the client quits, disconnects, or breaks
@@ -266,9 +393,11 @@ func (c *conn) loop() {
 		return
 	}
 	for {
+		c.arm()
 		typ, n, err := readHeader(c.r, &c.hdr)
 		if err != nil {
-			return // client closed (or the connection died); nothing to say
+			c.noteDead(err) // client closed (or the connection died)
+			return
 		}
 		switch typ {
 		case msgFrame:
@@ -280,6 +409,7 @@ func (c *conn) loop() {
 		case msgMetrics:
 			err = c.discardThen(n, c.sendMetrics)
 		case msgQuit:
+			c.quit = true
 			c.discardThen(n, func() error { return c.sendTotals(c.single) }) //nolint:errcheck // closing anyway
 			return
 		default:
@@ -287,6 +417,7 @@ func (c *conn) loop() {
 			return
 		}
 		if err != nil {
+			c.noteDead(err)
 			return
 		}
 	}
@@ -300,13 +431,16 @@ func (c *conn) loop() {
 // by still-buffered requests is flushed before the connection goes quiet.
 func (c *conn) muxLoop() {
 	for {
+		c.arm()
 		if c.r.Buffered() == 0 {
-			if c.w.Flush() != nil {
+			if err := c.w.Flush(); err != nil {
+				c.noteDead(err)
 				return
 			}
 		}
 		typ, n, err := readHeader(c.r, &c.hdr)
 		if err != nil {
+			c.noteDead(err)
 			return
 		}
 		switch typ {
@@ -334,6 +468,8 @@ func (c *conn) muxLoop() {
 			})
 		case msgOpen:
 			err = c.handleOpen(n)
+		case msgResume:
+			err = c.handleResume(n)
 		case msgMetrics:
 			err = c.discardThen(n, c.sendMetrics)
 		case msgQuit:
@@ -344,6 +480,7 @@ func (c *conn) muxLoop() {
 			return
 		}
 		if err != nil {
+			c.noteDead(err)
 			return
 		}
 	}
@@ -429,27 +566,36 @@ func (c *conn) handleOpen(n int) error {
 	if sn <= 0 {
 		return c.connFail(fmt.Errorf("server: open with a malformed session id varint"))
 	}
-	reject := func(reason string) error {
+	reject := func(status byte, reason string) error {
 		c.m.noteSession(false)
-		return c.openReply(sid, false, reason)
+		if status == statusBusy {
+			c.m.noteBusy()
+		}
+		return c.openReply(sid, status, reason)
 	}
 	cfg, err := parseConfigBody(buf[sn:], c.version)
 	if err != nil {
-		return reject(err.Error())
+		return reject(statusError, err.Error())
 	}
 	if sid == 0 {
-		return reject("server: session id 0 is reserved")
+		return reject(statusError, "server: session id 0 is reserved")
 	}
 	if _, dup := c.sessions[sid]; dup {
-		return reject(fmt.Sprintf("server: session %d is already open", sid))
+		return reject(statusError, fmt.Sprintf("server: session %d is already open", sid))
 	}
 	if !c.srv.reserveSession() {
-		return reject("server: session limit reached")
+		return reject(statusBusy, "server: session limit reached")
 	}
 	st, err := c.newSessState(sid, cfg)
 	if err != nil {
 		c.srv.releaseSession()
-		return reject(err.Error())
+		return reject(statusError, err.Error())
+	}
+	if cfg.ResumeToken != 0 {
+		if !c.srv.registerToken(cfg.ResumeToken, st) {
+			c.srv.releaseSession()
+			return reject(statusError, fmt.Sprintf("server: resume token %#x is already in use", cfg.ResumeToken))
+		}
 	}
 	c.sessions[sid] = st
 	c.m.noteSession(true)
@@ -457,13 +603,13 @@ func (c *conn) handleOpen(n int) error {
 		c.m.noteAdaptive()
 	}
 	c.srv.metrics.noteScheme(st.scheme)
-	return c.openReply(sid, true, st.scheme)
+	return c.openReply(sid, statusOK, st.scheme)
 }
 
 // openReply answers one msgOpen. The payload's leading uvarint session id
 // doubles as the mux reply prefix, so the header is written bare.
-func (c *conn) openReply(sid uint64, ok bool, msg string) error {
-	c.noticeBuf = appendOpenReply(c.noticeBuf[:0], sid, ok, msg)
+func (c *conn) openReply(sid uint64, status byte, msg string) error {
+	c.noticeBuf = appendOpenReply(c.noticeBuf[:0], sid, status, msg)
 	putHeader(&c.hdr, msgOpenReply, len(c.noticeBuf))
 	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return err
@@ -476,6 +622,7 @@ func (c *conn) openReply(sid uint64, ok bool, msg string) error {
 // session, then one aggregate msgTotalsReply under session id 0. The
 // connection closes after it either way.
 func (c *conn) muxQuit(n int) {
+	c.quit = true // deliberate departure: closeAll must not park anything
 	if c.discardN(n) != nil {
 		return
 	}
@@ -518,8 +665,10 @@ func (st *sessState) noteSwitch(sw adapt.Switch) {
 }
 
 // refreshTotals folds the live encode state into the session's Totals.
+// codedBase carries the claimed history of a rebuilt session (zero
+// otherwise), so Coded stays cumulative across a resume.
 func (st *sessState) refreshTotals() {
-	st.totals.Coded = st.ls.TotalCost()
+	st.totals.Coded = st.codedBase.Add(st.ls.TotalCost())
 	st.switchMu.Lock()
 	st.totals.Switches = st.switches
 	st.switchMu.Unlock()
@@ -564,6 +713,7 @@ func (c *conn) flushSwitches(st *sessState) error {
 //
 //dbi:hotpath
 func (c *conn) replyHeader(typ byte, sid uint64, payloadLen int) error {
+	c.arm() // keep the (amortised) write deadline ahead of this reply
 	if !c.mux {
 		putHeader(&c.hdr, typ, payloadLen)
 		_, err := c.w.Write(c.hdr[:])
@@ -674,6 +824,9 @@ func (c *conn) handleFrame(st *sessState, n int) error {
 	if _, err := io.ReadFull(c.r, st.frameBuf); err != nil {
 		return err
 	}
+	if st.resumable() {
+		st.savePrev() // pre-frame snapshot: the resume validation target
+	}
 	start := time.Now()
 	st.accumulateRaw(st.frame)
 	lb := st.ls.TransmitBatch(st.frame)
@@ -745,6 +898,11 @@ func (c *conn) handleBatch(st *sessState, n int) error {
 	buf, err := c.payload(n)
 	if err != nil {
 		return err
+	}
+	if st.resumable() {
+		// One frame of history can't reconcile a lost batch reply, so a
+		// resumable session's exactly-once story holds only frame by frame.
+		return c.sessFail(st.id, errors.New("server: batch messages are not supported on a resumable session"))
 	}
 	start := time.Now()
 	tr, err := trace.NewReader(bytes.NewReader(buf))

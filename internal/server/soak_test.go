@@ -225,3 +225,107 @@ func TestServeSoakChurn(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestChaosSoakWithLiveMetrics is the fault-injection soak: a chaos load
+// run (seeded transport kills, resumable sessions, reconnect + resume)
+// against a server with deadlines and shedding enabled, while /metrics is
+// scraped continuously and /healthz reports the live occupancy counts.
+// Every frame must complete despite the faults, and the fault/recovery
+// counters must land in the Prometheus exposition. Race-clean by
+// construction — run under -race in CI's chaos-smoke job.
+func TestChaosSoakWithLiveMetrics(t *testing.T) {
+	s, err := New(Config{
+		Addr: "127.0.0.1:0", MetricsAddr: "127.0.0.1:0",
+		MaxConns: 32, Shed: true,
+		IdleTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second,
+		ParkTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	murl := "http://" + s.MetricsAddr().String()
+
+	httpc := &http.Client{Transport: &http.Transport{}}
+	defer httpc.CloseIdleConnections()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := httpc.Get(murl + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	var scrapes atomic.Int64
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			if code, body := get("/metrics"); code != http.StatusOK ||
+				!strings.Contains(body, "dbiserve_resumes_total") {
+				t.Errorf("scrape: status %d", code)
+				return
+			}
+			scrapes.Add(1)
+		}
+	}()
+
+	frames := 400
+	if racetag.Enabled {
+		frames = 150
+	}
+	rep, err := RunLoad(LoadConfig{
+		Addr: s.Addr().String(), Conns: 2, SessionsPerConn: 6,
+		Frames: frames, Lanes: 4, Beats: 16, Scheme: "ACDC",
+		ChaosSeed: 7,
+	})
+	close(stopScrape)
+	scrapeWG.Wait()
+	if err != nil {
+		t.Fatalf("chaos load run: %v", err)
+	}
+	if rep.FaultsInjected == 0 || rep.Resumes == 0 {
+		t.Fatalf("soak injected %d faults, %d resumes — schedule too sparse to test anything",
+			rep.FaultsInjected, rep.Resumes)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("metrics endpoint was never scraped during the soak")
+	}
+
+	// The exposition and the health body must reflect the chaos traffic.
+	_, body := get("/metrics")
+	for _, want := range []string{"dbiserve_retries_total", "dbiserve_resumes_total", "dbiserve_sessions_parked"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Resumes < int64(rep.Resumes) {
+		t.Errorf("server counted %d resumes, client %d", snap.Resumes, rep.Resumes)
+	}
+	code, hb := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	for _, want := range []string{"ok", "conns ", "sessions ", "parked ", "shed "} {
+		if !strings.Contains(hb, want) {
+			t.Errorf("healthz body %q lacks %q", hb, want)
+		}
+	}
+}

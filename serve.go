@@ -1,6 +1,7 @@
 package dbiopt
 
 import (
+	"dbiopt/internal/chaos"
 	"dbiopt/internal/server"
 )
 
@@ -54,7 +55,50 @@ type (
 	// generator records into (16 sub-buckets per power of two, ~6%
 	// quantile resolution, allocation-free Observe).
 	LatencyHistogram = server.Histogram
+	// MuxOptions bundles DialMuxOpts's fault-tolerance knobs: the retry
+	// policy and a dial override (the chaos harness's injection point).
+	MuxOptions = server.MuxOptions
+	// RetryConfig is a MuxClient's reconnect policy: attempt cap,
+	// exponential backoff bounds, seeded jitter. The zero value disables
+	// reconnection.
+	RetryConfig = server.RetryConfig
+	// MuxStats counts a MuxClient's brushes with failure: transient
+	// errors entered, reconnect attempts, sessions resumed.
+	MuxStats = server.MuxStats
+	// ChaosConfig configures a ChaosInjector: schedule seed, byte-offset
+	// gap bounds between injected connection kills, fault cap, delay cap.
+	ChaosConfig = chaos.Config
+	// ChaosInjector draws deterministic fault plans for the connections
+	// it wraps; its Dial method adapts any dialer into MuxOptions.Dial.
+	ChaosInjector = chaos.Injector
 )
+
+// The serving error taxonomy, re-exported so callers classify failures
+// with errors.Is against the facade alone. The operational split is
+// transient (worth a backoff-and-retry: ErrBusy, ErrDraining, ErrTimeout)
+// versus fatal (identical on every retry: ErrResumeMismatch,
+// ErrSessionLost) — IsTransient encodes it.
+var (
+	ErrBusy           = server.ErrBusy
+	ErrDraining       = server.ErrDraining
+	ErrTimeout        = server.ErrTimeout
+	ErrResumeMismatch = server.ErrResumeMismatch
+	ErrSessionLost    = server.ErrSessionLost
+)
+
+// IsTransient reports whether err is worth a backoff-and-retry: the typed
+// transient sentinels plus anything that smells like a dead transport.
+func IsTransient(err error) bool {
+	return server.IsTransient(err)
+}
+
+// NewChaosInjector builds a seeded fault injector for resilience testing:
+// wrap a MuxOptions.Dial with Injector.Dial and every connection the
+// client makes (reconnects included) dies at deterministic, seed-replayable
+// byte offsets. See cmd/dbiload -chaos for the packaged harness.
+func NewChaosInjector(cfg ChaosConfig) *ChaosInjector {
+	return chaos.New(cfg)
+}
 
 // Serve starts a dbiserve instance: it binds cfg.Addr (the zero config
 // binds server.DefaultAddr with the OPT-FIXED default scheme) and accepts
@@ -84,6 +128,16 @@ func Dial(addr string, cfg SessionConfig) (*Client, error) {
 // dedicated v2 connection with the same configuration.
 func DialMux(addr string, def SessionConfig) (*MuxClient, error) {
 	return server.DialMux(addr, def)
+}
+
+// DialMuxOpts is DialMux with fault tolerance: a reconnect policy and an
+// optional dial override. With opts.Retry enabled and sessions opened with
+// a nonzero SessionConfig.ResumeToken, a transient mid-stream failure is
+// recovered transparently — the client redials with backoff, resumes every
+// resumable session via its mirrored wire state, reconciles the one frame
+// in flight, and the wire sequence continues bit-identically.
+func DialMuxOpts(addr string, def SessionConfig, opts MuxOptions) (*MuxClient, error) {
+	return server.DialMuxOpts(addr, def, opts)
 }
 
 // RunLoad drives a load-generation run against a dbiserve instance:
